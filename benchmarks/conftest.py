@@ -1,0 +1,33 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper, asserts the
+paper's qualitative claims hold, times a representative cell via
+pytest-benchmark, and archives the rendered table under
+``benchmarks/out/`` so EXPERIMENTS.md can reference concrete numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis.report import format_table
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Write a rows-table (or free text) to benchmarks/out/<name>.txt."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, rows_or_text) -> None:
+        text = (
+            rows_or_text
+            if isinstance(rows_or_text, str)
+            else format_table(rows_or_text)
+        )
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _write

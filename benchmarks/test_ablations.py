@@ -1,0 +1,70 @@
+"""Design-choice ablations called out in DESIGN.md.
+
+* QKV-weight shipping (Section 4.2): boundary volume 4bsh vs 2bsh+3h^2.
+* Comm-engine duplex: full (InfiniBand default) vs half (NCCL shared-SM
+  pathology of Figure 6a).
+"""
+
+from repro.core.filo import build_helix_filo
+from repro.costmodel import RecomputeStrategy
+from repro.experiments.common import Workload
+from repro.sim import simulate
+
+
+def _helix(wl: Workload, ship: bool):
+    costs = wl.costs(RecomputeStrategy.WITHOUT_ATTENTION, ship_qkv_weights=ship)
+    return build_helix_filo(wl.p, wl.num_micro_batches, costs, fold=2)
+
+
+def test_qkv_weight_shipping_ablation(benchmark, archive):
+    """Shipping the QKV weight halves the heavy pre->attn boundary for
+    long sequences and must not slow the pipeline down."""
+    wl = Workload.paper("7B", "A800", 4, 131072)
+
+    def run_pair():
+        out = {}
+        for ship in (False, True):
+            r = simulate(_helix(wl, ship), wl.cluster, wl.static_memory())
+            out[ship] = r
+        return out
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    rows = [
+        {
+            "ship_qkv_weights": ship,
+            "iter_time_s": r.makespan,
+            "bytes_sent_stage0_gib": r.stages[0].bytes_sent / 2**30,
+        }
+        for ship, r in results.items()
+    ]
+    archive("ablation_qkv_shipping", rows)
+    # Less data on the wire ...
+    assert (
+        results[True].stages[0].bytes_sent < results[False].stages[0].bytes_sent
+    )
+    # ... and never slower end to end.
+    assert results[True].makespan <= results[False].makespan * 1.001
+
+
+def test_duplex_ablation(benchmark, archive):
+    """Half-duplex engines (receive delays the following send, Fig. 6a)
+    can only hurt; full duplex is the calibrated default."""
+    wl = Workload.paper("7B", "A800", 4, 32768)  # comm-sensitive cell
+    sched = _helix(wl, True)
+
+    def run_pair():
+        return {
+            duplex: simulate(sched, wl.cluster, wl.static_memory(), duplex=duplex)
+            for duplex in ("full", "half")
+        }
+
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    archive(
+        "ablation_duplex",
+        [
+            {"duplex": d, "iter_time_s": r.makespan,
+             "max_comm_blocked_s": max(s.comm_blocked_time for s in r.stages)}
+            for d, r in results.items()
+        ],
+    )
+    assert results["half"].makespan >= results["full"].makespan

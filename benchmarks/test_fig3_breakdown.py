@@ -1,0 +1,19 @@
+"""Figure 3: layer-component time breakdown vs sequence length (A800)."""
+
+from repro.experiments import fig3_breakdown
+
+
+def test_fig3_reproduction(benchmark, archive):
+    rows = benchmark(fig3_breakdown.run)
+    archive("fig3_breakdown", rows)
+    shares = {r["seq_len"]: r["attn_share_pct"] for r in rows}
+    # Attention share grows monotonically with sequence length...
+    lens = sorted(shares)
+    assert [shares[s] for s in lens] == sorted(shares[s] for s in lens)
+    # ...from a minor slice at 4k to the dominant component at 128k.
+    assert shares[4096] < 25.0
+    assert shares[131072] > 60.0
+    # Per-row sanity: percentages sum to 100.
+    for r in rows:
+        total = sum(v for k, v in r.items() if k.endswith(("fwd", "bwd")))
+        assert abs(total - 100.0) < 1e-6

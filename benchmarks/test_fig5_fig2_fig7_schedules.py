@@ -1,0 +1,35 @@
+"""Figures 2, 5, 7: schedule structure in the paper's unit-time world."""
+
+import pytest
+
+from repro.experiments import fig2_fig7_schedules, fig5_partition
+
+
+def test_fig5_attention_parallel_beats_layerwise(benchmark, archive):
+    rows = benchmark(fig5_partition.run)
+    archive("fig5_partition", rows)
+    by = {r["partition"]: r for r in rows}
+    # Figure 5: attention parallel partition finishes the two micro
+    # batches earlier by running their attentions on different stages.
+    assert by["attention-parallel"]["makespan"] < by["layer-wise"]["makespan"]
+
+
+def test_fig2_fig7_reproduction(benchmark, archive):
+    rows = benchmark(fig2_fig7_schedules.run)
+    archive("fig2_fig7_schedules", rows)
+    archive("fig2_fig7_timelines", fig2_fig7_schedules.render())
+    by = {r["figure"]: r for r in rows}
+    # Fig 2: HelixPipe FILO has a smaller bubble than 1F1B on the same
+    # workload (4 micro batches, 8 layers, 4 stages).
+    assert (
+        by["fig2b_helix_filo"]["mean_bubble"] < by["fig2a_1f1b"]["mean_bubble"]
+    )
+    assert by["fig2b_helix_filo"]["makespan"] < by["fig2a_1f1b"]["makespan"]
+    # Fig 2b exact packing: bubble = (p-1) * (fwd+bwd of pre+post) = 18.
+    assert by["fig2b_helix_filo"]["mean_bubble"] == pytest.approx(18.0)
+    # Fig 7: with free communication the two-fold trades up to 2x the
+    # naive bubble for overlap capacity (Section 4.5).
+    assert (
+        by["fig7b_twofold_filo"]["mean_bubble"]
+        <= 2 * by["fig7a_naive_filo"]["mean_bubble"] + 1e-9
+    )

@@ -1,0 +1,24 @@
+"""Figure 6: two-fold FILO hides communication the naive schedule exposes."""
+
+from repro.experiments import fig6_overlap
+
+
+def test_fig6_reproduction(benchmark, archive):
+    rows = benchmark(fig6_overlap.run)
+    archive("fig6_overlap", rows)
+    by_comm = {r["comm_time"]: r for r in rows}
+    # Free communication: both schedules equivalent-ish.
+    base = by_comm[0.0]
+    assert abs(base["naive_makespan"] - base["twofold_makespan"]) <= 0.2 * min(
+        base["naive_makespan"], base["twofold_makespan"]
+    )
+    # Moderate communication (below attention time = 3 units): the
+    # two-fold schedule wins and exposes less blocked time.
+    for comm in (1.0, 2.0):
+        r = by_comm[comm]
+        assert r["twofold_makespan"] < r["naive_makespan"]
+        assert r["twofold_comm_blocked"] < r["naive_comm_blocked"]
+    # Two-fold stays near its zero-comm makespan while overlappable.
+    assert by_comm[1.0]["twofold_makespan"] <= base["twofold_makespan"] * 1.15
+    # Beyond the attention time the delay becomes exposed for both.
+    assert by_comm[3.0]["twofold_makespan"] > base["twofold_makespan"] * 1.1

@@ -1,0 +1,29 @@
+"""Table 1: per-op FLOPs / params / activations of a transformer layer."""
+
+from repro.costmodel.table1 import layer_totals
+from repro.experiments import table1
+
+
+def test_table1_reproduction(benchmark, archive):
+    rows = benchmark(table1.run, 1, 4096, 4096)
+    archive("table1", rows)
+    total = rows[-1]
+    b, s, h = 1, 4096, 4096
+    bsh = b * s * h
+    # Closed forms from the paper's Total column.
+    assert total["fwd_flops"] == 4 * bsh * (6 * h + s)
+    assert total["bwd_b_flops"] == 4 * bsh * (6 * h + 2 * s)
+    assert total["bwd_w_flops"] == 4 * bsh * 6 * h
+    assert total["params"] == 12 * h * h + 4 * h
+    assert total["activation_elems"] == 16 * bsh
+    # Attention is the only op with zero backward-W (non-parameterised).
+    attn = next(r for r in rows if r["op"] == "attention")
+    assert attn["bwd_w_flops"] == 0 and attn["params"] == 0
+
+
+def test_totals_scale_quadratically_in_s_for_attention():
+    t1 = layer_totals(1, 8192, 4096)
+    t2 = layer_totals(1, 16384, 4096)
+    attn1 = t1.fwd_flops - 4 * 8192 * 4096 * 6 * 4096
+    attn2 = t2.fwd_flops - 4 * 16384 * 4096 * 6 * 4096
+    assert attn2 == 4 * attn1

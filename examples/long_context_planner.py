@@ -1,0 +1,77 @@
+"""Plan a long-context training run under a fixed token budget.
+
+The paper's motivation (Section 3.1): production training fixes the
+tokens per iteration (Llama-style 4M-16M), so raising the sequence
+length shrinks the number of micro batches available to the pipeline and
+amplifies the bubble.  This planner sweeps sequence lengths and pipeline
+sizes for a 7B model under a 4M-token budget, checks each method against
+the GPU memory capacity, and reports the fastest feasible configuration.
+
+Run:  python examples/long_context_planner.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments.common import METHODS, Workload, run_method
+
+GIB = float(1 << 30)
+TOKEN_BUDGET = 4 << 20  # 4M tokens per iteration
+
+
+def main() -> None:
+    rows = []
+    for seq_len in (32768, 65536, 131072):
+        for p in (4, 8):
+            micro_batches = max(p, TOKEN_BUDGET // seq_len // 1)
+            # Two-fold FILO needs m to be a multiple of 2p; round down.
+            micro_batches -= micro_batches % (2 * p)
+            if micro_batches == 0:
+                continue
+            wl = Workload.paper("7B", "H20", p, seq_len)
+            wl.num_micro_batches = micro_batches
+            capacity = wl.cluster.node.gpu.hbm_bytes
+            for method in METHODS:
+                try:
+                    r = run_method(wl, method)
+                except ValueError as err:  # AdaPipe: no feasible plan
+                    rows.append(
+                        {
+                            "seq_len": f"{seq_len // 1024}k",
+                            "pp": p,
+                            "micro_batches": micro_batches,
+                            "method": method,
+                            "status": f"infeasible ({err})"[:34],
+                            "iter_s": float("nan"),
+                            "tokens_per_s": 0.0,
+                            "peak_gib": float("nan"),
+                        }
+                    )
+                    continue
+                peak = max(r.peak_memory_bytes)
+                fits = peak <= capacity
+                rows.append(
+                    {
+                        "seq_len": f"{seq_len // 1024}k",
+                        "pp": p,
+                        "micro_batches": micro_batches,
+                        "method": method,
+                        "status": "ok" if fits else "OOM",
+                        "iter_s": r.makespan,
+                        "tokens_per_s": wl.tokens_per_iteration / r.makespan,
+                        "peak_gib": peak / GIB,
+                    }
+                )
+    print(format_table(rows, floatfmt=".2f"))
+
+    feasible = [r for r in rows if r["status"] == "ok"]
+    for seq in ("32k", "64k", "128k"):
+        cands = [r for r in feasible if r["seq_len"] == seq]
+        if cands:
+            best = max(cands, key=lambda r: r["tokens_per_s"])
+            print(
+                f"\nBest at {seq}: {best['method']} with pp={best['pp']} "
+                f"({best['tokens_per_s']:.0f} tokens/s, {best['peak_gib']:.1f} GiB peak)"
+            )
+
+
+if __name__ == "__main__":
+    main()

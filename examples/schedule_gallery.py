@@ -1,0 +1,21 @@
+"""Render the paper's schedule figures as ASCII Gantt charts.
+
+Reproduces Figures 2a/2b (1F1B vs HelixPipe FILO) and 7a/7b (naive vs
+two-fold FILO) in the unit-time world the paper draws them in
+(pre : attention : post = 1 : 3 : 2, backward == forward).  Digits are
+forward micro batches, letters are backwards, dots are pipeline bubble.
+
+Run:  python examples/schedule_gallery.py
+"""
+
+from repro.analysis import format_table
+from repro.experiments import fig2_fig7_schedules
+
+
+def main() -> None:
+    print(fig2_fig7_schedules.render(width=110))
+    print(format_table(fig2_fig7_schedules.run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The execution environment has no `wheel` package and no network, so PEP
+660 editable installs (which must build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

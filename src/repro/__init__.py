@@ -1,0 +1,32 @@
+"""HelixPipe reproduction: attention parallel pipeline parallelism.
+
+Subpackages
+-----------
+cluster / costmodel / model / comm
+    Simulated hardware and analytic cost substrates.
+schedules / core
+    Schedule IR, baselines (1F1B, GPipe, ZB1P, AdaPipe) and the paper's
+    contribution (attention parallel partition + FILO schedules).
+sim / runtime / memsim
+    The three executors: discrete-event timing, functional numpy math,
+    caching-allocator memory.
+analysis / experiments
+    Closed-form formulas, reporting, and one module per paper figure.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "cluster",
+    "comm",
+    "costmodel",
+    "model",
+    "schedules",
+    "core",
+    "sim",
+    "runtime",
+    "memsim",
+    "nn",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,20 @@
+"""Closed-form formulas, reporting helpers and timeline rendering."""
+
+from repro.analysis.bubble import (
+    activation_elems_table2,
+    bubble_time_1f1b,
+    bubble_time_helix,
+    bubble_time_zb1p,
+)
+from repro.analysis.report import format_table, normalize
+from repro.analysis.timeline import render_timeline
+
+__all__ = [
+    "bubble_time_1f1b",
+    "bubble_time_zb1p",
+    "bubble_time_helix",
+    "activation_elems_table2",
+    "format_table",
+    "normalize",
+    "render_timeline",
+]

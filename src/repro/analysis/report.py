@@ -1,0 +1,37 @@
+"""Plain-text table rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["format_table", "normalize"]
+
+
+def format_table(rows: Iterable[Mapping[str, Any]], floatfmt: str = ".3f") -> str:
+    """Render dict rows as an aligned text table (column order from row 1)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    cols = list(rows[0].keys())
+
+    def cell(v: Any) -> str:
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    table = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(t[i]) for t in table)) for i, c in enumerate(cols)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(cols, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(t[i].ljust(w) for i, w in enumerate(widths)) for t in table)
+    return f"{header}\n{sep}\n{body}"
+
+
+def normalize(values: Mapping[str, float]) -> dict[str, float]:
+    """Scale a metric dict so its maximum is 1.0 (paper's normalized plots)."""
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("cannot normalize non-positive values")
+    return {k: v / peak for k, v in values.items()}

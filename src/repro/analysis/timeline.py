@@ -1,0 +1,68 @@
+"""ASCII Gantt rendering of simulator traces.
+
+Reproduces the look of the paper's schedule figures (Figures 2, 5, 6, 7)
+in a terminal: one row per pipeline stage, one character per time quantum,
+micro-batch digits for forward, lowercase letters / shaded digits for
+backward, ``.`` for idle.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.ir import OpType
+from repro.sim.trace import Trace
+
+__all__ = ["render_timeline"]
+
+_OP_STYLE = {
+    "F": str,  # forward: plain micro-batch digit
+    "RC": lambda mb: "r",
+    "B": lambda mb: chr(ord("a") + (mb % 26)),
+    "BI": lambda mb: chr(ord("a") + (mb % 26)),
+    "BW": lambda mb: "w",
+}
+
+
+def _op_of(label: str) -> str:
+    return label.split("[", 1)[0]
+
+
+def render_timeline(
+    trace: Trace,
+    num_stages: int,
+    width: int = 100,
+    show_comm: bool = False,
+) -> str:
+    """Render ``trace`` as an ASCII Gantt chart ``width`` characters wide.
+
+    Forward slots show the micro-batch id (mod 10), backward slots the
+    letter ``a + mb``, recompute ``r``, weight-gradient passes ``w``;
+    idle time is ``.``.  With ``show_comm`` an extra row per stage marks
+    communication-engine busy spans with ``~``.
+    """
+    span = trace.makespan
+    if span <= 0:
+        return "(empty trace)"
+    q = span / width
+    rows = []
+    for stage in range(num_stages):
+        row = ["."] * width
+        for iv in trace.compute_intervals(stage):
+            op = _op_of(iv.label)
+            style = _OP_STYLE.get(op, lambda mb: "?")
+            ch = style(iv.micro_batch) if op != "F" else str(iv.micro_batch % 10)
+            lo = int(iv.start / q)
+            hi = max(lo + 1, int(round(iv.end / q)))
+            for x in range(lo, min(hi, width)):
+                row[x] = ch
+        rows.append(f"P{stage} |" + "".join(row) + "|")
+        if show_comm:
+            comm = [" "] * width
+            for iv in trace.comm_intervals():
+                if iv.stage == stage or iv.peer == stage:
+                    lo = int(iv.start / q)
+                    hi = max(lo + 1, int(round(iv.end / q)))
+                    for x in range(lo, min(hi, width)):
+                        comm[x] = "~"
+            rows.append("   |" + "".join(comm) + "|")
+    rows.append(f"    0{'':{width - 10}}{span:.4g}s")
+    return "\n".join(rows)

@@ -1,0 +1,26 @@
+"""Simulated hardware catalog: GPUs, nodes and cluster topologies."""
+
+from repro.cluster.gpu import A100, A800, GPU_PRESETS, H20, H100, GPUSpec
+from repro.cluster.node import A800_NODE, H20_NODE, NodeSpec
+from repro.cluster.topology import (
+    ClusterSpec,
+    a800_cluster,
+    abstract_cluster,
+    h20_cluster,
+)
+
+__all__ = [
+    "GPUSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "H20",
+    "A800",
+    "A100",
+    "H100",
+    "GPU_PRESETS",
+    "H20_NODE",
+    "A800_NODE",
+    "h20_cluster",
+    "a800_cluster",
+    "abstract_cluster",
+]

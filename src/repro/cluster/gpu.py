@@ -1,0 +1,141 @@
+"""GPU device specifications.
+
+The simulator needs only a handful of numbers per accelerator: dense
+half-precision throughput, HBM capacity and bandwidth, and intra-node
+(NVLink) interconnect bandwidth.  The presets below are taken from public
+spec sheets for the two GPU types used in the paper's evaluation (H20 and
+A800) plus two common references (A100, H100) used in tests and examples.
+
+The paper's qualitative claims hinge on two ratios that these presets
+preserve:
+
+* A800 has roughly **2x the dense compute** of H20 (312 vs 148 TFLOPS),
+  which shrinks attention time and with it HelixPipe's advantage.
+* The A800 cluster has **half the inter-node bandwidth** of the H20
+  cluster (4xHDR-100 vs 4xNDR-200 InfiniBand), which is what makes the
+  two-fold FILO communication non-overlappable at 32k on A800 (paper
+  Fig. 9 / Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GPUSpec", "H20", "A800", "A100", "H100", "GPU_PRESETS"]
+
+_TERA = 1.0e12
+_GIGA = 1.0e9
+_GIB = float(1 << 30)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of a single accelerator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"H20"``).
+    fp16_tflops:
+        Dense half-precision matrix throughput in TFLOPS (no sparsity).
+    hbm_gib:
+        Device memory capacity in GiB.
+    hbm_bw_gbps:
+        Device memory bandwidth in GB/s (decimal giga).
+    nvlink_bw_gbps:
+        Aggregate per-GPU NVLink bandwidth in GB/s, used for intra-node
+        collectives (sequence parallelism).
+    mm_efficiency:
+        Achievable fraction of peak for large GEMMs.
+    attn_efficiency:
+        Achievable fraction of peak for fused (flash) attention kernels.
+    """
+
+    name: str
+    fp16_tflops: float
+    hbm_gib: float
+    hbm_bw_gbps: float
+    nvlink_bw_gbps: float
+    mm_efficiency: float = 0.55
+    attn_efficiency: float = 0.50
+
+    def __post_init__(self) -> None:
+        if self.fp16_tflops <= 0:
+            raise ValueError(f"fp16_tflops must be positive, got {self.fp16_tflops}")
+        if self.hbm_gib <= 0:
+            raise ValueError(f"hbm_gib must be positive, got {self.hbm_gib}")
+        if not (0.0 < self.mm_efficiency <= 1.0):
+            raise ValueError("mm_efficiency must be in (0, 1]")
+        if not (0.0 < self.attn_efficiency <= 1.0):
+            raise ValueError("attn_efficiency must be in (0, 1]")
+
+    @property
+    def matmul_flops_per_s(self) -> float:
+        """Sustained GEMM throughput in FLOP/s."""
+        return self.fp16_tflops * _TERA * self.mm_efficiency
+
+    @property
+    def attn_flops_per_s(self) -> float:
+        """Sustained fused-attention throughput in FLOP/s."""
+        return self.fp16_tflops * _TERA * self.attn_efficiency
+
+    @property
+    def hbm_bytes(self) -> float:
+        """Device memory capacity in bytes."""
+        return self.hbm_gib * _GIB
+
+    @property
+    def hbm_bytes_per_s(self) -> float:
+        """Device memory bandwidth in bytes/s."""
+        return self.hbm_bw_gbps * _GIGA
+
+    def gemm_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` of dense GEMM work."""
+        return flops / self.matmul_flops_per_s
+
+    def attn_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` of fused attention work."""
+        return flops / self.attn_flops_per_s
+
+    def membound_time(self, nbytes: float) -> float:
+        """Seconds for a memory-bandwidth-bound op touching ``nbytes``."""
+        return nbytes / self.hbm_bytes_per_s
+
+
+#: NVIDIA H20 (Hopper, export variant): low compute, high bandwidth.
+H20 = GPUSpec(
+    name="H20",
+    fp16_tflops=148.0,
+    hbm_gib=96.0,
+    hbm_bw_gbps=4000.0,
+    nvlink_bw_gbps=900.0,
+)
+
+#: NVIDIA A800 (Ampere, export variant of A100): 2x H20 compute.
+A800 = GPUSpec(
+    name="A800",
+    fp16_tflops=312.0,
+    hbm_gib=80.0,
+    hbm_bw_gbps=2039.0,
+    nvlink_bw_gbps=400.0,
+)
+
+#: NVIDIA A100 80GB SXM.
+A100 = GPUSpec(
+    name="A100",
+    fp16_tflops=312.0,
+    hbm_gib=80.0,
+    hbm_bw_gbps=2039.0,
+    nvlink_bw_gbps=600.0,
+)
+
+#: NVIDIA H100 SXM.
+H100 = GPUSpec(
+    name="H100",
+    fp16_tflops=989.0,
+    hbm_gib=80.0,
+    hbm_bw_gbps=3350.0,
+    nvlink_bw_gbps=900.0,
+)
+
+GPU_PRESETS: dict[str, GPUSpec] = {g.name: g for g in (H20, A800, A100, H100)}

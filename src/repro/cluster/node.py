@@ -1,0 +1,78 @@
+"""GPU server (node) specifications.
+
+A node groups ``gpus_per_node`` identical GPUs behind NVLink and exposes a
+number of InfiniBand host channel adapters (HCAs) for inter-node traffic.
+The paper maps one pipeline stage to one node, runs Megatron sequence
+parallelism of size 8 inside the node over NVLink, and routes pipeline
+point-to-point traffic over the HCAs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gpu import A800, H20, GPUSpec
+
+__all__ = ["NodeSpec", "H20_NODE", "A800_NODE"]
+
+_GIGA = 1.0e9
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A GPU server: identical GPUs plus InfiniBand uplinks.
+
+    Parameters
+    ----------
+    gpu:
+        Spec of each GPU in the node.
+    gpus_per_node:
+        Number of GPUs (the paper uses 8 everywhere).
+    num_hcas:
+        Number of InfiniBand host channel adapters.
+    hca_gbit_per_s:
+        Per-HCA line rate in Gbit/s (e.g. NDR = 200, HDR = 100).
+    ib_latency_s:
+        One-way small-message latency for inter-node p2p.
+    """
+
+    gpu: GPUSpec
+    gpus_per_node: int = 8
+    num_hcas: int = 4
+    hca_gbit_per_s: float = 200.0
+    ib_latency_s: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise ValueError("gpus_per_node must be positive")
+        if self.num_hcas <= 0:
+            raise ValueError("num_hcas must be positive")
+        if self.hca_gbit_per_s <= 0:
+            raise ValueError("hca_gbit_per_s must be positive")
+
+    @property
+    def node_ib_bytes_per_s(self) -> float:
+        """Aggregate inter-node bandwidth of the whole node in bytes/s."""
+        return self.num_hcas * self.hca_gbit_per_s * _GIGA / 8.0
+
+    @property
+    def per_gpu_ib_bytes_per_s(self) -> float:
+        """Fair-share inter-node bandwidth per GPU in bytes/s.
+
+        When all ``gpus_per_node`` ranks of a sequence-parallel group
+        exchange pipeline activations with their peers simultaneously,
+        each enjoys roughly ``1 / gpus_per_node`` of the node uplink.
+        """
+        return self.node_ib_bytes_per_s / self.gpus_per_node
+
+    @property
+    def total_hbm_bytes(self) -> float:
+        """Sum of device memory over the node in bytes."""
+        return self.gpus_per_node * self.gpu.hbm_bytes
+
+
+#: Paper testbed 1: 8 x H20 per node, 4 x NDR-200 InfiniBand.
+H20_NODE = NodeSpec(gpu=H20, gpus_per_node=8, num_hcas=4, hca_gbit_per_s=200.0)
+
+#: Paper testbed 2: 8 x A800 per node, 4 x HDR-100 InfiniBand.
+A800_NODE = NodeSpec(gpu=A800, gpus_per_node=8, num_hcas=4, hca_gbit_per_s=100.0)

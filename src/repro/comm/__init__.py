@@ -1,0 +1,6 @@
+"""Communication volumes and NCCL-style cost models."""
+
+from repro.comm.cost import CommModel
+from repro.comm.volumes import BoundaryVolumes, boundary_volumes
+
+__all__ = ["CommModel", "BoundaryVolumes", "boundary_volumes"]

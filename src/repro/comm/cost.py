@@ -1,0 +1,70 @@
+"""Alpha-beta cost models for NCCL-style communication.
+
+Two families are modelled:
+
+* **Inter-node p2p** used by pipeline parallelism (per-GPU-pair fair-share
+  InfiniBand bandwidth plus latency) -- delegated to
+  :meth:`repro.cluster.ClusterSpec.p2p_time`.
+* **Intra-node ring collectives** used by Megatron sequence parallelism
+  (all-gather / reduce-scatter over NVLink).
+
+NCCL performs p2p with GPU SMs; the paper observes (Section 5.3) that only
+a few SMs are needed, so compute slowdown from concurrent communication is
+marginal.  ``CommModel.compute_slowdown`` exposes that as a configurable
+factor (default 1.0 = no slowdown, matching the paper's observation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterSpec
+
+__all__ = ["CommModel"]
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Communication timing for a given cluster.
+
+    Parameters
+    ----------
+    cluster:
+        Hardware description (bandwidths, latency).
+    compute_slowdown:
+        Multiplicative slowdown applied to compute that overlaps a
+        transfer (NCCL p2p steals a few SMs; ~1.0 in practice).
+    """
+
+    cluster: ClusterSpec
+    compute_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.compute_slowdown < 1.0:
+            raise ValueError("compute_slowdown must be >= 1.0")
+
+    def p2p_time(self, nbytes: float) -> float:
+        """Inter-stage point-to-point transfer of a per-GPU shard."""
+        return self.cluster.p2p_time(nbytes)
+
+    def all_gather_time(self, nbytes: float) -> float:
+        """Intra-node all-gather of a full ``nbytes`` tensor (SP region)."""
+        return self.cluster.intra_node_collective_time(nbytes, "all_gather")
+
+    def reduce_scatter_time(self, nbytes: float) -> float:
+        """Intra-node reduce-scatter of a full ``nbytes`` tensor."""
+        return self.cluster.intra_node_collective_time(nbytes, "reduce_scatter")
+
+    def all_reduce_time(self, nbytes: float) -> float:
+        """Intra-node all-reduce (reduce-scatter + all-gather)."""
+        return self.cluster.intra_node_collective_time(nbytes, "all_reduce")
+
+    def sequence_parallel_layer_overhead(self, b: int, s: int, h: int) -> float:
+        """Per-layer SP collective time (forward): two all-gathers plus two
+        reduce-scatters of a ``[s, b, h]`` fp16 activation (Section 2.2).
+
+        Identical for every method under comparison, hence excluded from
+        the pipeline simulation; exposed for absolute-time estimates.
+        """
+        nbytes = float(b) * s * h * 2.0
+        return 2 * self.all_gather_time(nbytes) + 2 * self.reduce_scatter_time(nbytes)

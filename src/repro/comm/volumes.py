@@ -1,0 +1,69 @@
+"""Pipeline-boundary communication volumes (paper Section 4.2).
+
+Element counts (multiply by 2 bytes for fp16, divide by the
+sequence-parallel size for the per-GPU shard) for every kind of boundary
+that appears in the schedules:
+
+* layer-wise pipelines move one activation (``bsh``) per stage boundary;
+* HelixPipe's pre-attention -> attention boundary moves Q, K, V plus the
+  residual input (``4 bsh``) -- or, with the weight-shipping optimisation,
+  the QKV weight (``3 h^2``) plus the LayerNorm output and residual
+  (``2 bsh + 3 h^2``);
+* the attention -> post-attention boundary moves the attention output plus
+  the residual (``2 bsh``).
+
+Backward volumes mirror the forward ones (gradients take the reverse
+path); weight shipping additionally returns the QKV weight gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BoundaryVolumes", "boundary_volumes"]
+
+FP16_BYTES = 2.0
+
+
+@dataclass(frozen=True)
+class BoundaryVolumes:
+    """Element counts crossing each boundary for one micro batch."""
+
+    layerwise: float  # activation between consecutive layer-wise stages
+    pre_to_attn: float  # HelixPipe pre-attention -> attention
+    attn_to_post: float  # HelixPipe attention -> post-attention
+    ship_qkv_weights: bool
+
+    def bytes(self, which: str, sp: int = 1) -> float:
+        """Per-GPU fp16 bytes for boundary ``which`` with SP size ``sp``.
+
+        The weight shard under weight shipping is already tensor-parallel
+        over ``sp`` along with the activations, so a uniform division is
+        exact for both terms.
+        """
+        elems = {
+            "layerwise": self.layerwise,
+            "pre_to_attn": self.pre_to_attn,
+            "attn_to_post": self.attn_to_post,
+        }[which]
+        return elems * FP16_BYTES / sp
+
+
+def boundary_volumes(
+    b: int, s: int, h: int, ship_qkv_weights: bool = True
+) -> BoundaryVolumes:
+    """Boundary element counts for micro batch ``b``, sequence ``s``, width ``h``.
+
+    With ``ship_qkv_weights`` (the paper's optimisation) the heavy
+    pre->attn boundary shrinks from ``4 bsh`` to ``2 bsh + 3 h^2``; for
+    long sequences ``s >> h`` this approaches the ``2 bsh`` of the other
+    boundary.
+    """
+    bsh = float(b) * s * h
+    pre_to_attn = 2.0 * bsh + 3.0 * h * h if ship_qkv_weights else 4.0 * bsh
+    return BoundaryVolumes(
+        layerwise=bsh,
+        pre_to_attn=pre_to_attn,
+        attn_to_post=2.0 * bsh,
+        ship_qkv_weights=ship_qkv_weights,
+    )

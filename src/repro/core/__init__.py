@@ -1,0 +1,12 @@
+"""The paper's contribution: attention parallel pipeline parallelism."""
+
+from repro.core.filo import HelixFiloBuilder, build_helix_filo
+from repro.core.partition import attention_stage, helix_partition, owner_stage
+
+__all__ = [
+    "build_helix_filo",
+    "HelixFiloBuilder",
+    "attention_stage",
+    "helix_partition",
+    "owner_stage",
+]

@@ -1,0 +1,479 @@
+"""HelixPipe FILO micro-batch schedule (paper Sections 4.2-4.4).
+
+One generator covers both schedules of the paper:
+
+* ``fold=1``: the **naive FILO** schedule (Figure 7a).  Micro batches are
+  admitted in loops of ``p``; each layer's pre-attention runs sequentially
+  on the owner stage while the attention of the loop's ``p`` micro batches
+  runs in parallel, one per stage.
+* ``fold=2``: the **two-fold FILO** schedule (Figure 7b).  Loops admit
+  ``2p`` micro batches; pairs of consecutive micro batches share an
+  attention stage, so while one micro batch of the pair computes, the
+  other's boundary transfer proceeds behind it, hiding the communication
+  (Section 4.3.2).
+
+Backward traverses loops and micro batches in reverse (first-in,
+last-out), which equalises the number of stashed micro batches across
+stages -- the memory-balance property of Table 2.  When
+``recompute=WITHOUT_ATTENTION`` an explicit ``RC`` instruction
+re-materialises the pre/post intermediates right before each backward
+step while the attention backward consumes its flash-attention stash
+directly (Section 4.4.1).
+
+Data flow per layer ``l`` and micro batch ``i`` (weight shipping per
+Section 4.2):
+
+.. code-block:: none
+
+   owner(l) --[LN-out + residual (+W_qkv)]--> attn_stage(l, i)
+   attn_stage(l, i) --[attn-out + residual]--> owner(l+1)
+
+and the mirrored gradients in backward, with the shipped QKV weight
+gradient returning to the owner.
+
+**Program ordering.**  Consecutive loops pipeline into each other: while
+a stage waits for the attention outputs of one loop it computes the
+pre-attentions of the next, keeping the bubble independent of the number
+of loops (the figure-7a packing).  The builder derives each stage's
+instruction order with a deterministic list-scheduling pass over the task
+DAG -- exactly what a static pipeline runtime does -- and then emits
+RECVs immediately before the consuming compute and SENDs immediately
+after the producer, so the event-driven executors can overlap transfers
+behind independent compute.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.core.partition import attention_stage, helix_partition, owner_segment, owner_stage
+from repro.model.partition import Segment, SegmentKind
+from repro.schedules.costs import CostProvider
+from repro.schedules.ir import (
+    ComputeInstr,
+    Instr,
+    OpType,
+    RecvInstr,
+    Schedule,
+    SendInstr,
+)
+from repro.schedules.planner import PlannedTask, critical_path_levels, list_schedule
+
+__all__ = ["build_helix_filo", "HelixFiloBuilder"]
+
+
+@dataclass
+class HelixFiloBuilder:
+    """Materialise the HelixPipe FILO schedule.
+
+    Parameters
+    ----------
+    num_stages, num_micro_batches:
+        ``num_micro_batches`` must be a multiple of ``fold * num_stages``
+        (the loop size; paper Section 4.3.1).
+    costs:
+        Cost provider; its ``recompute`` strategy decides whether RC
+        instructions are emitted.
+    fold:
+        1 for the naive schedule, 2 for the two-fold schedule.
+    include_embed, include_head:
+        Model the embedding and LM head on stage 0 (Section 4.6).
+    """
+
+    num_stages: int
+    num_micro_batches: int
+    costs: CostProvider
+    fold: int = 2
+    include_embed: bool = True
+    include_head: bool = True
+    #: List-scheduling priority: "filo" (loop/position order; default --
+    #: reproduces the paper's figures exactly for single-loop runs and
+    #: keeps the two-fold bubble independent of the loop count), "hlf"
+    #: (highest critical-path level first) or "hybrid" (level within
+    #: loop).  The alternatives are kept as ablation knobs.
+    priority: str = "filo"
+
+    def __post_init__(self) -> None:
+        p, m, f = self.num_stages, self.num_micro_batches, self.fold
+        if p <= 0 or m <= 0 or f <= 0:
+            raise ValueError("num_stages, num_micro_batches and fold must be positive")
+        loop = f * p if p > 1 else m
+        if p > 1 and m % loop != 0:
+            raise ValueError(
+                f"num_micro_batches ({m}) must be a multiple of fold*p ({loop})"
+            )
+        self.loop_size = loop
+        self.L = self.costs.num_layers
+        self.partition = helix_partition(self.L, p)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _owner(self, pos: int) -> int:
+        return owner_stage(pos, self.num_stages, self.L)
+
+    def _attn_stage(self, layer: int, mb: int) -> int:
+        return attention_stage(layer, mb, self.num_stages, self.fold)
+
+    @staticmethod
+    def _tag(kind: str, layer: int, mb: int) -> str:
+        return f"h.{kind}:L{layer}:mb{mb}"
+
+    def _owner_cost(self, pos: int) -> tuple[float, float, float]:
+        """(forward, backward incl. head/embed, recompute) duration at pos."""
+        f = b = rc = 0.0
+        for seg in owner_segment(pos, self.L):
+            c = self.costs.segment_cost(seg)
+            f += c.f
+            b += c.b
+            rc += c.rc
+        if pos == 0 and self.include_embed:
+            c = self.costs.segment_cost(Segment(SegmentKind.EMBED))
+            f += c.f
+            b += c.b
+        if pos == self.L and self.include_head:
+            c = self.costs.segment_cost(Segment(SegmentKind.HEAD))
+            f += c.f
+            b += c.b
+        return f, b, rc
+
+    # -- task graph -----------------------------------------------------------------
+
+    def _build_tasks(self) -> list[PlannedTask]:
+        p, L, m = self.num_stages, self.L, self.num_micro_batches
+        ids = itertools.count()
+        tasks: list[PlannedTask] = []
+        attn_cost = {
+            l: self.costs.segment_cost(Segment(SegmentKind.ATTN, layer=l))
+            for l in range(L)
+        }
+        f_owner: dict[tuple[int, int], int] = {}
+        f_attn: dict[tuple[int, int], int] = {}
+        b_owner: dict[tuple[int, int], int] = {}
+        num_loops = m // self.loop_size
+
+        def loop_of(mb: int) -> int:
+            return mb // self.loop_size
+
+        def slot_of(mb: int) -> int:
+            return mb % self.loop_size
+
+        # Forward: owner(pos) consumes attention(pos-1); attention(l)
+        # consumes owner(l).
+        for mb in range(m):
+            g, slot = loop_of(mb), slot_of(mb)
+            for pos in range(L + 1):
+                fdur, _, _ = self._owner_cost(pos)
+                deps = [] if pos == 0 else [f_attn[(pos - 1, mb)]]
+                t = PlannedTask(
+                    tid=next(ids),
+                    stage=self._owner(pos),
+                    key=(0, g, pos, 0, slot),
+                    duration=fdur,
+                    deps=deps,
+                    payload=("f_owner", pos, mb),
+                )
+                tasks.append(t)
+                f_owner[(pos, mb)] = t.tid
+                if pos < L:
+                    a = PlannedTask(
+                        tid=next(ids),
+                        stage=self._attn_stage(pos, mb),
+                        key=(0, g, pos, 1, slot),
+                        duration=attn_cost[pos].f,
+                        deps=[t.tid],
+                        payload=("f_attn", pos, mb),
+                    )
+                    tasks.append(a)
+                    f_attn[(pos, mb)] = a.tid
+        # Backward: FILO -- later loops and later micro batches first.  The
+        # entry point (position L) is chained in strict reverse micro-batch
+        # order so the backward wave is truly first-in-last-out; without
+        # this, a work-conserving planner would start micro batch 0's
+        # backward the moment its own forward finished.
+        prev_entry: int | None = None
+        for mb in reversed(range(m)):
+            g, slot = loop_of(mb), slot_of(mb)
+            rg = num_loops - 1 - g
+            rslot = self.loop_size - 1 - slot
+            for pos in range(L, -1, -1):
+                _, bdur, rcdur = self._owner_cost(pos)
+                rpos = L - pos
+                if pos == L:
+                    deps = [f_owner[(L, mb)]]
+                    if prev_entry is not None:
+                        deps.append(prev_entry)
+                else:
+                    deps = [b_owner.get((pos, mb), -1)]
+                t = PlannedTask(
+                    tid=next(ids),
+                    stage=self._owner(pos),
+                    key=(1, rg, rpos, 0, rslot),
+                    duration=bdur + rcdur,
+                    deps=[d for d in deps if d >= 0],
+                    payload=("b_owner", pos, mb),
+                )
+                tasks.append(t)
+                if pos == L:
+                    prev_entry = t.tid
+                if pos > 0:
+                    a = PlannedTask(
+                        tid=next(ids),
+                        stage=self._attn_stage(pos - 1, mb),
+                        key=(1, rg, rpos, 1, rslot),
+                        duration=attn_cost[pos - 1].b,
+                        deps=[t.tid],
+                        payload=("b_attn", pos - 1, mb),
+                    )
+                    tasks.append(a)
+                    # The owner backward below pos consumes this gradient.
+                    b_owner[(pos - 1, mb)] = a.tid
+        return tasks
+
+    # -- list scheduling ---------------------------------------------------------------
+
+    def _plan(self, tasks: list[PlannedTask]) -> list[list[PlannedTask]]:
+        """Apply the priority mode and run the shared list scheduler."""
+        if self.priority == "hlf":
+            level = critical_path_levels(tasks)
+            for t in tasks:
+                t.key = (-level[t.tid], *t.key)
+        elif self.priority == "hybrid":
+            level = critical_path_levels(tasks)
+            for t in tasks:
+                phase, g, rest = t.key[0], t.key[1], t.key[2:]
+                t.key = (phase, g, -level[t.tid], *rest)
+        elif self.priority != "filo":
+            raise ValueError(f"unknown priority {self.priority!r}")
+        return list_schedule(tasks, self.num_stages)
+
+    # -- build -------------------------------------------------------------------
+
+    def build(self) -> Schedule:
+        tasks = self._build_tasks()
+        order = self._plan(tasks)
+        programs: list[list[Instr]] = [[] for _ in range(self.num_stages)]
+        for stage, seq in enumerate(order):
+            prog = programs[stage]
+            for t in seq:
+                kind, pos, mb = t.payload
+                self._emit_task(prog, kind, pos, mb)
+        name = "helix-2fold" if self.fold == 2 else f"helix-filo{self.fold}"
+        sched = Schedule(
+            name=name,
+            num_stages=self.num_stages,
+            num_micro_batches=self.num_micro_batches,
+            programs=programs,
+            meta={
+                "family": "helix",
+                "fold": self.fold,
+                "num_layers": self.L,
+                "recompute": self.costs.recompute.value,
+            },
+        )
+        sched.validate()
+        return sched
+
+    # -- emission -------------------------------------------------------------------
+
+    def _emit_task(self, prog: list[Instr], kind: str, pos: int, mb: int) -> None:
+        if kind == "f_owner":
+            self._emit_f_owner(prog, pos, mb)
+        elif kind == "f_attn":
+            self._emit_f_attn(prog, pos, mb)
+        elif kind == "b_owner":
+            self._emit_b_owner(prog, pos, mb)
+        elif kind == "b_attn":
+            self._emit_b_attn(prog, pos, mb)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(kind)
+
+    def _compute(
+        self, op: OpType, stage: int, mb: int, seg: Segment
+    ) -> ComputeInstr:
+        c = self.costs.segment_cost(seg)
+        if op is OpType.F:
+            return ComputeInstr(
+                op=op,
+                stage=stage,
+                micro_batch=mb,
+                segment=seg,
+                duration=c.f,
+                stash_delta=c.stash_bytes,
+                workspace=c.workspace_bytes,
+            )
+        if op is OpType.RC:
+            return ComputeInstr(
+                op=op,
+                stage=stage,
+                micro_batch=mb,
+                segment=seg,
+                duration=c.rc,
+                stash_delta=c.rc_extra_stash_bytes,
+                workspace=c.workspace_bytes,
+            )
+        release = c.stash_bytes + (c.rc_extra_stash_bytes if c.rc > 0 else 0.0)
+        return ComputeInstr(
+            op=OpType.B,
+            stage=stage,
+            micro_batch=mb,
+            segment=seg,
+            duration=c.b,
+            stash_delta=-release,
+            workspace=c.workspace_bytes,
+        )
+
+    def _emit_f_owner(self, prog: list[Instr], pos: int, mb: int) -> None:
+        stage = self._owner(pos)
+        if pos > 0:
+            src = self._attn_stage(pos - 1, mb)
+            if src != stage:
+                prog.append(
+                    RecvInstr(
+                        stage=stage,
+                        peer=src,
+                        tag=self._tag("attn_out", pos - 1, mb),
+                        nbytes=self.costs.boundary_bytes("attn_to_post"),
+                        micro_batch=mb,
+                        payload="attn_out",
+                    )
+                )
+        if pos == 0 and self.include_embed:
+            prog.append(self._compute(OpType.F, stage, mb, Segment(SegmentKind.EMBED)))
+        for seg in owner_segment(pos, self.L):
+            prog.append(self._compute(OpType.F, stage, mb, seg))
+        if pos == self.L:
+            if self.include_head:
+                prog.append(
+                    self._compute(OpType.F, stage, mb, Segment(SegmentKind.HEAD))
+                )
+        else:
+            dst = self._attn_stage(pos, mb)
+            if dst != stage:
+                prog.append(
+                    SendInstr(
+                        stage=stage,
+                        peer=dst,
+                        tag=self._tag("pre_out", pos, mb),
+                        nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                        micro_batch=mb,
+                        payload="pre_out",
+                    )
+                )
+
+    def _emit_f_attn(self, prog: list[Instr], layer: int, mb: int) -> None:
+        stage = self._attn_stage(layer, mb)
+        owner = self._owner(layer)
+        if owner != stage:
+            prog.append(
+                RecvInstr(
+                    stage=stage,
+                    peer=owner,
+                    tag=self._tag("pre_out", layer, mb),
+                    nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                    micro_batch=mb,
+                    payload="pre_out",
+                )
+            )
+        prog.append(
+            self._compute(OpType.F, stage, mb, Segment(SegmentKind.ATTN, layer=layer))
+        )
+        nxt = self._owner(layer + 1)
+        if nxt != stage:
+            prog.append(
+                SendInstr(
+                    stage=stage,
+                    peer=nxt,
+                    tag=self._tag("attn_out", layer, mb),
+                    nbytes=self.costs.boundary_bytes("attn_to_post"),
+                    micro_batch=mb,
+                    payload="attn_out",
+                )
+            )
+
+    def _emit_b_owner(self, prog: list[Instr], pos: int, mb: int) -> None:
+        stage = self._owner(pos)
+        if pos < self.L:
+            src = self._attn_stage(pos, mb)
+            if src != stage:
+                prog.append(
+                    RecvInstr(
+                        stage=stage,
+                        peer=src,
+                        tag=self._tag("d_pre_out", pos, mb),
+                        nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                        micro_batch=mb,
+                        payload="d_pre_out",
+                    )
+                )
+        if pos == self.L and self.include_head:
+            prog.append(self._compute(OpType.B, stage, mb, Segment(SegmentKind.HEAD)))
+        for seg in reversed(owner_segment(pos, self.L)):
+            c = self.costs.segment_cost(seg)
+            if c.rc > 0.0:
+                prog.append(self._compute(OpType.RC, stage, mb, seg))
+            prog.append(self._compute(OpType.B, stage, mb, seg))
+        if pos > 0:
+            dst = self._attn_stage(pos - 1, mb)
+            if dst != stage:
+                prog.append(
+                    SendInstr(
+                        stage=stage,
+                        peer=dst,
+                        tag=self._tag("d_attn_out", pos - 1, mb),
+                        nbytes=self.costs.boundary_bytes("attn_to_post"),
+                        micro_batch=mb,
+                        payload="d_attn_out",
+                    )
+                )
+        if pos == 0 and self.include_embed:
+            prog.append(self._compute(OpType.B, stage, mb, Segment(SegmentKind.EMBED)))
+
+    def _emit_b_attn(self, prog: list[Instr], layer: int, mb: int) -> None:
+        stage = self._attn_stage(layer, mb)
+        src = self._owner(layer + 1)
+        if src != stage:
+            prog.append(
+                RecvInstr(
+                    stage=stage,
+                    peer=src,
+                    tag=self._tag("d_attn_out", layer, mb),
+                    nbytes=self.costs.boundary_bytes("attn_to_post"),
+                    micro_batch=mb,
+                    payload="d_attn_out",
+                )
+            )
+        prog.append(
+            self._compute(OpType.B, stage, mb, Segment(SegmentKind.ATTN, layer=layer))
+        )
+        dst = self._owner(layer)
+        if dst != stage:
+            prog.append(
+                SendInstr(
+                    stage=stage,
+                    peer=dst,
+                    tag=self._tag("d_pre_out", layer, mb),
+                    nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                    micro_batch=mb,
+                    payload="d_pre_out",
+                )
+            )
+
+
+def build_helix_filo(
+    num_stages: int,
+    num_micro_batches: int,
+    costs: CostProvider,
+    fold: int = 2,
+    include_embed: bool = True,
+    include_head: bool = True,
+) -> Schedule:
+    """Build the HelixPipe FILO schedule (``fold=1`` naive, ``fold=2`` two-fold)."""
+    return HelixFiloBuilder(
+        num_stages=num_stages,
+        num_micro_batches=num_micro_batches,
+        costs=costs,
+        fold=fold,
+        include_embed=include_embed,
+        include_head=include_head,
+    ).build()

@@ -1,0 +1,88 @@
+"""Attention parallel partition (paper Section 4.2).
+
+HelixPipe breaks the layer boundary: only the *parameterised* phases
+(pre-attention, post-attention) are statically mapped to stages, in a
+helix pattern --
+
+* the pre-attention of layer 0 goes to stage 0;
+* for ``l in [1, L)`` the post-attention of layer ``l-1`` is fused with
+  the pre-attention of layer ``l`` and mapped to stage ``l mod p``;
+* the post-attention of the last layer (plus the LM head, Section 4.6)
+  wraps around to stage 0;
+* the **attention** of layer ``l`` for micro batch ``i`` is
+  non-parameterised and therefore free to run anywhere: HelixPipe places
+  it on stage ``(l + i + 1) mod p`` so that the ``p`` attention
+  computations of one layer execute *in parallel* across stages.
+
+The generalisation to the two-fold schedule groups micro batches into
+folds of ``fold`` consecutive ids that share an attention stage:
+``attention_stage = (l + (i mod fold*p) // fold + 1) mod p``.
+"""
+
+from __future__ import annotations
+
+from repro.model.partition import Segment, SegmentKind
+
+__all__ = [
+    "owner_stage",
+    "attention_stage",
+    "helix_partition",
+    "owner_segment",
+]
+
+
+def owner_stage(position: int, num_stages: int, num_layers: int) -> int:
+    """Stage owning position ``pos`` of the helix chain.
+
+    Positions ``0 .. L`` walk the parameterised chain: position 0 is the
+    pre-attention of layer 0, position ``l`` (0 < l < L) the fused
+    post(l-1)+pre(l) block, and position ``L`` the post-attention of the
+    last layer plus the head.  With ``L % p == 0`` the wrap-around lands
+    on stage 0 exactly as the paper prescribes.
+    """
+    if not 0 <= position <= num_layers:
+        raise ValueError(f"position must be in [0, {num_layers}], got {position}")
+    return position % num_stages
+
+
+def attention_stage(layer: int, micro_batch: int, num_stages: int, fold: int = 1) -> int:
+    """Stage executing the attention of ``(layer, micro_batch)``.
+
+    ``fold=1`` is the paper's formula ``(l + i + 1) mod p``; ``fold=2``
+    assigns pairs of consecutive micro batches to the same stage for the
+    two-fold FILO schedule (Section 4.3.2).
+    """
+    if fold <= 0:
+        raise ValueError("fold must be positive")
+    slot = (micro_batch % (fold * num_stages)) // fold
+    return (layer + slot + 1) % num_stages
+
+
+def owner_segment(position: int, num_layers: int) -> list[Segment]:
+    """Model segments computed at helix position ``position`` (in order)."""
+    if position == 0:
+        return [Segment(SegmentKind.PRE, layer=0)]
+    if position == num_layers:
+        return [Segment(SegmentKind.POST, layer=num_layers - 1)]
+    return [Segment(SegmentKind.POST_PRE, layer=position)]
+
+
+def helix_partition(num_layers: int, num_stages: int) -> list[list[Segment]]:
+    """Static (parameterised) segments per stage, embedding/head included.
+
+    Attention segments are intentionally absent: they are assigned per
+    micro batch by :func:`attention_stage`.
+    """
+    if num_layers % num_stages != 0:
+        raise ValueError(
+            f"num_layers ({num_layers}) must be divisible by num_stages "
+            f"({num_stages}) for the helix wrap-around to close on stage 0"
+        )
+    stages: list[list[Segment]] = [[] for _ in range(num_stages)]
+    stages[0].append(Segment(SegmentKind.EMBED))
+    for pos in range(num_layers + 1):
+        stages[owner_stage(pos, num_stages, num_layers)].extend(
+            owner_segment(pos, num_layers)
+        )
+    stages[0].append(Segment(SegmentKind.HEAD))
+    return stages

@@ -1,0 +1,47 @@
+"""Analytic cost models: Table 1 FLOPs/memory, roofline timing, memory."""
+
+from repro.costmodel.memory import (
+    ADAM_STATE_BYTES_PER_PARAM,
+    FP16_BYTES,
+    FP32_BYTES,
+    RecomputeStrategy,
+    activation_bytes_per_layer,
+    activation_elems_per_layer,
+    logits_stash_bytes,
+    model_state_bytes_per_stage,
+    stage_activation_bytes_1f1b,
+    stage_activation_bytes_helix,
+    stage_activation_bytes_zb1p,
+)
+from repro.costmodel.table1 import LAYER_OPS, LayerTotals, OpCost, layer_totals, op_costs
+from repro.costmodel.timing import (
+    CAUSAL_FACTOR,
+    LayerTimes,
+    PhaseTimes,
+    TimingModel,
+    unit_layer_times,
+)
+
+__all__ = [
+    "OpCost",
+    "LayerTotals",
+    "LAYER_OPS",
+    "op_costs",
+    "layer_totals",
+    "PhaseTimes",
+    "LayerTimes",
+    "TimingModel",
+    "unit_layer_times",
+    "CAUSAL_FACTOR",
+    "RecomputeStrategy",
+    "activation_elems_per_layer",
+    "activation_bytes_per_layer",
+    "stage_activation_bytes_1f1b",
+    "stage_activation_bytes_zb1p",
+    "stage_activation_bytes_helix",
+    "model_state_bytes_per_stage",
+    "logits_stash_bytes",
+    "FP16_BYTES",
+    "FP32_BYTES",
+    "ADAM_STATE_BYTES_PER_PARAM",
+]

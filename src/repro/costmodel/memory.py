@@ -1,0 +1,171 @@
+"""Analytic activation / model-state memory model.
+
+Covers the paper's Equations 2 and 4 (1F1B / ZB1P activation footprints),
+the HelixPipe footprint ``4bsh * m * L / p`` (Table 2), the recomputation
+strategies of Section 4.4.1 and the fp32 logits stash that drives ZB1P's
+last-stage spike in Figure 10.
+
+All byte figures are per-GPU: activations are sharded over the
+sequence-parallel group (``/ sp``), while the formulas in the paper are
+stated per stage (``sp = 1`` recovers them).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.model.config import ModelConfig
+
+__all__ = [
+    "RecomputeStrategy",
+    "activation_elems_per_layer",
+    "activation_bytes_per_layer",
+    "stage_activation_bytes_1f1b",
+    "stage_activation_bytes_zb1p",
+    "stage_activation_bytes_helix",
+    "model_state_bytes_per_stage",
+    "logits_stash_bytes",
+    "FP16_BYTES",
+    "FP32_BYTES",
+    "ADAM_STATE_BYTES_PER_PARAM",
+]
+
+FP16_BYTES = 2
+FP32_BYTES = 4
+#: Mixed-precision Adam per parameter: fp16 weight + fp16 grad + fp32
+#: master weight + fp32 momentum + fp32 variance = 2+2+4+4+4 bytes.
+ADAM_STATE_BYTES_PER_PARAM = 16
+
+
+class RecomputeStrategy(Enum):
+    """Which intermediate activations are stashed during forward.
+
+    NONE
+        Everything from Table 1 is kept: ``16 bsh`` elements per layer.
+    SELECTIVE
+        Megatron selective recomputation: drop only the attention
+        intermediates (``3 bsh``), keep the rest -> ``13 bsh``.
+    WITHOUT_ATTENTION
+        HelixPipe (Section 4.4.1): keep only the flash-attention
+        input/output (~``2 bsh``) plus the boundary activations of the
+        combined pre/post phase (``2 bsh``) -> ``4 bsh``.
+    FULL
+        Classic full recomputation: keep only the layer input
+        (``1 bsh``) and rerun everything, attention included.
+    """
+
+    NONE = "none"
+    SELECTIVE = "selective"
+    WITHOUT_ATTENTION = "without_attention"
+    FULL = "full"
+
+
+_STASH_ELEMS = {
+    RecomputeStrategy.NONE: 16.0,
+    RecomputeStrategy.SELECTIVE: 13.0,
+    RecomputeStrategy.WITHOUT_ATTENTION: 4.0,
+    RecomputeStrategy.FULL: 1.0,
+}
+
+
+def activation_elems_per_layer(
+    b: int, s: int, h: int, strategy: RecomputeStrategy = RecomputeStrategy.NONE
+) -> float:
+    """Stashed activation elements for one layer and one micro batch."""
+    return _STASH_ELEMS[strategy] * float(b) * s * h
+
+
+def activation_bytes_per_layer(
+    b: int,
+    s: int,
+    h: int,
+    strategy: RecomputeStrategy = RecomputeStrategy.NONE,
+    sp: int = 1,
+) -> float:
+    """Per-GPU stashed activation bytes for one layer and one micro batch."""
+    if sp <= 0:
+        raise ValueError("sp must be positive")
+    return activation_elems_per_layer(b, s, h, strategy) * FP16_BYTES / sp
+
+
+def stage_activation_bytes_1f1b(
+    b: int,
+    s: int,
+    h: int,
+    num_layers: int,
+    p: int,
+    stage: int,
+    strategy: RecomputeStrategy = RecomputeStrategy.NONE,
+    sp: int = 1,
+) -> float:
+    """Paper Eq. 2: peak activation bytes of 1F1B at ``stage`` in ``[0, p)``.
+
+    Stage ``i`` holds ``p - i`` outstanding micro batches of ``L / p``
+    layers each.
+    """
+    if not 0 <= stage < p:
+        raise ValueError(f"stage must be in [0, {p}), got {stage}")
+    per_layer = activation_bytes_per_layer(b, s, h, strategy, sp)
+    return (p - stage) * per_layer * num_layers / p
+
+
+def stage_activation_bytes_zb1p(
+    b: int,
+    s: int,
+    h: int,
+    num_layers: int,
+    p: int,
+    strategy: RecomputeStrategy = RecomputeStrategy.NONE,
+    sp: int = 1,
+) -> float:
+    """Paper Eq. 4: ZB1P worst-case activation bytes (same for all stages)."""
+    per_layer = activation_bytes_per_layer(b, s, h, strategy, sp)
+    return per_layer * num_layers
+
+
+def stage_activation_bytes_helix(
+    b: int,
+    s: int,
+    h: int,
+    num_layers: int,
+    p: int,
+    num_micro_batches: int,
+    strategy: RecomputeStrategy = RecomputeStrategy.WITHOUT_ATTENTION,
+    sp: int = 1,
+) -> float:
+    """Table 2 row 3: HelixPipe activation bytes, identical for all stages.
+
+    The FILO schedule stashes all ``m`` micro batches for the ``L / p``
+    layers owned by a stage before backward begins.
+    """
+    per_layer = activation_bytes_per_layer(b, s, h, strategy, sp)
+    return num_micro_batches * per_layer * num_layers / p
+
+
+def model_state_bytes_per_stage(
+    model: ModelConfig,
+    p: int,
+    max_seq_len: int = 0,
+    sp: int = 1,
+    bytes_per_param: int = ADAM_STATE_BYTES_PER_PARAM,
+) -> float:
+    """Per-GPU bytes of parameters + grads + optimizer state at one stage.
+
+    Layers divide evenly over ``p`` stages; the (tied) embedding lives on
+    stage 0 in HelixPipe and contributes the same order of magnitude on
+    the first/last stages of the baselines, so we charge it uniformly --
+    the per-stage difference is dwarfed by activations at long ``s``.
+    """
+    layer_params = model.layer_params() * model.num_layers / p
+    embed_params = model.embedding_params(max_seq_len) / p
+    return (layer_params + embed_params) * bytes_per_param / sp
+
+
+def logits_stash_bytes(b: int, s: int, vocab_size: int, sp: int = 1) -> float:
+    """fp32 bytes of one stashed ``[s, b, V]`` logits tensor (Section 4.6).
+
+    Baselines that do not fuse loss into backward must hold this on the
+    last stage; ZB1P additionally holds one per outstanding backward-W
+    micro batch, producing the Figure 10 spike.
+    """
+    return float(b) * s * vocab_size * FP32_BYTES / sp

@@ -1,0 +1,108 @@
+"""Paper Table 1: per-op FLOPs, parameters and activation elements.
+
+Every entry reproduces the closed forms of the paper exactly (matrix-op
+FLOPs only; bias parameters neglected; attention intermediates rounded to
+``3bsh`` thanks to flash attention; dropout omitted).  Shapes:
+
+* ``b`` micro batch size, ``s`` sequence length, ``h`` hidden size.
+* Backward *B* = gradient w.r.t. input activations; backward *W* =
+  gradient w.r.t. parameters (attention and LayerNorm-stat ops have no
+  GEMM-shaped W work in the table's convention).
+
+These symbolic counts feed the timing model (:mod:`repro.costmodel.timing`)
+and the analytic memory model (:mod:`repro.costmodel.memory`), and are
+checked term-by-term in the Table 1 reproduction bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OpCost",
+    "LAYER_OPS",
+    "op_costs",
+    "layer_totals",
+    "LayerTotals",
+]
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Costs of one operation of a transformer layer for given (b, s, h).
+
+    All values are element / FLOP counts, not bytes or seconds.
+    """
+
+    name: str
+    module: str  # "attention" | "mlp"
+    fwd_flops: float
+    bwd_b_flops: float
+    bwd_w_flops: float
+    params: float
+    activation_elems: float
+
+
+#: Operation names in paper Table 1 column order.
+LAYER_OPS: tuple[str, ...] = (
+    "ln1",
+    "qkv_linear",
+    "attention",
+    "o_linear",
+    "ln2",
+    "linear1",
+    "gelu",
+    "linear2",
+)
+
+
+def op_costs(b: int, s: int, h: int) -> dict[str, OpCost]:
+    """Table 1 rows for micro batch ``b``, sequence ``s``, hidden ``h``."""
+    if min(b, s, h) <= 0:
+        raise ValueError("b, s and h must be positive")
+    bsh = float(b) * s * h
+    bsh2 = bsh * h  # b*s*h^2
+    bhs2 = float(b) * h * s * s  # b*h*s^2
+    return {
+        "ln1": OpCost("ln1", "attention", 0.0, 0.0, 0.0, 2.0 * h, bsh),
+        "qkv_linear": OpCost(
+            "qkv_linear", "attention", 6 * bsh2, 6 * bsh2, 6 * bsh2, 3.0 * h * h, bsh
+        ),
+        "attention": OpCost(
+            "attention", "attention", 4 * bhs2, 8 * bhs2, 0.0, 0.0, 3 * bsh
+        ),
+        "o_linear": OpCost(
+            "o_linear", "attention", 2 * bsh2, 2 * bsh2, 2 * bsh2, 1.0 * h * h, bsh
+        ),
+        "ln2": OpCost("ln2", "mlp", 0.0, 0.0, 0.0, 2.0 * h, bsh),
+        "linear1": OpCost(
+            "linear1", "mlp", 8 * bsh2, 8 * bsh2, 8 * bsh2, 4.0 * h * h, bsh
+        ),
+        "gelu": OpCost("gelu", "mlp", 0.0, 0.0, 0.0, 0.0, 4 * bsh),
+        "linear2": OpCost(
+            "linear2", "mlp", 8 * bsh2, 8 * bsh2, 8 * bsh2, 4.0 * h * h, 4 * bsh
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class LayerTotals:
+    """Totals column of Table 1."""
+
+    fwd_flops: float
+    bwd_b_flops: float
+    bwd_w_flops: float
+    params: float
+    activation_elems: float
+
+
+def layer_totals(b: int, s: int, h: int) -> LayerTotals:
+    """Closed-form totals: 4bsh(6h+s), 4bsh(6h+2s), 4bsh*6h, 12h^2+4h, 16bsh."""
+    bsh = float(b) * s * h
+    return LayerTotals(
+        fwd_flops=4 * bsh * (6 * h + s),
+        bwd_b_flops=4 * bsh * (6 * h + 2 * s),
+        bwd_w_flops=4 * bsh * (6 * h),
+        params=12.0 * h * h + 4.0 * h,
+        activation_elems=16 * bsh,
+    )

@@ -1,0 +1,37 @@
+"""Per-figure / per-table reproduction experiments (see DESIGN.md index)."""
+
+from repro.experiments import (
+    chunked_mlp,
+    fig2_fig7_schedules,
+    fig3_breakdown,
+    fig4_memory_imbalance,
+    fig5_partition,
+    fig6_overlap,
+    fig8_throughput,
+    fig9_comm,
+    fig10_memory_footprint,
+    fig11_recompute,
+    table1,
+    table2,
+)
+from repro.experiments.common import METHODS, SEQ_LENS, Workload, run_all_methods, run_method
+
+__all__ = [
+    "Workload",
+    "METHODS",
+    "SEQ_LENS",
+    "run_method",
+    "run_all_methods",
+    "table1",
+    "table2",
+    "fig2_fig7_schedules",
+    "fig3_breakdown",
+    "fig4_memory_imbalance",
+    "fig5_partition",
+    "fig6_overlap",
+    "fig8_throughput",
+    "fig9_comm",
+    "fig10_memory_footprint",
+    "fig11_recompute",
+    "chunked_mlp",
+]

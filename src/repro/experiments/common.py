@@ -1,0 +1,131 @@
+"""Shared workload setup for the paper-reproduction experiments.
+
+Encodes the evaluation protocol of Section 5.1: GPT-3 architecture
+(Table 3), sequence lengths {32k, 64k, 96k, 128k}, one pipeline stage per
+node, Megatron sequence parallelism of size 8 inside the node, micro
+batch size 1, global batch = 2 x pipeline size, synthesized full-length
+batches, and the Section 4.6 embedding/head optimisations applied to
+every method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterSpec, a800_cluster, h20_cluster
+from repro.core.filo import build_helix_filo
+from repro.costmodel.memory import RecomputeStrategy, model_state_bytes_per_stage
+from repro.model.config import MODEL_PRESETS, ModelConfig
+from repro.schedules.adapipe import build_adapipe
+from repro.schedules.costs import PipelineCosts
+from repro.schedules.ir import Schedule
+from repro.schedules.one_f_one_b import build_1f1b
+from repro.schedules.zb1p import build_zb1p
+from repro.sim import SimResult, simulate
+
+__all__ = ["Workload", "METHODS", "SEQ_LENS", "run_method", "run_all_methods"]
+
+#: Sequence lengths of the evaluation (Section 5.1).
+SEQ_LENS: tuple[int, ...] = (32768, 65536, 98304, 131072)
+
+#: Methods compared in Figure 8 / Figure 10.
+METHODS: tuple[str, ...] = ("1f1b", "zb1p", "adapipe", "helix")
+
+
+@dataclass
+class Workload:
+    """One experiment cell: model x cluster x sequence length x pipeline size."""
+
+    model: ModelConfig
+    cluster: ClusterSpec
+    seq_len: int
+    micro_batch: int = 1
+    num_micro_batches: int | None = None  # default: 2 x pipeline size
+
+    def __post_init__(self) -> None:
+        if self.num_micro_batches is None:
+            self.num_micro_batches = 2 * self.cluster.num_stages
+
+    @classmethod
+    def paper(
+        cls, model_name: str, gpu: str, num_stages: int, seq_len: int
+    ) -> "Workload":
+        cluster = {"H20": h20_cluster, "A800": a800_cluster}[gpu](num_stages)
+        return cls(model=MODEL_PRESETS[model_name], cluster=cluster, seq_len=seq_len)
+
+    @property
+    def p(self) -> int:
+        return self.cluster.num_stages
+
+    @property
+    def tokens_per_iteration(self) -> float:
+        return float(self.num_micro_batches) * self.micro_batch * self.seq_len
+
+    def costs(self, recompute: RecomputeStrategy, **kw) -> PipelineCosts:
+        return PipelineCosts(
+            model=self.model,
+            cluster=self.cluster,
+            micro_batch=self.micro_batch,
+            seq_len=self.seq_len,
+            recompute=recompute,
+            **kw,
+        )
+
+    def static_memory(self) -> float:
+        return model_state_bytes_per_stage(
+            self.model, self.p, sp=self.cluster.sequence_parallel_size
+        )
+
+    def build(self, method: str, **kw) -> Schedule:
+        """Build one method's schedule under the paper's settings.
+
+        Baselines run without recomputation (they fit the paper's
+        configurations, Section 5.1); AdaPipe plans adaptive recompute
+        under the GPU memory cap; HelixPipe uses two-fold FILO +
+        recomputation-without-attention + weight shipping + chunked MLP.
+        """
+        m = self.num_micro_batches
+        if method == "1f1b":
+            return build_1f1b(self.p, m, self.costs(RecomputeStrategy.NONE), **kw)
+        if method == "zb1p":
+            return build_zb1p(self.p, m, self.costs(RecomputeStrategy.NONE), **kw)
+        if method == "adapipe":
+            return build_adapipe(
+                self.p,
+                m,
+                self.costs(RecomputeStrategy.NONE),
+                memory_cap_bytes=self.cluster.node.gpu.hbm_bytes,
+                static_memory_bytes=self.static_memory(),
+                **kw,
+            )
+        if method == "helix":
+            return build_helix_filo(
+                self.p,
+                m,
+                self.costs(RecomputeStrategy.WITHOUT_ATTENTION),
+                fold=2,
+                **kw,
+            )
+        if method == "helix-naive":
+            return build_helix_filo(
+                self.p,
+                m,
+                self.costs(RecomputeStrategy.WITHOUT_ATTENTION),
+                fold=1,
+                **kw,
+            )
+        if method == "helix-no-recompute":
+            return build_helix_filo(
+                self.p, m, self.costs(RecomputeStrategy.NONE), fold=2, **kw
+            )
+        raise ValueError(f"unknown method {method!r}")
+
+
+def run_method(wl: Workload, method: str, **kw) -> SimResult:
+    """Build + simulate one method on the workload's cluster."""
+    sched = wl.build(method, **kw)
+    return simulate(sched, wl.cluster, static_memory_bytes=wl.static_memory())
+
+
+def run_all_methods(wl: Workload, methods: tuple[str, ...] = METHODS) -> dict[str, SimResult]:
+    return {m: run_method(wl, m) for m in methods}

@@ -1,0 +1,54 @@
+"""Figure 10: per-stage max allocated memory, 3B model, 128k, 8 stages.
+
+All four methods on the same workload.  Reproduced shape: 1F1B skews from
+stage 0 down; ZB1P is flat but spikes on the last stage (fp32 logits
+stash for its delayed head backward-W); AdaPipe balances the early stages
+via recomputation; HelixPipe is the flattest and lowest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import METHODS, Workload, run_all_methods
+
+__all__ = ["run"]
+
+_GIB = float(1 << 30)
+
+
+def run(
+    model_name: str = "3B",
+    gpu: str = "H20",
+    p: int = 8,
+    seq_len: int = 131072,
+    methods: tuple[str, ...] = METHODS,
+) -> list[dict]:
+    """One row per (method, stage) with the peak allocated GiB."""
+    wl = Workload.paper(model_name, gpu, p, seq_len)
+    results = run_all_methods(wl, methods)
+    rows = []
+    for method, r in results.items():
+        for stage, peak in enumerate(r.peak_memory_bytes):
+            rows.append(
+                {
+                    "method": method,
+                    "stage": stage,
+                    "peak_gib": peak / _GIB,
+                }
+            )
+    return rows
+
+
+def summarize(rows: list[dict]) -> list[dict]:
+    """Max / imbalance per method (imbalance = max stage / min stage)."""
+    by_method: dict[str, list[float]] = {}
+    for r in rows:
+        by_method.setdefault(r["method"], []).append(r["peak_gib"])
+    return [
+        {
+            "method": m,
+            "max_gib": max(v),
+            "min_gib": min(v),
+            "imbalance": max(v) / min(v),
+        }
+        for m, v in by_method.items()
+    ]

@@ -1,0 +1,49 @@
+"""Figure 11: recomputation-without-attention ablation, 3B model, 4 stages.
+
+HelixPipe with and without the recompute strategy on both clusters: the
+per-stage memory footprint and the normalized throughput.  The paper's
+findings to reproduce: recompute costs up to ~20% throughput at 32k,
+shrinking towards zero by 96k-128k, while cutting the activation
+footprint ~4x (Section 4.5 / 5.5).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SEQ_LENS, Workload, run_method
+
+__all__ = ["run"]
+
+_GIB = float(1 << 30)
+
+
+def run(
+    model_name: str = "3B",
+    gpus: tuple[str, ...] = ("H20", "A800"),
+    p: int = 4,
+    seq_lens: tuple[int, ...] = SEQ_LENS,
+) -> list[dict]:
+    """One row per (gpu, seq_len) comparing the two variants."""
+    rows = []
+    for gpu in gpus:
+        for s in seq_lens:
+            wl = Workload.paper(model_name, gpu, p, s)
+            with_rc = run_method(wl, "helix")
+            without = run_method(wl, "helix-no-recompute")
+            tput_rc = with_rc.throughput_tokens_per_s(wl.tokens_per_iteration)
+            tput_no = without.throughput_tokens_per_s(wl.tokens_per_iteration)
+            row = {
+                "gpu": gpu,
+                "seq_len": s,
+                "throughput_with_recompute": tput_rc,
+                "throughput_without": tput_no,
+                "throughput_ratio": tput_rc / tput_no,
+            }
+            for stage in range(p):
+                row[f"mem_rc_rank{stage}_gib"] = (
+                    with_rc.peak_memory_bytes[stage] / _GIB
+                )
+                row[f"mem_norc_rank{stage}_gib"] = (
+                    without.peak_memory_bytes[stage] / _GIB
+                )
+            rows.append(row)
+    return rows

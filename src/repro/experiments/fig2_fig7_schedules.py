@@ -1,0 +1,66 @@
+"""Figures 2 and 7: schedule timelines in the paper's unit-time world.
+
+Renders the 1F1B baseline (Fig. 2a), the HelixPipe FILO schedule
+(Fig. 2b: 4 micro batches, 8 layers, 4 stages) and the naive/two-fold
+variants (Fig. 7: 8 micro batches, 4 layers, 4 stages) as ASCII Gantt
+charts, and reports their makespans/bubbles.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.timeline import render_timeline
+from repro.cluster.topology import abstract_cluster
+from repro.core.filo import build_helix_filo
+from repro.costmodel.memory import RecomputeStrategy
+from repro.schedules.costs import UnitCosts
+from repro.schedules.one_f_one_b import build_1f1b
+from repro.sim import simulate
+
+__all__ = ["run", "render"]
+
+
+def _cases():
+    return [
+        ("fig2a_1f1b", "1f1b", dict(p=4, m=4, L=8, fold=None)),
+        ("fig2b_helix_filo", "helix", dict(p=4, m=4, L=8, fold=1)),
+        ("fig7a_naive_filo", "helix", dict(p=4, m=8, L=4, fold=1)),
+        ("fig7b_twofold_filo", "helix", dict(p=4, m=8, L=4, fold=2)),
+    ]
+
+
+def _simulate(kind: str, p: int, m: int, L: int, fold: int | None):
+    costs = UnitCosts(num_layers=L, recompute=RecomputeStrategy.NONE)
+    if kind == "1f1b":
+        sched = build_1f1b(p, m, costs, include_embed=False, include_head=False)
+    else:
+        sched = build_helix_filo(
+            p, m, costs, fold=fold or 1, include_embed=False, include_head=False
+        )
+    return sched, simulate(sched, abstract_cluster(p))
+
+
+def run() -> list[dict]:
+    rows = []
+    for name, kind, cfg in _cases():
+        sched, r = _simulate(kind, cfg["p"], cfg["m"], cfg["L"], cfg["fold"])
+        rows.append(
+            {
+                "figure": name,
+                "schedule": sched.name,
+                "makespan": r.makespan,
+                "mean_bubble": r.mean_bubble_time,
+                "bubble_fraction": r.bubble_fraction,
+            }
+        )
+    return rows
+
+
+def render(width: int = 110) -> str:
+    """All four timelines as one printable block."""
+    out = []
+    for name, kind, cfg in _cases():
+        sched, r = _simulate(kind, cfg["p"], cfg["m"], cfg["L"], cfg["fold"])
+        out.append(f"== {name} ({sched.name}): makespan {r.makespan:g} ==")
+        out.append(render_timeline(r.trace, cfg["p"], width=width))
+        out.append("")
+    return "\n".join(out)

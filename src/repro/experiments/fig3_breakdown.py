@@ -1,0 +1,37 @@
+"""Figure 3: normalized per-component layer time vs sequence length.
+
+Profiled on A800 in the paper (h = 4096, b = 1, flash attention); here
+predicted by the roofline timing model.  The reproduced shape: attention
+forward+backward grows from a small slice at 4k to the dominant share at
+128k.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.gpu import A800, GPUSpec
+from repro.costmodel.timing import TimingModel
+from repro.model.config import ModelConfig
+
+__all__ = ["run", "FIG3_SEQ_LENS"]
+
+FIG3_SEQ_LENS: tuple[int, ...] = (4096, 8192, 16384, 32768, 65536, 131072)
+
+
+def run(
+    gpu: GPUSpec = A800,
+    hidden_size: int = 4096,
+    micro_batch: int = 1,
+    seq_lens: tuple[int, ...] = FIG3_SEQ_LENS,
+) -> list[dict]:
+    """One row per sequence length with each component's % of layer time."""
+    model = ModelConfig("fig3", num_layers=1, num_heads=32, hidden_size=hidden_size)
+    rows = []
+    for s in seq_lens:
+        tm = TimingModel(gpu, model, micro_batch=micro_batch, seq_len=s, sp=1)
+        bd = tm.breakdown()
+        total = sum(bd.values())
+        row = {"seq_len": s}
+        row.update({k: 100.0 * v / total for k, v in bd.items()})
+        row["attn_share_pct"] = row["attn_fwd"] + row["attn_bwd"]
+        rows.append(row)
+    return rows

@@ -1,0 +1,52 @@
+"""Figure 4: 1F1B activation memory per stage, 13B model, 8 stages.
+
+Per-GPU fp16 activation footprint under Eq. 2 with sequence parallelism 8
+(the paper's cluster layout).  At 128k the first two stages exceed the
+80 GB A800 capacity while the later stages sit far below it -- the memory
+imbalance motivating HelixPipe.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.memory import stage_activation_bytes_1f1b
+from repro.model.config import GPT3_13B, ModelConfig
+
+__all__ = ["run", "FIG4_SEQ_LENS"]
+
+FIG4_SEQ_LENS: tuple[int, ...] = (4096, 8192, 16384, 32768, 65536, 131072)
+_GIB = float(1 << 30)
+
+
+def run(
+    model: ModelConfig = GPT3_13B,
+    p: int = 8,
+    sp: int = 8,
+    micro_batch: int = 1,
+    seq_lens: tuple[int, ...] = FIG4_SEQ_LENS,
+    capacity_gib: float = 80.0,
+) -> list[dict]:
+    """One row per (seq_len, stage) with the Eq. 2 footprint in GiB."""
+    rows = []
+    for s in seq_lens:
+        for stage in range(p):
+            gib = (
+                stage_activation_bytes_1f1b(
+                    micro_batch,
+                    s,
+                    model.hidden_size,
+                    model.num_layers,
+                    p,
+                    stage,
+                    sp=sp,
+                )
+                / _GIB
+            )
+            rows.append(
+                {
+                    "seq_len": s,
+                    "stage": stage,
+                    "activation_gib": gib,
+                    "exceeds_capacity": gib > capacity_gib,
+                }
+            )
+    return rows

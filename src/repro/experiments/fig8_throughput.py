@@ -1,0 +1,74 @@
+"""Figure 8: normalized throughput across the full evaluation grid.
+
+{1.3B, 3B, 7B} x {H20, A800} x s in {32k, 64k, 96k, 128k} x
+p in {2, 4, 8} x {1F1B, ZB1P, AdaPipe, HelixPipe}, micro batch 1, global
+batch 2p -- exactly the paper's Section 5.1 protocol.  Throughput is
+normalized to the best method within each (model, gpu, seq, p) group as
+in the figure.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import METHODS, Workload, run_all_methods
+
+__all__ = ["run", "PP_SIZES", "FIG8_SEQ_LENS"]
+
+PP_SIZES: tuple[int, ...] = (2, 4, 8)
+FIG8_SEQ_LENS: tuple[int, ...] = (32768, 65536, 98304, 131072)
+
+
+def run(
+    models: tuple[str, ...] = ("1.3B", "3B", "7B"),
+    gpus: tuple[str, ...] = ("H20", "A800"),
+    seq_lens: tuple[int, ...] = FIG8_SEQ_LENS,
+    pp_sizes: tuple[int, ...] = PP_SIZES,
+    methods: tuple[str, ...] = METHODS,
+) -> list[dict]:
+    """One row per grid cell with absolute and normalized throughput."""
+    rows = []
+    for model in models:
+        for gpu in gpus:
+            for s in seq_lens:
+                for p in pp_sizes:
+                    wl = Workload.paper(model, gpu, p, s)
+                    results = run_all_methods(wl, methods)
+                    tput = {
+                        k: r.throughput_tokens_per_s(wl.tokens_per_iteration)
+                        for k, r in results.items()
+                    }
+                    best = max(tput.values())
+                    for k in methods:
+                        rows.append(
+                            {
+                                "model": model,
+                                "gpu": gpu,
+                                "seq_len": s,
+                                "pp": p,
+                                "method": k,
+                                "tokens_per_s": tput[k],
+                                "normalized": tput[k] / best,
+                                "iter_time_s": results[k].makespan,
+                            }
+                        )
+    return rows
+
+
+def speedup_vs_best_baseline(rows: list[dict]) -> list[dict]:
+    """HelixPipe speedup over the best non-helix method per cell."""
+    cells: dict[tuple, dict[str, float]] = {}
+    for r in rows:
+        key = (r["model"], r["gpu"], r["seq_len"], r["pp"])
+        cells.setdefault(key, {})[r["method"]] = r["tokens_per_s"]
+    out = []
+    for (model, gpu, s, p), tput in sorted(cells.items()):
+        base = max(v for k, v in tput.items() if k != "helix")
+        out.append(
+            {
+                "model": model,
+                "gpu": gpu,
+                "seq_len": s,
+                "pp": p,
+                "helix_speedup_pct": 100.0 * (tput["helix"] / base - 1.0),
+            }
+        )
+    return out

@@ -1,0 +1,49 @@
+"""Figure 9: decoupled per-layer computation vs p2p communication time.
+
+For a 7B layer on both clusters and each sequence length: forward time of
+the combined pre+post phases, forward time of attention, and the time of
+one inter-stage p2p operation (two activations, Section 4.2) at the
+per-GPU fair-share InfiniBand bandwidth.  The overlap rule of Section 5.3
+falls out: the two-fold schedule hides communication iff
+``attention >= comm``; on A800 at 32k it does not.
+"""
+
+from __future__ import annotations
+
+from repro.comm.cost import CommModel
+from repro.comm.volumes import boundary_volumes
+from repro.costmodel.memory import RecomputeStrategy
+from repro.experiments.common import SEQ_LENS, Workload
+
+__all__ = ["run"]
+
+
+def run(
+    model_name: str = "7B",
+    gpus: tuple[str, ...] = ("H20", "A800"),
+    seq_lens: tuple[int, ...] = SEQ_LENS,
+) -> list[dict]:
+    rows = []
+    for gpu in gpus:
+        for s in seq_lens:
+            wl = Workload.paper(model_name, gpu, 2, s)
+            pc = wl.costs(RecomputeStrategy.NONE)
+            lt = pc.layer
+            comm = CommModel(wl.cluster)
+            vols = boundary_volumes(
+                wl.micro_batch, s, wl.model.hidden_size, ship_qkv_weights=True
+            )
+            p2p = comm.p2p_time(
+                vols.bytes("attn_to_post", sp=wl.cluster.sequence_parallel_size)
+            )
+            rows.append(
+                {
+                    "gpu": gpu,
+                    "seq_len": s,
+                    "pre_post_fwd_ms": 1e3 * (lt.pre.fwd + lt.post.fwd),
+                    "attention_fwd_ms": 1e3 * lt.attn.fwd,
+                    "comm_ms": 1e3 * p2p,
+                    "overlappable": lt.attn.fwd >= p2p,
+                }
+            )
+    return rows

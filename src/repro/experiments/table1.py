@@ -1,0 +1,39 @@
+"""Table 1 reproduction: per-op computation and memory overhead."""
+
+from __future__ import annotations
+
+from repro.costmodel.table1 import LAYER_OPS, layer_totals, op_costs
+
+__all__ = ["run"]
+
+
+def run(b: int = 1, s: int = 4096, h: int = 4096) -> list[dict]:
+    """Rows of Table 1 plus the closed-form totals row."""
+    ops = op_costs(b, s, h)
+    rows = []
+    for name in LAYER_OPS:
+        op = ops[name]
+        rows.append(
+            {
+                "op": name,
+                "module": op.module,
+                "fwd_flops": op.fwd_flops,
+                "bwd_b_flops": op.bwd_b_flops,
+                "bwd_w_flops": op.bwd_w_flops,
+                "params": op.params,
+                "activation_elems": op.activation_elems,
+            }
+        )
+    tot = layer_totals(b, s, h)
+    rows.append(
+        {
+            "op": "TOTAL",
+            "module": "",
+            "fwd_flops": tot.fwd_flops,
+            "bwd_b_flops": tot.bwd_b_flops,
+            "bwd_w_flops": tot.bwd_w_flops,
+            "params": tot.params,
+            "activation_elems": tot.activation_elems,
+        }
+    )
+    return rows

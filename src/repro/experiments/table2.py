@@ -1,0 +1,72 @@
+"""Table 2 reproduction: bubble time + activation memory, formula vs simulator.
+
+Runs the three schedules in the paper's abstract unit-time world
+(pre : attn : post = 1 : 3 : 2, backward == forward, no communication)
+and puts the measured pipeline bubble and peak stash next to the
+closed-form expressions.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bubble import (
+    bubble_time_1f1b,
+    bubble_time_helix,
+    bubble_time_zb1p,
+)
+from repro.cluster.topology import abstract_cluster
+from repro.core.filo import build_helix_filo
+from repro.costmodel.memory import RecomputeStrategy
+from repro.costmodel.timing import unit_layer_times
+from repro.schedules.costs import UnitCosts
+from repro.schedules.one_f_one_b import build_1f1b
+from repro.schedules.zb1p import build_zb1p
+from repro.sim import simulate
+
+__all__ = ["run"]
+
+
+def run(p: int = 4, num_layers: int = 8, m: int | None = None) -> list[dict]:
+    if m is None:
+        m = 2 * p
+    lt = unit_layer_times()
+    cluster = abstract_cluster(p)
+    rows = []
+
+    def row(name, sched, formula, mem_formula):
+        r = simulate(sched, cluster)
+        rows.append(
+            {
+                "pipeline": name,
+                "bubble_formula": formula,
+                "bubble_simulated": r.mean_bubble_time,
+                "peak_stash_formula": mem_formula,
+                "peak_stash_simulated": max(r.peak_memory_bytes),
+                "makespan": r.makespan,
+            }
+        )
+
+    costs = UnitCosts(num_layers=num_layers)
+    row(
+        "1F1B",
+        build_1f1b(p, m, costs, include_embed=False, include_head=False),
+        bubble_time_1f1b(lt, num_layers, p),
+        16.0 * p * num_layers / p,  # stage 0: p outstanding micro batches
+    )
+    row(
+        "ZB1P",
+        build_zb1p(p, m, costs, include_embed=False, include_head=False),
+        bubble_time_zb1p(lt, num_layers, p),
+        16.0 * num_layers,
+    )
+    helix_costs = UnitCosts(
+        num_layers=num_layers, recompute=RecomputeStrategy.WITHOUT_ATTENTION
+    )
+    row(
+        "HelixPipe",
+        build_helix_filo(
+            p, m, helix_costs, fold=2, include_embed=False, include_head=False
+        ),
+        bubble_time_helix(lt, p, fold=2, recompute_pre_post=True),
+        4.0 * m * num_layers / p,
+    )
+    return rows

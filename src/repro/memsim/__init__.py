@@ -1,0 +1,14 @@
+"""Caching-allocator simulator and fragmentation traces (Section 4.4.2)."""
+
+from repro.memsim.allocator import AllocatorStats, CachingAllocator, OutOfMemoryError
+from repro.memsim.trace import TraceEvent, chunked_mlp_trace, mlp_phase_trace, replay
+
+__all__ = [
+    "CachingAllocator",
+    "AllocatorStats",
+    "OutOfMemoryError",
+    "TraceEvent",
+    "mlp_phase_trace",
+    "chunked_mlp_trace",
+    "replay",
+]

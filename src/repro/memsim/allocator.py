@@ -1,0 +1,213 @@
+"""A PyTorch-style caching allocator simulator.
+
+Reproduces the memory-fragmentation mechanics behind the paper's
+chunked-MLP design (Section 4.4.2) and its use of
+``PYTORCH_CUDA_ALLOC_CONF=expandable_segments`` (Section 5.1):
+
+* the allocator reserves device memory in **segments** (cudaMalloc) and
+  carves **blocks** out of them with best-fit + split/coalesce;
+* a request that fits in no cached block reserves a new segment; when the
+  device cannot serve it, that's an OOM even though *allocated* bytes may
+  be far below capacity -- the difference is fragmentation;
+* ``expandable_segments`` lets the last segment grow in place (virtual
+  memory stitching a la GMLake), which mitigates -- but does not
+  eliminate -- fragmentation from irregularly-sized transient buffers.
+
+Chunked MLP replaces one huge transient ``[s, b, 4h]`` buffer of a
+different size per phase with many equal-sized ``[c, b, 4h]`` chunks that
+recycle perfectly through the free list, plus pre-allocated communication
+buffers; the fragmentation benchmark measures exactly this effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CachingAllocator", "OutOfMemoryError", "AllocatorStats"]
+
+
+class OutOfMemoryError(RuntimeError):
+    """Reserved + requested bytes exceed device capacity."""
+
+
+@dataclass
+class _Block:
+    offset: int
+    size: int
+    free: bool = True
+
+
+@dataclass
+class _Segment:
+    base: int
+    size: int
+    blocks: list[_Block] = field(default_factory=list)
+
+    def free_bytes(self) -> int:
+        return sum(b.size for b in self.blocks if b.free)
+
+
+@dataclass(frozen=True)
+class AllocatorStats:
+    """Point-in-time allocator statistics (bytes)."""
+
+    allocated: int
+    reserved: int
+    peak_allocated: int
+    peak_reserved: int
+    num_segments: int
+
+    @property
+    def fragmentation(self) -> int:
+        """Reserved-but-unallocated bytes (PyTorch's 'reserved - allocated')."""
+        return self.reserved - self.allocated
+
+    @property
+    def fragmentation_ratio(self) -> float:
+        return self.fragmentation / self.reserved if self.reserved else 0.0
+
+
+class CachingAllocator:
+    """Best-fit caching allocator over a fixed-capacity device.
+
+    Parameters
+    ----------
+    capacity:
+        Device memory in bytes.
+    segment_granularity:
+        Segments are rounded up to this multiple (cudaMalloc granularity;
+        PyTorch uses 2 MiB buckets for small allocations -- we use one
+        knob for simplicity).
+    expandable_segments:
+        Grow the most recent segment in place instead of reserving a new
+        one when the request does not fit in any cached block.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        segment_granularity: int = 2 << 20,
+        expandable_segments: bool = False,
+    ) -> None:
+        if capacity <= 0 or segment_granularity <= 0:
+            raise ValueError("capacity and granularity must be positive")
+        self.capacity = int(capacity)
+        self.granularity = int(segment_granularity)
+        self.expandable = expandable_segments
+        self.segments: list[_Segment] = []
+        self._live: dict[int, tuple[_Segment, _Block]] = {}
+        self._next_handle = 0
+        self._next_base = 0
+        self.allocated = 0
+        self.reserved = 0
+        self.peak_allocated = 0
+        self.peak_reserved = 0
+
+    # -- public API --------------------------------------------------------------
+
+    def malloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns an opaque handle."""
+        if size <= 0:
+            raise ValueError("size must be positive")
+        size = int(size)
+        found = self._best_fit(size)
+        if found is None:
+            self._reserve_for(size)
+            found = self._best_fit(size)
+            if found is None:  # pragma: no cover - reserve guarantees fit
+                raise OutOfMemoryError(f"no block for {size} after reserve")
+        seg, block = found
+        if block.size > size:
+            rest = _Block(offset=block.offset + size, size=block.size - size)
+            idx = seg.blocks.index(block)
+            seg.blocks.insert(idx + 1, rest)
+            block.size = size
+        block.free = False
+        handle = self._next_handle
+        self._next_handle += 1
+        self._live[handle] = (seg, block)
+        self.allocated += size
+        self.peak_allocated = max(self.peak_allocated, self.allocated)
+        return handle
+
+    def free(self, handle: int) -> None:
+        """Return a block to the cache (memory stays reserved)."""
+        seg, block = self._live.pop(handle)
+        block.free = True
+        self.allocated -= block.size
+        self._coalesce(seg)
+
+    def stats(self) -> AllocatorStats:
+        return AllocatorStats(
+            allocated=self.allocated,
+            reserved=self.reserved,
+            peak_allocated=self.peak_allocated,
+            peak_reserved=self.peak_reserved,
+            num_segments=len(self.segments),
+        )
+
+    def empty_cache(self) -> None:
+        """Release fully-free segments back to the device (torch.cuda.empty_cache)."""
+        keep: list[_Segment] = []
+        for seg in self.segments:
+            if all(b.free for b in seg.blocks):
+                self.reserved -= seg.size
+            else:
+                keep.append(seg)
+        self.segments = keep
+
+    # -- internals ----------------------------------------------------------------
+
+    def _best_fit(self, size: int) -> tuple[_Segment, _Block] | None:
+        best: tuple[_Segment, _Block] | None = None
+        for seg in self.segments:
+            for block in seg.blocks:
+                if block.free and block.size >= size:
+                    if best is None or block.size < best[1].size:
+                        best = (seg, block)
+        return best
+
+    def _round_up(self, size: int) -> int:
+        g = self.granularity
+        return ((size + g - 1) // g) * g
+
+    def _reserve_for(self, size: int) -> None:
+        need = self._round_up(size)
+        if self.expandable and self.segments:
+            # Grow the last segment in place if its tail block is free.
+            seg = self.segments[-1]
+            tail = seg.blocks[-1]
+            grow = need if not tail.free else self._round_up(size - tail.size)
+            if self.reserved + grow > self.capacity:
+                raise OutOfMemoryError(
+                    f"cannot grow segment by {grow} (reserved {self.reserved}, "
+                    f"capacity {self.capacity})"
+                )
+            if tail.free:
+                tail.size += grow
+            else:
+                seg.blocks.append(_Block(offset=seg.base + seg.size, size=grow))
+            seg.size += grow
+            self.reserved += grow
+        else:
+            if self.reserved + need > self.capacity:
+                raise OutOfMemoryError(
+                    f"cannot reserve {need} bytes (reserved {self.reserved}, "
+                    f"allocated {self.allocated}, capacity {self.capacity})"
+                )
+            seg = _Segment(base=self._next_base, size=need)
+            self._next_base += need
+            seg.blocks.append(_Block(offset=seg.base, size=need))
+            self.segments.append(seg)
+            self.reserved += need
+        self.peak_reserved = max(self.peak_reserved, self.reserved)
+
+    @staticmethod
+    def _coalesce(seg: _Segment) -> None:
+        merged: list[_Block] = []
+        for block in seg.blocks:
+            if merged and merged[-1].free and block.free:
+                merged[-1].size += block.size
+            else:
+                merged.append(block)
+        seg.blocks = merged

@@ -1,0 +1,167 @@
+"""Allocation traces for the chunked-MLP fragmentation study (Section 4.4.2).
+
+The paper observed "severe memory fragmentation due to irregular
+allocations in MLP computations, worsened by long sequences and the
+two-fold FILO schedule".  We regenerate that workload synthetically: a
+training phase alternates long-lived activation stashes (FILO order:
+allocated through the forward, freed in reverse through the backward)
+with large transient MLP buffers whose sizes vary per layer-phase.
+
+* **Unchunked**: each MLP forward allocates one ``[s, b, 4h]`` transient
+  (plus odd-sized all-gather workspaces), a different size every time
+  once sequence-parallel gather sizes and recompute re-runs interleave --
+  these irregular blocks land between long-lived stashes and pin whole
+  segments.
+* **Chunked** (:func:`chunked_mlp_trace`): the same bytes flow through
+  ``ceil(s / c)`` equal chunks plus two pre-allocated communication
+  buffers that are reused for the entire run.
+
+Replaying both traces through :class:`~repro.memsim.allocator.CachingAllocator`
+yields the reserved-vs-allocated gap the paper calls fragmentation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.memsim.allocator import CachingAllocator
+
+__all__ = ["TraceEvent", "mlp_phase_trace", "chunked_mlp_trace", "replay"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """``op`` is "malloc" or "free"; ``name`` identifies the buffer."""
+
+    op: str
+    name: str
+    size: int = 0
+
+
+def _stash_events(layer: int, mb: int, stash_bytes: int) -> TraceEvent:
+    return TraceEvent("malloc", f"stash:L{layer}:mb{mb}", stash_bytes)
+
+
+def _mlp_transients(tag: str, s: int, b: int, h: int, elem: int, pad: int):
+    """Unchunked MLP dataflow: overlapping transients of mixed sizes.
+
+    all-gather out [s,b,h] -> fc1 out [s,b,4h] -> gelu out [s,b,4h] ->
+    fc2 out [s,b,h] -> reduce-scatter; consecutive buffers overlap in
+    lifetime (producer still live while consumer output is allocated),
+    which is what splits segments around the long-lived stashes.
+    """
+    small = s * b * h * elem + pad
+    big = 4 * s * b * h * elem + pad
+    return [
+        TraceEvent("malloc", f"{tag}:ag", small),
+        TraceEvent("malloc", f"{tag}:fc1", big),
+        TraceEvent("free", f"{tag}:ag"),
+        TraceEvent("malloc", f"{tag}:gelu", big),
+        TraceEvent("free", f"{tag}:fc1"),
+        TraceEvent("malloc", f"{tag}:fc2", small),
+        TraceEvent("free", f"{tag}:gelu"),
+    ], TraceEvent("free", f"{tag}:fc2")
+
+
+def mlp_phase_trace(
+    num_layers: int,
+    num_micro_batches: int,
+    s: int,
+    b: int,
+    h: int,
+    elem: int = 2,
+    jitter_seed: int = 0,
+) -> list[TraceEvent]:
+    """FILO schedule with *unchunked* MLP transients.
+
+    Transient sizes vary with an irregular per-phase pad (sequence
+    remainders, attention workspaces), and the long-lived stash of each
+    (layer, micro batch) is allocated between them -- it lands inside
+    holes left by freed transients, pinning segments exactly as the paper
+    describes.
+    """
+    rng = np.random.default_rng(jitter_seed)
+    stash = s * b * h * elem  # per-phase share of the w/o-attention stash
+    events: list[TraceEvent] = []
+    for mb in range(num_micro_batches):
+        for layer in range(num_layers):
+            pad = int(rng.integers(0, s)) * b * elem * 4
+            pre, last_free = _mlp_transients(f"mlp:L{layer}:mb{mb}", s, b, h, elem, pad)
+            events.extend(pre)
+            events.append(_stash_events(layer, mb, stash))
+            events.append(last_free)
+    for mb in reversed(range(num_micro_batches)):
+        for layer in reversed(range(num_layers)):
+            pad = int(rng.integers(0, s)) * b * elem * 4
+            pre, last_free = _mlp_transients(f"mlpb:L{layer}:mb{mb}", s, b, h, elem, pad)
+            events.extend(pre)
+            events.append(TraceEvent("free", f"stash:L{layer}:mb{mb}"))
+            events.append(last_free)
+    return events
+
+
+def chunked_mlp_trace(
+    num_layers: int,
+    num_micro_batches: int,
+    s: int,
+    b: int,
+    h: int,
+    chunk_rows: int = 2048,
+    elem: int = 2,
+) -> list[TraceEvent]:
+    """Same workload with chunked MLP + pre-allocated comm buffers.
+
+    Chunks are equal-sized and processed one at a time, so every free
+    block is immediately reusable by the next chunk; the two
+    communication buffers are allocated once up front (Section 4.4.2
+    "pre-allocating reusable buffers ... eliminating dynamic memory
+    overhead").
+    """
+    stash = s * b * h * elem
+    chunk = 4 * chunk_rows * b * h * elem
+    n_chunks = (s + chunk_rows - 1) // chunk_rows
+    events: list[TraceEvent] = [
+        TraceEvent("malloc", "comm:all_gather", s * b * h * elem),
+        TraceEvent("malloc", "comm:reduce_scatter", s * b * h * elem),
+    ]
+
+    def run_chunks(tag: str) -> None:
+        for c in range(n_chunks):
+            events.append(TraceEvent("malloc", f"{tag}:c{c}", chunk))
+            events.append(TraceEvent("free", f"{tag}:c{c}"))
+
+    for mb in range(num_micro_batches):
+        for layer in range(num_layers):
+            run_chunks(f"mlp:L{layer}:mb{mb}")
+            events.append(_stash_events(layer, mb, stash))
+    for mb in reversed(range(num_micro_batches)):
+        for layer in reversed(range(num_layers)):
+            run_chunks(f"mlpb:L{layer}:mb{mb}")
+            events.append(TraceEvent("free", f"stash:L{layer}:mb{mb}"))
+    events.append(TraceEvent("free", "comm:all_gather"))
+    events.append(TraceEvent("free", "comm:reduce_scatter"))
+    return events
+
+
+def replay(events: list[TraceEvent], allocator: CachingAllocator):
+    """Run a trace through ``allocator``.
+
+    Returns ``(final_stats, max_fragmentation_bytes)`` where the second
+    value is the largest reserved-minus-allocated gap observed at any
+    point of the replay -- the fragmentation the paper fights.
+    """
+    handles: dict[str, int] = {}
+    max_frag = 0
+    for ev in events:
+        if ev.op == "malloc":
+            if ev.name in handles:
+                raise ValueError(f"double malloc of {ev.name}")
+            handles[ev.name] = allocator.malloc(ev.size)
+        elif ev.op == "free":
+            allocator.free(handles.pop(ev.name))
+        else:
+            raise ValueError(f"unknown trace op {ev.op!r}")
+        max_frag = max(max_frag, allocator.reserved - allocator.allocated)
+    return allocator.stats(), max_frag

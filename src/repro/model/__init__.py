@@ -1,0 +1,31 @@
+"""Model zoo (Table 3 configs) and pipeline segment partitioning."""
+
+from repro.model.config import (
+    GPT3_1P3B,
+    GPT3_3B,
+    GPT3_7B,
+    GPT3_13B,
+    MODEL_PRESETS,
+    ModelConfig,
+    tiny_config,
+)
+from repro.model.partition import (
+    Segment,
+    SegmentKind,
+    layerwise_partition,
+    segments_cover_model,
+)
+
+__all__ = [
+    "ModelConfig",
+    "GPT3_1P3B",
+    "GPT3_3B",
+    "GPT3_7B",
+    "GPT3_13B",
+    "MODEL_PRESETS",
+    "tiny_config",
+    "Segment",
+    "SegmentKind",
+    "layerwise_partition",
+    "segments_cover_model",
+]

@@ -1,0 +1,113 @@
+"""Transformer model configurations (paper Table 3, plus 13B for Fig. 4).
+
+All models follow the standard GPT-3 architecture the paper analyses:
+pre-LayerNorm transformer layers (LayerNorm -> QKV linear -> causal
+self-attention -> output linear -> residual; LayerNorm -> 4h MLP with GeLU
+-> residual), tied word embedding / LM head and learned position
+embeddings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "ModelConfig",
+    "GPT3_1P3B",
+    "GPT3_3B",
+    "GPT3_7B",
+    "GPT3_13B",
+    "MODEL_PRESETS",
+    "tiny_config",
+]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architecture hyper-parameters of a GPT-style transformer.
+
+    Parameters
+    ----------
+    name:
+        Identifier, e.g. ``"7B"``.
+    num_layers:
+        Number of transformer layers ``L``.
+    num_heads:
+        Attention heads per layer.
+    hidden_size:
+        Model width ``h`` (must be divisible by ``num_heads``).
+    vocab_size:
+        Vocabulary size ``V`` (GPT family: ~50k, paper Section 4.6).
+    ffn_multiplier:
+        MLP expansion factor (4 for GPT-3).
+    """
+
+    name: str
+    num_layers: int
+    num_heads: int
+    hidden_size: int
+    vocab_size: int = 51200
+    ffn_multiplier: int = 4
+
+    def __post_init__(self) -> None:
+        if self.num_layers <= 0:
+            raise ValueError("num_layers must be positive")
+        if self.hidden_size % self.num_heads != 0:
+            raise ValueError(
+                f"hidden_size ({self.hidden_size}) must be divisible by "
+                f"num_heads ({self.num_heads})"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden_size // self.num_heads
+
+    @property
+    def ffn_hidden(self) -> int:
+        return self.ffn_multiplier * self.hidden_size
+
+    def layer_params(self) -> int:
+        """Parameter count of one transformer layer (Table 1: 12h^2 + 4h)."""
+        h = self.hidden_size
+        return 12 * h * h + 4 * h
+
+    def embedding_params(self, max_seq_len: int = 0) -> int:
+        """Word (+ optional learned position) embedding parameters."""
+        return self.vocab_size * self.hidden_size + max_seq_len * self.hidden_size
+
+    def total_params(self, max_seq_len: int = 0) -> int:
+        """All parameters with the LM head tied to the word embedding."""
+        return self.num_layers * self.layer_params() + self.embedding_params(max_seq_len)
+
+
+#: Table 3 row 1: 1.3B -- 24 layers, 16 heads, hidden 2048.
+GPT3_1P3B = ModelConfig(name="1.3B", num_layers=24, num_heads=16, hidden_size=2048)
+
+#: Table 3 row 2: 3B -- 16 layers, 32 heads, hidden 4096.
+GPT3_3B = ModelConfig(name="3B", num_layers=16, num_heads=32, hidden_size=4096)
+
+#: Table 3 row 3: 7B -- 32 layers, 32 heads, hidden 4096.
+GPT3_7B = ModelConfig(name="7B", num_layers=32, num_heads=32, hidden_size=4096)
+
+#: Figure 4 model: GPT-3 13B -- 40 layers, 40 heads, hidden 5120.
+GPT3_13B = ModelConfig(name="13B", num_layers=40, num_heads=40, hidden_size=5120)
+
+MODEL_PRESETS: dict[str, ModelConfig] = {
+    m.name: m for m in (GPT3_1P3B, GPT3_3B, GPT3_7B, GPT3_13B)
+}
+
+
+def tiny_config(
+    num_layers: int = 4,
+    num_heads: int = 2,
+    hidden_size: int = 16,
+    vocab_size: int = 64,
+) -> ModelConfig:
+    """A miniature config for functional-runtime tests."""
+    return ModelConfig(
+        name=f"tiny-L{num_layers}h{hidden_size}",
+        num_layers=num_layers,
+        num_heads=num_heads,
+        hidden_size=hidden_size,
+        vocab_size=vocab_size,
+    )

@@ -1,0 +1,136 @@
+"""Model partitioning into pipeline segments.
+
+A *segment* is the unit of work a schedule places on a stage: either a run
+of whole transformer layers (conventional pipelines, Section 2.3) or one
+of the fine-grained phases of HelixPipe's attention parallel partition
+(Section 4.2): pre-attention, attention, post-attention, or the fused
+"post-attention of layer l-1 + pre-attention of layer l" block.
+
+The embedding (word + position) and the LM head (final norm + projection +
+loss) are segments too, so Section 4.6's placement rules are expressible
+in the same vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["SegmentKind", "Segment", "layerwise_partition", "segments_cover_model"]
+
+
+class SegmentKind(Enum):
+    EMBED = "embed"
+    LAYERS = "layers"  # run of complete transformer layers
+    PRE = "pre"  # LayerNorm + QKV linear of one layer
+    ATTN = "attn"  # causal self-attention of one layer
+    POST = "post"  # O linear + LayerNorm + MLP of one layer
+    POST_PRE = "post_pre"  # post(l-1) fused with pre(l)  (helix stages)
+    HEAD = "head"  # final LayerNorm + LM head + loss
+
+
+@dataclass(frozen=True, order=True)
+class Segment:
+    """A contiguous piece of the model.
+
+    Parameters
+    ----------
+    kind:
+        What the segment contains.
+    layer:
+        For ``LAYERS``: the first layer of the run.  For ``PRE``/``ATTN``/
+        ``POST``: the layer index.  For ``POST_PRE``: the index ``l`` whose
+        *pre*-attention is included (the post-attention is of ``l - 1``).
+        ``EMBED``/``HEAD`` use ``-1``.
+    num_layers:
+        Length of the run for ``LAYERS``; 1 otherwise.
+    """
+
+    kind: SegmentKind
+    layer: int = -1
+    num_layers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind is SegmentKind.LAYERS:
+            if self.layer < 0 or self.num_layers <= 0:
+                raise ValueError("LAYERS segment needs layer >= 0 and num_layers > 0")
+        elif self.kind in (SegmentKind.PRE, SegmentKind.ATTN, SegmentKind.POST):
+            if self.layer < 0:
+                raise ValueError(f"{self.kind.value} segment needs a layer index")
+        elif self.kind is SegmentKind.POST_PRE:
+            if self.layer < 1:
+                raise ValueError("POST_PRE fuses post(l-1) with pre(l); needs l >= 1")
+
+    @property
+    def label(self) -> str:
+        k = self.kind
+        if k is SegmentKind.EMBED:
+            return "embed"
+        if k is SegmentKind.HEAD:
+            return "head"
+        if k is SegmentKind.LAYERS:
+            return f"layers[{self.layer}:{self.layer + self.num_layers}]"
+        if k is SegmentKind.POST_PRE:
+            return f"post{self.layer - 1}+pre{self.layer}"
+        return f"{k.value}{self.layer}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Segment({self.label})"
+
+
+def layerwise_partition(
+    num_layers: int,
+    num_stages: int,
+    include_embed: bool = True,
+    include_head: bool = True,
+) -> list[list[Segment]]:
+    """Even layer-granularity partition used by 1F1B / ZB1P / GPipe.
+
+    Stage ``i`` receives layers ``[i * L/p, (i+1) * L/p)``; the embedding
+    rides on stage 0 and the head on the last stage.  ``num_layers`` must
+    divide evenly (the paper always uses L % p == 0).
+    """
+    if num_layers % num_stages != 0:
+        raise ValueError(
+            f"num_layers ({num_layers}) must be divisible by num_stages ({num_stages})"
+        )
+    per = num_layers // num_stages
+    stages: list[list[Segment]] = []
+    for i in range(num_stages):
+        segs: list[Segment] = []
+        if i == 0 and include_embed:
+            segs.append(Segment(SegmentKind.EMBED))
+        segs.append(Segment(SegmentKind.LAYERS, layer=i * per, num_layers=per))
+        if i == num_stages - 1 and include_head:
+            segs.append(Segment(SegmentKind.HEAD))
+        stages.append(segs)
+    return stages
+
+
+def segments_cover_model(stages: list[list[Segment]], num_layers: int) -> bool:
+    """True when the union of LAYERS/phase segments covers every layer phase
+    exactly once (used by property tests on partition builders)."""
+    pre = [0] * num_layers
+    attn = [0] * num_layers
+    post = [0] * num_layers
+    for segs in stages:
+        for seg in segs:
+            if seg.kind is SegmentKind.LAYERS:
+                for l in range(seg.layer, seg.layer + seg.num_layers):
+                    pre[l] += 1
+                    attn[l] += 1
+                    post[l] += 1
+            elif seg.kind is SegmentKind.PRE:
+                pre[seg.layer] += 1
+            elif seg.kind is SegmentKind.ATTN:
+                attn[seg.layer] += 1
+            elif seg.kind is SegmentKind.POST:
+                post[seg.layer] += 1
+            elif seg.kind is SegmentKind.POST_PRE:
+                post[seg.layer - 1] += 1
+                pre[seg.layer] += 1
+    phases_ok = all(c == 1 for c in pre) and all(c == 1 for c in post)
+    # Attention is either statically owned (layer-wise pipelines) or
+    # scheduled dynamically per micro batch (helix partition: absent here).
+    attn_ok = all(c == 1 for c in attn) or all(c == 0 for c in attn)
+    return phases_ok and attn_ok

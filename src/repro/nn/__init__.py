@@ -1,0 +1,6 @@
+"""Numpy transformer substrate with exact hand-written backward passes."""
+
+from repro.nn.optim import Adam, SGD
+from repro.nn.transformer import GPTGradients, GPTModel
+
+__all__ = ["GPTModel", "GPTGradients", "Adam", "SGD"]

@@ -1,0 +1,202 @@
+"""Transformer layer phases exactly as HelixPipe partitions them (Fig. 1).
+
+* ``pre_attention``: LayerNorm (+ QKV linear unless it is *shipped* to the
+  attention stage, Section 4.2).
+* ``attention``: causal multi-head attention (+ the shipped QKV linear).
+* ``post_attention``: output linear + residual, LayerNorm + MLP + residual.
+
+Each phase is a pure function pair ``(fwd, bwd)`` over a parameter dict,
+so the single-device reference model and every pipeline executor run the
+*same arithmetic* -- gradient equality between them is then a test of the
+schedules, not of duplicated math.
+
+Parameter names per layer: ``ln1_g ln1_b w_qkv b_qkv w_o b_o ln2_g ln2_b
+w_fc1 b_fc1 w_fc2 b_fc2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import functional as F
+
+__all__ = [
+    "init_layer_params",
+    "init_embed_params",
+    "init_head_params",
+    "pre_attention_fwd",
+    "pre_attention_bwd",
+    "attention_fwd",
+    "attention_bwd",
+    "post_attention_fwd",
+    "post_attention_bwd",
+    "embed_fwd",
+    "embed_bwd",
+    "head_fwd",
+    "head_bwd",
+]
+
+Params = dict[str, np.ndarray]
+
+
+def init_layer_params(rng: np.random.Generator, h: int, ffn_mult: int = 4) -> Params:
+    """GPT-2 style initialisation (scaled normal weights, zero biases)."""
+    std = 0.02
+    return {
+        "ln1_g": np.ones(h),
+        "ln1_b": np.zeros(h),
+        "w_qkv": rng.normal(0, std, (h, 3 * h)),
+        "b_qkv": np.zeros(3 * h),
+        "w_o": rng.normal(0, std, (h, h)),
+        "b_o": np.zeros(h),
+        "ln2_g": np.ones(h),
+        "ln2_b": np.zeros(h),
+        "w_fc1": rng.normal(0, std, (h, ffn_mult * h)),
+        "b_fc1": np.zeros(ffn_mult * h),
+        "w_fc2": rng.normal(0, std, (ffn_mult * h, h)),
+        "b_fc2": np.zeros(h),
+    }
+
+
+def init_embed_params(
+    rng: np.random.Generator, vocab: int, h: int, max_seq: int
+) -> Params:
+    return {
+        "wte": rng.normal(0, 0.02, (vocab, h)),
+        "wpe": rng.normal(0, 0.01, (max_seq, h)),
+    }
+
+
+def init_head_params(rng: np.random.Generator, vocab: int, h: int) -> Params:
+    return {
+        "lnf_g": np.ones(h),
+        "lnf_b": np.zeros(h),
+        "w_head": rng.normal(0, 0.02, (h, vocab)),
+        "b_head": np.zeros(vocab),
+    }
+
+
+# -- pre-attention ---------------------------------------------------------------
+
+
+def pre_attention_fwd(params: Params, a: np.ndarray, ship_qkv: bool):
+    """Input ``a`` is the residual stream entering the layer.
+
+    Returns ``(x, ctx)`` where ``x`` is the LayerNorm output when QKV is
+    shipped (the attention stage applies the linear) or the fused ``qkv``
+    tensor otherwise.
+    """
+    x, ln_ctx = F.layer_norm_fwd(a, params["ln1_g"], params["ln1_b"])
+    if ship_qkv:
+        return x, ("ship", ln_ctx)
+    qkv, lin_ctx = F.linear_fwd(x, params["w_qkv"], params["b_qkv"])
+    return qkv, ("local", ln_ctx, lin_ctx)
+
+
+def pre_attention_bwd(ctx, dout: np.ndarray):
+    """Returns ``(da, grads)`` -- gradient w.r.t. the residual input and a
+    param-grad dict (empty qkv entries when shipped)."""
+    if ctx[0] == "ship":
+        _, ln_ctx = ctx
+        da, dg, db = F.layer_norm_bwd(ln_ctx, dout)
+        return da, {"ln1_g": dg, "ln1_b": db}
+    _, ln_ctx, lin_ctx = ctx
+    dx, dw, dbias = F.linear_bwd(lin_ctx, dout)
+    da, dg, db = F.layer_norm_bwd(ln_ctx, dx)
+    return da, {"ln1_g": dg, "ln1_b": db, "w_qkv": dw, "b_qkv": dbias}
+
+
+# -- attention ---------------------------------------------------------------------
+
+
+def attention_fwd(
+    x: np.ndarray,
+    num_heads: int,
+    shipped_w: tuple[np.ndarray, np.ndarray] | None = None,
+):
+    """``x`` is qkv (local mode) or the LN output plus shipped ``(w, b)``."""
+    if shipped_w is not None:
+        w, b = shipped_w
+        qkv, lin_ctx = F.linear_fwd(x, w, b)
+    else:
+        qkv, lin_ctx = x, None
+    out, attn_ctx = F.causal_attention_fwd(qkv, num_heads)
+    return out, (attn_ctx, lin_ctx)
+
+
+def attention_bwd(ctx, dout: np.ndarray):
+    """Returns ``(dx, qkv_grads)`` where ``qkv_grads`` is ``(dw, db)`` when
+    the QKV linear ran here (weight shipping) else ``None``."""
+    attn_ctx, lin_ctx = ctx
+    dqkv = F.causal_attention_bwd(attn_ctx, dout)
+    if lin_ctx is None:
+        return dqkv, None
+    dx, dw, db = F.linear_bwd(lin_ctx, dqkv)
+    return dx, (dw, db)
+
+
+# -- post-attention ------------------------------------------------------------------
+
+
+def post_attention_fwd(params: Params, attn_out: np.ndarray, a: np.ndarray):
+    """O linear + residual; LN2 + MLP + residual.  Returns ``(z, ctx)``."""
+    o, o_ctx = F.linear_fwd(attn_out, params["w_o"], params["b_o"])
+    y = a + o
+    ln, ln_ctx = F.layer_norm_fwd(y, params["ln2_g"], params["ln2_b"])
+    h1, fc1_ctx = F.linear_fwd(ln, params["w_fc1"], params["b_fc1"])
+    g, g_ctx = F.gelu_fwd(h1)
+    h2, fc2_ctx = F.linear_fwd(g, params["w_fc2"], params["b_fc2"])
+    z = y + h2
+    return z, (o_ctx, ln_ctx, fc1_ctx, g_ctx, fc2_ctx)
+
+
+def post_attention_bwd(ctx, dz: np.ndarray):
+    """Returns ``(d_attn_out, da, grads)``."""
+    o_ctx, ln_ctx, fc1_ctx, g_ctx, fc2_ctx = ctx
+    dg, dw2, db2 = F.linear_bwd(fc2_ctx, dz)
+    dh1 = F.gelu_bwd(g_ctx, dg)
+    dln, dw1, db1 = F.linear_bwd(fc1_ctx, dh1)
+    dy_ln, dg2, dbeta2 = F.layer_norm_bwd(ln_ctx, dln)
+    dy = dz + dy_ln  # residual join
+    d_attn, dwo, dbo = F.linear_bwd(o_ctx, dy)
+    grads = {
+        "w_o": dwo,
+        "b_o": dbo,
+        "ln2_g": dg2,
+        "ln2_b": dbeta2,
+        "w_fc1": dw1,
+        "b_fc1": db1,
+        "w_fc2": dw2,
+        "b_fc2": db2,
+    }
+    return d_attn, dy, grads
+
+
+# -- embedding / head -----------------------------------------------------------------
+
+
+def embed_fwd(params: Params, tokens: np.ndarray):
+    return F.embedding_fwd(tokens, params["wte"], params["wpe"])
+
+
+def embed_bwd(ctx, dout: np.ndarray):
+    dwte, dwpe = F.embedding_bwd(ctx, dout)
+    return {"wte": dwte, "wpe": dwpe}
+
+
+def head_fwd(params: Params, z: np.ndarray, targets: np.ndarray):
+    """Final LayerNorm + LM head + mean cross entropy.  Returns
+    ``(loss, ctx)``."""
+    ln, ln_ctx = F.layer_norm_fwd(z, params["lnf_g"], params["lnf_b"])
+    logits, lin_ctx = F.linear_fwd(ln, params["w_head"], params["b_head"])
+    loss, ce_ctx = F.cross_entropy_fwd(logits, targets)
+    return loss, (ln_ctx, lin_ctx, ce_ctx)
+
+
+def head_bwd(ctx, dloss: float = 1.0):
+    """Returns ``(dz, grads)``."""
+    ln_ctx, lin_ctx, ce_ctx = ctx
+    dlogits = F.cross_entropy_bwd(ce_ctx, dloss)
+    dln, dw, db = F.linear_bwd(lin_ctx, dlogits)
+    dz, dg, dbeta = F.layer_norm_bwd(ln_ctx, dln)
+    return dz, {"lnf_g": dg, "lnf_b": dbeta, "w_head": dw, "b_head": db}

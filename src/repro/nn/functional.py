@@ -1,0 +1,206 @@
+"""Primitive neural-net ops with exact hand-written backward passes.
+
+All tensors follow the paper's ``[s, b, h]`` layout (sequence, micro
+batch, hidden).  Computation is float64 so the runtime-equivalence tests
+can assert gradient equality between pipeline schedules and the
+single-device reference at ~1e-10 tolerance.
+
+Each ``*_fwd`` returns ``(out, ctx)`` where ``ctx`` is exactly what the
+matching ``*_bwd`` needs -- this explicit contract is what the
+recomputation strategies manipulate (drop the ctx, re-create it later).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erf
+
+__all__ = [
+    "linear_fwd",
+    "linear_bwd",
+    "layer_norm_fwd",
+    "layer_norm_bwd",
+    "gelu_fwd",
+    "gelu_bwd",
+    "causal_attention_fwd",
+    "causal_attention_bwd",
+    "embedding_fwd",
+    "embedding_bwd",
+    "cross_entropy_fwd",
+    "cross_entropy_bwd",
+    "softmax",
+]
+
+_SQRT2 = np.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / np.sqrt(2.0 * np.pi)
+
+
+# -- linear ------------------------------------------------------------------
+
+
+def linear_fwd(x: np.ndarray, w: np.ndarray, b: np.ndarray):
+    """``y = x @ w + b`` with ``x: [s, b, in]``, ``w: [in, out]``."""
+    return x @ w + b, (x, w)
+
+
+def linear_bwd(ctx, dout: np.ndarray):
+    """Returns ``(dx, dw, db)``."""
+    x, w = ctx
+    dx = dout @ w.T
+    dw = np.einsum("sbi,sbo->io", x, dout)
+    db = dout.sum(axis=(0, 1))
+    return dx, dw, db
+
+
+# -- layer norm ---------------------------------------------------------------
+
+
+def layer_norm_fwd(x: np.ndarray, gamma: np.ndarray, beta: np.ndarray, eps: float = 1e-5):
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    rstd = 1.0 / np.sqrt(var + eps)
+    xhat = (x - mu) * rstd
+    return xhat * gamma + beta, (xhat, rstd, gamma)
+
+
+def layer_norm_bwd(ctx, dout: np.ndarray):
+    """Returns ``(dx, dgamma, dbeta)``."""
+    xhat, rstd, gamma = ctx
+    h = xhat.shape[-1]
+    dgamma = (dout * xhat).sum(axis=(0, 1))
+    dbeta = dout.sum(axis=(0, 1))
+    dxhat = dout * gamma
+    dx = (
+        dxhat
+        - dxhat.mean(axis=-1, keepdims=True)
+        - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+    ) * rstd
+    return dx, dgamma, dbeta
+
+
+# -- GeLU ----------------------------------------------------------------------
+
+
+def gelu_fwd(x: np.ndarray):
+    """Exact (erf) GeLU."""
+    return 0.5 * x * (1.0 + erf(x / _SQRT2)), (x,)
+
+
+def gelu_bwd(ctx, dout: np.ndarray):
+    (x,) = ctx
+    cdf = 0.5 * (1.0 + erf(x / _SQRT2))
+    pdf = _INV_SQRT_2PI * np.exp(-0.5 * x * x)
+    return dout * (cdf + x * pdf)
+
+
+# -- attention ------------------------------------------------------------------
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def _split_heads(x: np.ndarray, num_heads: int) -> np.ndarray:
+    """[s, b, h] -> [b, heads, s, hd]."""
+    s, b, h = x.shape
+    hd = h // num_heads
+    return x.reshape(s, b, num_heads, hd).transpose(1, 2, 0, 3)
+
+
+def _merge_heads(x: np.ndarray) -> np.ndarray:
+    """[b, heads, s, hd] -> [s, b, h]."""
+    b, nh, s, hd = x.shape
+    return x.transpose(2, 0, 1, 3).reshape(s, b, nh * hd)
+
+
+def causal_attention_fwd(qkv: np.ndarray, num_heads: int):
+    """Causal multi-head self-attention over fused ``qkv: [s, b, 3h]``.
+
+    The returned ctx keeps ``(qkv, probs)`` -- the flash-attention analog
+    would keep only ``qkv`` plus the softmax statistics, which is what the
+    ``3bsh`` Table 1 rounding models; numerically the result is identical,
+    so we keep the simpler form.
+    """
+    s, b, three_h = qkv.shape
+    h = three_h // 3
+    q, k, v = qkv[..., :h], qkv[..., h : 2 * h], qkv[..., 2 * h :]
+    qh = _split_heads(q, num_heads)
+    kh = _split_heads(k, num_heads)
+    vh = _split_heads(v, num_heads)
+    scale = 1.0 / np.sqrt(h // num_heads)
+    scores = (qh @ kh.transpose(0, 1, 3, 2)) * scale
+    mask = np.triu(np.ones((s, s), dtype=bool), k=1)
+    scores = np.where(mask, -np.inf, scores)
+    probs = softmax(scores, axis=-1)
+    ctx_out = _merge_heads(probs @ vh)
+    return ctx_out, (qkv, probs, num_heads)
+
+
+def causal_attention_bwd(ctx, dout: np.ndarray):
+    """Returns ``dqkv: [s, b, 3h]``."""
+    qkv, probs, num_heads = ctx
+    s, b, three_h = qkv.shape
+    h = three_h // 3
+    q, k, v = qkv[..., :h], qkv[..., h : 2 * h], qkv[..., 2 * h :]
+    qh = _split_heads(q, num_heads)
+    kh = _split_heads(k, num_heads)
+    vh = _split_heads(v, num_heads)
+    scale = 1.0 / np.sqrt(h // num_heads)
+
+    do = _split_heads(dout, num_heads)  # [b, nh, s, hd]
+    dv = probs.transpose(0, 1, 3, 2) @ do
+    dprobs = do @ vh.transpose(0, 1, 3, 2)
+    # softmax backward (rows sum to 1): dS = P * (dP - sum(dP * P))
+    dscores = probs * (dprobs - (dprobs * probs).sum(axis=-1, keepdims=True))
+    dscores *= scale
+    dq = dscores @ kh
+    dk = dscores.transpose(0, 1, 3, 2) @ qh
+    dqkv = np.concatenate(
+        [_merge_heads(dq), _merge_heads(dk), _merge_heads(dv)], axis=-1
+    )
+    return dqkv
+
+
+# -- embedding -------------------------------------------------------------------
+
+
+def embedding_fwd(tokens: np.ndarray, wte: np.ndarray, wpe: np.ndarray):
+    """``tokens: [s, b]`` ints -> ``[s, b, h]`` word + position embeddings."""
+    s, b = tokens.shape
+    out = wte[tokens] + wpe[:s, None, :]
+    return out, (tokens, wte.shape, wpe.shape)
+
+
+def embedding_bwd(ctx, dout: np.ndarray):
+    """Returns ``(dwte, dwpe)``."""
+    tokens, wte_shape, wpe_shape = ctx
+    s, b = tokens.shape
+    dwte = np.zeros(wte_shape, dtype=dout.dtype)
+    np.add.at(dwte, tokens.reshape(-1), dout.reshape(s * b, -1))
+    dwpe = np.zeros(wpe_shape, dtype=dout.dtype)
+    dwpe[:s] = dout.sum(axis=1)
+    return dwte, dwpe
+
+
+# -- loss -----------------------------------------------------------------------
+
+
+def cross_entropy_fwd(logits: np.ndarray, targets: np.ndarray):
+    """Mean token-level cross entropy.  ``logits: [s, b, V]``."""
+    s, b, v = logits.shape
+    z = logits - logits.max(axis=-1, keepdims=True)
+    logsumexp = np.log(np.exp(z).sum(axis=-1)) + logits.max(axis=-1)
+    picked = np.take_along_axis(logits, targets[..., None], axis=-1)[..., 0]
+    loss = (logsumexp - picked).mean()
+    return loss, (logits, targets)
+
+
+def cross_entropy_bwd(ctx, dloss: float = 1.0):
+    """Returns ``dlogits``."""
+    logits, targets = ctx
+    s, b, v = logits.shape
+    probs = softmax(logits, axis=-1)
+    np.subtract.at(probs, (*np.indices(targets.shape), targets), 1.0)
+    return probs * (dloss / (s * b))

@@ -1,0 +1,72 @@
+"""Optimizers over nested parameter dicts (for the convergence examples)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.transformer import GPTGradients, GPTModel
+
+__all__ = ["SGD", "Adam"]
+
+
+class SGD:
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, lr: float = 1e-2, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._vel: dict[str, np.ndarray] = {}
+
+    def step(self, model: GPTModel, grads: GPTGradients) -> None:
+        for name, p, g in _walk(model, grads):
+            if self.momentum > 0:
+                v = self._vel.setdefault(name, np.zeros_like(p))
+                v *= self.momentum
+                v += g
+                p -= self.lr * v
+            else:
+                p -= self.lr * g
+
+
+class Adam:
+    """Adam with bias correction (Kingma & Ba)."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self.t = 0
+        self._m: dict[str, np.ndarray] = {}
+        self._v: dict[str, np.ndarray] = {}
+
+    def step(self, model: GPTModel, grads: GPTGradients) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        c1 = 1.0 - b1**self.t
+        c2 = 1.0 - b2**self.t
+        for name, p, g in _walk(model, grads):
+            m = self._m.setdefault(name, np.zeros_like(p))
+            v = self._v.setdefault(name, np.zeros_like(p))
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            p -= self.lr * (m / c1) / (np.sqrt(v / c2) + self.eps)
+
+
+def _walk(model: GPTModel, grads: GPTGradients):
+    for k in model.embed:
+        yield f"embed.{k}", model.embed[k], grads.embed[k]
+    for i, lp in enumerate(model.layers):
+        for k in lp:
+            yield f"layer{i}.{k}", lp[k], grads.layers[i][k]
+    for k in model.head:
+        yield f"head.{k}", model.head[k], grads.head[k]

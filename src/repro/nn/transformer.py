@@ -1,0 +1,137 @@
+"""Single-device GPT reference model built from the phase blocks.
+
+This is the ground truth the pipeline executors are checked against:
+same parameters, same micro batches, gradients accumulated over the
+batch -- any schedule that claims unchanged computation semantics
+(paper Section 4.1) must match its loss and every parameter gradient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.model.config import ModelConfig
+from repro.nn import blocks
+
+__all__ = ["GPTModel", "GPTGradients"]
+
+
+@dataclass
+class GPTGradients:
+    """Parameter gradients keyed like the parameters."""
+
+    embed: dict[str, np.ndarray]
+    layers: list[dict[str, np.ndarray]]
+    head: dict[str, np.ndarray]
+
+    def flat(self) -> dict[str, np.ndarray]:
+        out = {f"embed.{k}": v for k, v in self.embed.items()}
+        for i, lg in enumerate(self.layers):
+            out.update({f"layer{i}.{k}": v for k, v in lg.items()})
+        out.update({f"head.{k}": v for k, v in self.head.items()})
+        return out
+
+
+@dataclass
+class GPTModel:
+    """A complete GPT model with explicit forward/backward.
+
+    Parameters live in plain dicts so virtual devices can hold shards of
+    them without any framework machinery.
+    """
+
+    config: ModelConfig
+    max_seq: int
+    embed: dict[str, np.ndarray] = field(default_factory=dict)
+    layers: list[dict[str, np.ndarray]] = field(default_factory=list)
+    head: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @classmethod
+    def init(cls, config: ModelConfig, max_seq: int, seed: int = 0) -> "GPTModel":
+        rng = np.random.default_rng(seed)
+        embed = blocks.init_embed_params(rng, config.vocab_size, config.hidden_size, max_seq)
+        layers = [
+            blocks.init_layer_params(rng, config.hidden_size, config.ffn_multiplier)
+            for _ in range(config.num_layers)
+        ]
+        head = blocks.init_head_params(rng, config.vocab_size, config.hidden_size)
+        return cls(config=config, max_seq=max_seq, embed=embed, layers=layers, head=head)
+
+    def zero_grads(self) -> GPTGradients:
+        return GPTGradients(
+            embed={k: np.zeros_like(v) for k, v in self.embed.items()},
+            layers=[
+                {k: np.zeros_like(v) for k, v in lp.items()} for lp in self.layers
+            ],
+            head={k: np.zeros_like(v) for k, v in self.head.items()},
+        )
+
+    # -- forward/backward for one micro batch ------------------------------------
+
+    def forward_backward_micro_batch(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        grads: GPTGradients,
+        ship_qkv: bool = False,
+    ) -> float:
+        """Accumulate this micro batch's gradients into ``grads``.
+
+        ``ship_qkv`` selects the mathematically-identical formulation in
+        which the QKV linear is computed 'inside' the attention phase --
+        used to confirm the weight-shipping optimisation is semantics-
+        preserving even on a single device.
+        """
+        cfg = self.config
+        a, embed_ctx = blocks.embed_fwd(self.embed, tokens)
+        layer_ctxs = []
+        for lp in self.layers:
+            x, pre_ctx = blocks.pre_attention_fwd(lp, a, ship_qkv)
+            shipped = (lp["w_qkv"], lp["b_qkv"]) if ship_qkv else None
+            attn_out, attn_ctx = blocks.attention_fwd(x, cfg.num_heads, shipped)
+            z, post_ctx = blocks.post_attention_fwd(lp, attn_out, a)
+            layer_ctxs.append((pre_ctx, attn_ctx, post_ctx))
+            a = z
+        loss, head_ctx = blocks.head_fwd(self.head, a, targets)
+
+        dz, head_grads = blocks.head_bwd(head_ctx)
+        _acc(grads.head, head_grads)
+        for i in range(cfg.num_layers - 1, -1, -1):
+            pre_ctx, attn_ctx, post_ctx = layer_ctxs[i]
+            d_attn, da_resid, post_grads = blocks.post_attention_bwd(post_ctx, dz)
+            _acc(grads.layers[i], post_grads)
+            dx, qkv_grads = blocks.attention_bwd(attn_ctx, d_attn)
+            if qkv_grads is not None:
+                dw, db = qkv_grads
+                grads.layers[i]["w_qkv"] += dw
+                grads.layers[i]["b_qkv"] += db
+            da_pre, pre_grads = blocks.pre_attention_bwd(pre_ctx, dx)
+            _acc(grads.layers[i], pre_grads)
+            dz = da_pre + da_resid
+        embed_grads = blocks.embed_bwd(embed_ctx, dz)
+        _acc(grads.embed, embed_grads)
+        return float(loss)
+
+    def forward_backward_batch(
+        self,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        ship_qkv: bool = False,
+    ) -> tuple[list[float], GPTGradients]:
+        """Run every micro batch (leading axis) and sum gradients.
+
+        ``tokens``/``targets``: ``[m, s, b]`` integer arrays.
+        """
+        grads = self.zero_grads()
+        losses = [
+            self.forward_backward_micro_batch(tokens[i], targets[i], grads, ship_qkv)
+            for i in range(tokens.shape[0])
+        ]
+        return losses, grads
+
+
+def _acc(into: dict[str, np.ndarray], from_: dict[str, np.ndarray]) -> None:
+    for k, v in from_.items():
+        into[k] += v

@@ -1,0 +1,5 @@
+"""Functional (real-math) execution of pipeline schedules on virtual devices."""
+
+from repro.runtime.executor import PipelineRuntime, RuntimeResult, run_schedule
+
+__all__ = ["PipelineRuntime", "RuntimeResult", "run_schedule"]

@@ -1,0 +1,501 @@
+"""Functional pipeline executor: runs schedule IR with real numpy math.
+
+The same :class:`~repro.schedules.ir.Schedule` the discrete-event
+simulator times is interpreted here against a real
+:class:`~repro.nn.GPTModel`:
+
+* every stage is a *virtual device* with its own activation stash,
+  gradient accumulators and message inbox -- stages only exchange data
+  through SEND/RECV payloads, so the executor proves the schedule's
+  dataflow is complete (nothing reads state it could not have);
+* instructions execute in program order per stage, with a round-robin
+  driver that blocks stages on missing messages and detects deadlock;
+* the paper's correctness claim (Section 4.1: HelixPipe "maintains the
+  same computation semantics") becomes a checkable property: losses and
+  every parameter gradient must equal the single-device reference.
+
+Supported semantics: layer-wise schedules (1F1B / GPipe / ZB1P, with the
+decoupled BI/BW of ZB1P), HelixPipe FILO schedules (naive and two-fold)
+with optional QKV-weight shipping (Section 4.2) and
+recomputation-without-attention (Section 4.4.1), plus full recomputation
+for layer-wise baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.costmodel.memory import RecomputeStrategy
+from repro.model.partition import SegmentKind
+from repro.nn import blocks
+from repro.nn.transformer import GPTModel
+from repro.schedules.ir import ComputeInstr, OpType, RecvInstr, Schedule, SendInstr
+
+__all__ = ["PipelineRuntime", "RuntimeResult", "run_schedule"]
+
+
+class RuntimeDeadlock(RuntimeError):
+    """No stage can make progress."""
+
+
+@dataclass
+class RuntimeResult:
+    """Losses per micro batch and merged parameter gradients."""
+
+    losses: dict[int, float]
+    grads: dict[str, np.ndarray]
+
+    @property
+    def mean_loss(self) -> float:
+        return float(np.mean(list(self.losses.values())))
+
+
+@dataclass
+class _Device:
+    """Per-stage private state."""
+
+    stash: dict = field(default_factory=dict)  # activation ctxs
+    grads: dict = field(default_factory=dict)  # (scope, name) -> array
+    pending_w: dict = field(default_factory=dict)  # ZB1P deferred W grads
+    pc: int = 0
+
+    def acc(self, scope, name, value) -> None:
+        key = (scope, name)
+        if key in self.grads:
+            self.grads[key] += value
+        else:
+            self.grads[key] = value.copy()
+
+
+class PipelineRuntime:
+    """Execute ``schedule`` against ``model`` for one gradient step.
+
+    Parameters
+    ----------
+    model:
+        Full model; stages only touch the parameters of segments they
+        own (enforced by the dataflow -- weights for shipped QKV travel
+        inside messages).
+    schedule:
+        Any schedule produced by this package's builders.
+    tokens, targets:
+        ``[m, s, b]`` integer arrays, one slice per micro batch.
+    recompute:
+        ``NONE``, ``WITHOUT_ATTENTION`` (helix) or ``FULL`` (layer-wise).
+    ship_qkv:
+        Must match the flag the helix schedule was built with; layer-wise
+        schedules ignore it.
+    """
+
+    def __init__(
+        self,
+        model: GPTModel,
+        schedule: Schedule,
+        tokens: np.ndarray,
+        targets: np.ndarray,
+        recompute: RecomputeStrategy = RecomputeStrategy.NONE,
+        ship_qkv: bool = False,
+    ) -> None:
+        if tokens.shape[0] != schedule.num_micro_batches:
+            raise ValueError(
+                f"tokens has {tokens.shape[0]} micro batches, schedule wants "
+                f"{schedule.num_micro_batches}"
+            )
+        if recompute is RecomputeStrategy.SELECTIVE:
+            raise ValueError("SELECTIVE recompute is not modelled by the runtime")
+        self.model = model
+        self.schedule = schedule
+        self.tokens = tokens
+        self.targets = targets
+        self.recompute = recompute
+        self.ship_qkv = ship_qkv
+        self.devices = [_Device() for _ in range(schedule.num_stages)]
+        self.mailbox: dict[str, object] = {}
+        self.losses: dict[int, float] = {}
+
+    # -- driver ---------------------------------------------------------------
+
+    def run(self) -> RuntimeResult:
+        progressed = True
+        while progressed:
+            progressed = False
+            for stage, dev in enumerate(self.devices):
+                prog = self.schedule.programs[stage]
+                while dev.pc < len(prog):
+                    instr = prog[dev.pc]
+                    if isinstance(instr, RecvInstr) and instr.tag not in self.mailbox:
+                        break  # blocked
+                    self._step(stage, dev, instr)
+                    dev.pc += 1
+                    progressed = True
+        if any(
+            dev.pc < len(self.schedule.programs[s])
+            for s, dev in enumerate(self.devices)
+        ):
+            stuck = [
+                f"stage {s} at {self.schedule.programs[s][d.pc].label}"
+                for s, d in enumerate(self.devices)
+                if d.pc < len(self.schedule.programs[s])
+            ]
+            raise RuntimeDeadlock("; ".join(stuck))
+        return RuntimeResult(losses=self.losses, grads=self._merge_grads())
+
+    def _step(self, stage: int, dev: _Device, instr) -> None:
+        if isinstance(instr, SendInstr):
+            # Layer-wise boundary sends ship the current activation /
+            # gradient stream; helix sends ship tag-addressed payloads.
+            if instr.payload == "fwd_boundary":
+                self.mailbox[instr.tag] = dev.stash.pop(("act", instr.micro_batch))
+            elif instr.payload == "bwd_boundary":
+                self.mailbox[instr.tag] = dev.stash.pop(("grad", instr.micro_batch))
+            else:
+                self.mailbox[instr.tag] = dev.stash.pop(("out", instr.tag))
+        elif isinstance(instr, RecvInstr):
+            payload = self.mailbox.pop(instr.tag)
+            if instr.payload == "fwd_boundary":
+                dev.stash[("act", instr.micro_batch)] = payload
+            elif instr.payload == "bwd_boundary":
+                dev.stash[("grad", instr.micro_batch)] = payload
+            else:
+                dev.stash[("in", instr.tag)] = payload
+        elif isinstance(instr, ComputeInstr):
+            self._compute(stage, dev, instr)
+        else:  # pragma: no cover
+            raise TypeError(type(instr))
+
+    # -- compute dispatch ---------------------------------------------------------
+
+    def _compute(self, stage: int, dev: _Device, instr: ComputeInstr) -> None:
+        kind = instr.segment.kind
+        if kind is SegmentKind.EMBED:
+            self._embed(dev, instr)
+        elif kind is SegmentKind.LAYERS:
+            self._layers(dev, instr)
+        elif kind is SegmentKind.HEAD:
+            self._head(dev, instr)
+        elif kind is SegmentKind.PRE:
+            self._pre(dev, instr)
+        elif kind is SegmentKind.ATTN:
+            self._attn(dev, instr)
+        elif kind in (SegmentKind.POST, SegmentKind.POST_PRE):
+            self._post_pre(dev, instr)
+        else:  # pragma: no cover
+            raise ValueError(kind)
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _take(self, dev: _Device, tag: str):
+        """Message payload if it was received, else the local handoff."""
+        if ("in", tag) in dev.stash:
+            return dev.stash.pop(("in", tag))
+        return dev.stash.pop(("local", tag))
+
+    def _put_out(self, dev: _Device, tag: str, payload, local_ok: bool) -> None:
+        """Store a payload for the following SEND, or hand it off locally.
+
+        The builders skip SEND/RECV when producer and consumer share a
+        stage; in that case the payload must be readable via ``_take``.
+        """
+        if local_ok:
+            dev.stash[("local", tag)] = payload
+        else:
+            dev.stash[("out", tag)] = payload
+
+    def _helix_tags(self, kind: str, layer: int, mb: int) -> str:
+        return f"h.{kind}:L{layer}:mb{mb}"
+
+    # -- embedding -------------------------------------------------------------------
+
+    def _embed(self, dev: _Device, instr: ComputeInstr) -> None:
+        mb = instr.micro_batch
+        if instr.op is OpType.F:
+            a, ctx = blocks.embed_fwd(self.model.embed, self.tokens[mb])
+            dev.stash[("embed_ctx", mb)] = ctx
+            dev.stash[("act", mb)] = a
+        elif instr.op is OpType.B:
+            grads = blocks.embed_bwd(dev.stash.pop(("embed_ctx", mb)), dev.stash.pop(("grad", mb)))
+            for k, v in grads.items():
+                dev.acc("embed", k, v)
+        elif instr.op is OpType.BI:
+            # Embedding backward is weight-only; defer entirely to BW.
+            dev.pending_w[("embed", mb)] = (
+                dev.stash.pop(("embed_ctx", mb)),
+                dev.stash.pop(("grad", mb)),
+            )
+        elif instr.op is OpType.BW:
+            ctx, dout = dev.pending_w.pop(("embed", mb))
+            for k, v in blocks.embed_bwd(ctx, dout).items():
+                dev.acc("embed", k, v)
+
+    # -- layer-wise segments ------------------------------------------------------------
+
+    def _layers(self, dev: _Device, instr: ComputeInstr) -> None:
+        seg, mb, stage = instr.segment, instr.micro_batch, instr.stage
+        lo, hi = seg.layer, seg.layer + seg.num_layers
+        cfg = self.model.config
+        if instr.op is OpType.F:
+            a = dev.stash.pop(("act", mb))  # from embed or a boundary RECV
+            ctxs = []
+            entry = a
+            for l in range(lo, hi):
+                lp = self.model.layers[l]
+                x, pre_ctx = blocks.pre_attention_fwd(lp, a, ship_qkv=False)
+                attn_out, attn_ctx = blocks.attention_fwd(x, cfg.num_heads)
+                z, post_ctx = blocks.post_attention_fwd(lp, attn_out, a)
+                ctxs.append((pre_ctx, attn_ctx, post_ctx))
+                a = z
+            if self.recompute is RecomputeStrategy.FULL:
+                dev.stash[("seg_entry", seg.layer, mb)] = entry
+            else:
+                dev.stash[("seg_ctxs", seg.layer, mb)] = ctxs
+            dev.stash[("act", mb)] = a  # next segment, SEND, or head
+        elif instr.op in (OpType.B, OpType.BI):
+            dz = dev.stash.pop(("grad", mb))  # from head or a boundary RECV
+            ctxs = self._layer_ctxs_for_backward(dev, seg, mb)
+            w_accum: list[tuple[int, dict]] = []
+            for i, l in enumerate(range(hi - 1, lo - 1, -1)):
+                pre_ctx, attn_ctx, post_ctx = ctxs[hi - 1 - lo - i]
+                d_attn, da_resid, post_grads = blocks.post_attention_bwd(post_ctx, dz)
+                dx, qkv_grads = blocks.attention_bwd(attn_ctx, d_attn)
+                da_pre, pre_grads = blocks.pre_attention_bwd(pre_ctx, dx)
+                dz = da_pre + da_resid
+                merged = dict(post_grads)
+                merged.update(pre_grads)
+                if qkv_grads is not None:  # pragma: no cover - layerwise never ships
+                    merged["w_qkv"], merged["b_qkv"] = qkv_grads
+                w_accum.append((l, merged))
+            if instr.op is OpType.B:
+                for l, merged in w_accum:
+                    for k, v in merged.items():
+                        dev.acc(("layer", l), k, v)
+            else:
+                dev.pending_w[(seg.layer, mb)] = w_accum
+            dev.stash[("grad", mb)] = dz  # next segment, SEND, or embedding
+        elif instr.op is OpType.BW:
+            for l, merged in dev.pending_w.pop((seg.layer, mb)):
+                for k, v in merged.items():
+                    dev.acc(("layer", l), k, v)
+
+    def _layer_ctxs_for_backward(self, dev: _Device, seg, mb):
+        if self.recompute is RecomputeStrategy.FULL:
+            a = dev.stash.pop(("seg_entry", seg.layer, mb))
+            cfg = self.model.config
+            ctxs = []
+            for l in range(seg.layer, seg.layer + seg.num_layers):
+                lp = self.model.layers[l]
+                x, pre_ctx = blocks.pre_attention_fwd(lp, a, ship_qkv=False)
+                attn_out, attn_ctx = blocks.attention_fwd(x, cfg.num_heads)
+                z, post_ctx = blocks.post_attention_fwd(lp, attn_out, a)
+                ctxs.append((pre_ctx, attn_ctx, post_ctx))
+                a = z
+            return ctxs
+        return dev.stash.pop(("seg_ctxs", seg.layer, mb))
+
+    # -- head ------------------------------------------------------------------------
+
+    def _head(self, dev: _Device, instr: ComputeInstr) -> None:
+        mb = instr.micro_batch
+        recompute = self.recompute is not RecomputeStrategy.NONE
+        if instr.op is OpType.F:
+            z = dev.stash.pop(("act", mb))
+            if recompute:
+                # Section 4.6: defer logits + loss to the backward pass.
+                dev.stash[("head_in", mb)] = z
+            else:
+                loss, ctx = blocks.head_fwd(self.model.head, z, self.targets[mb])
+                self.losses[mb] = float(loss)
+                dev.stash[("head_ctx", mb)] = ctx
+        elif instr.op in (OpType.B, OpType.BI):
+            if recompute:
+                z = dev.stash.pop(("head_in", mb))
+                loss, ctx = blocks.head_fwd(self.model.head, z, self.targets[mb])
+                self.losses[mb] = float(loss)
+            else:
+                ctx = dev.stash.pop(("head_ctx", mb))
+            dz, head_grads = blocks.head_bwd(ctx)
+            dev.stash[("grad", mb)] = dz
+            if instr.op is OpType.B:
+                for k, v in head_grads.items():
+                    dev.acc("head", k, v)
+            else:
+                dev.pending_w[("head", mb)] = head_grads
+        elif instr.op is OpType.BW:
+            for k, v in dev.pending_w.pop(("head", mb)).items():
+                dev.acc("head", k, v)
+
+    # -- helix segments -----------------------------------------------------------------
+
+    def _pre_payload(self, lp, x, z):
+        if self.ship_qkv:
+            return (x, z, lp["w_qkv"], lp["b_qkv"])
+        return (x, z)
+
+    def _pre(self, dev: _Device, instr: ComputeInstr) -> None:
+        """PRE(0): LayerNorm (+QKV) of layer 0 on the embedding output."""
+        mb = instr.micro_batch
+        lp = self.model.layers[0]
+        if instr.op is OpType.F:
+            a = dev.stash.pop(("act", mb))
+            x, pre_ctx = blocks.pre_attention_fwd(lp, a, self.ship_qkv)
+            if self.recompute is RecomputeStrategy.WITHOUT_ATTENTION:
+                dev.stash[("rc_in", 0, mb)] = a
+            else:
+                dev.stash[("pre_ctx", 0, mb)] = pre_ctx
+            tag = self._helix_tags("pre_out", 0, mb)
+            local = not self._tag_is_sent(instr.stage, tag)
+            self._put_out(dev, tag, self._pre_payload(lp, x, a), local)
+        elif instr.op is OpType.RC:
+            a = dev.stash.pop(("rc_in", 0, mb))
+            _, pre_ctx = blocks.pre_attention_fwd(lp, a, self.ship_qkv)
+            dev.stash[("pre_ctx", 0, mb)] = pre_ctx
+        elif instr.op is OpType.B:
+            payload = self._take_grad_payload(dev, 0, mb, instr.stage)
+            dx, da_resid, qkv_grads = payload
+            da_pre, pre_grads = blocks.pre_attention_bwd(
+                dev.stash.pop(("pre_ctx", 0, mb)), dx
+            )
+            for k, v in pre_grads.items():
+                dev.acc(("layer", 0), k, v)
+            if qkv_grads is not None:
+                dw, db = qkv_grads
+                dev.acc(("layer", 0), "w_qkv", dw)
+                dev.acc(("layer", 0), "b_qkv", db)
+            dev.stash[("grad", mb)] = da_pre + da_resid
+
+    def _attn(self, dev: _Device, instr: ComputeInstr) -> None:
+        layer, mb = instr.segment.layer, instr.micro_batch
+        cfg = self.model.config
+        if instr.op is OpType.F:
+            payload = self._take(dev, self._helix_tags("pre_out", layer, mb))
+            if self.ship_qkv:
+                x, z, w, b = payload
+                shipped = (w, b)
+            else:
+                x, z = payload
+                shipped = None
+            attn_out, attn_ctx = blocks.attention_fwd(x, cfg.num_heads, shipped)
+            dev.stash[("attn_ctx", layer, mb)] = attn_ctx
+            tag = self._helix_tags("attn_out", layer, mb)
+            local = not self._tag_is_sent(instr.stage, tag)
+            self._put_out(dev, tag, (attn_out, z), local)
+        elif instr.op is OpType.B:
+            d_attn, da = self._take(dev, self._helix_tags("d_attn_out", layer, mb))
+            dx, qkv_grads = blocks.attention_bwd(
+                dev.stash.pop(("attn_ctx", layer, mb)), d_attn
+            )
+            tag = self._helix_tags("d_pre_out", layer, mb)
+            local = not self._tag_is_sent(instr.stage, tag)
+            self._put_out(dev, tag, (dx, da, qkv_grads), local)
+
+    def _post_pre(self, dev: _Device, instr: ComputeInstr) -> None:
+        """POST_PRE(l) fuses post(l-1) and pre(l); POST is post(L-1) alone."""
+        seg, mb = instr.segment, instr.micro_batch
+        is_post_only = seg.kind is SegmentKind.POST
+        pos = seg.layer + 1 if is_post_only else seg.layer
+        post_layer = pos - 1
+        pre_layer = pos if not is_post_only else None
+        cfg = self.model.config
+        wo_attn = self.recompute is RecomputeStrategy.WITHOUT_ATTENTION
+        if instr.op is OpType.F:
+            attn_out, a = self._take(dev, self._helix_tags("attn_out", post_layer, mb))
+            z, post_ctx = blocks.post_attention_fwd(
+                self.model.layers[post_layer], attn_out, a
+            )
+            if wo_attn:
+                dev.stash[("rc_in", pos, mb)] = (attn_out, a)
+            else:
+                dev.stash[("post_ctx", post_layer, mb)] = post_ctx
+            if pre_layer is None:
+                dev.stash[("act", mb)] = z  # feeds the head
+            else:
+                lp = self.model.layers[pre_layer]
+                x, pre_ctx = blocks.pre_attention_fwd(lp, z, self.ship_qkv)
+                if not wo_attn:
+                    dev.stash[("pre_ctx", pre_layer, mb)] = pre_ctx
+                tag = self._helix_tags("pre_out", pre_layer, mb)
+                local = not self._tag_is_sent(instr.stage, tag)
+                self._put_out(dev, tag, self._pre_payload(lp, x, z), local)
+        elif instr.op is OpType.RC:
+            attn_out, a = dev.stash.pop(("rc_in", pos, mb))
+            z, post_ctx = blocks.post_attention_fwd(
+                self.model.layers[post_layer], attn_out, a
+            )
+            dev.stash[("post_ctx", post_layer, mb)] = post_ctx
+            if pre_layer is not None:
+                _, pre_ctx = blocks.pre_attention_fwd(
+                    self.model.layers[pre_layer], z, self.ship_qkv
+                )
+                dev.stash[("pre_ctx", pre_layer, mb)] = pre_ctx
+            elif self.recompute is not RecomputeStrategy.NONE:
+                dev.stash[("head_in", mb)] = z
+        elif instr.op is OpType.B:
+            if pre_layer is not None:
+                dx, da_resid, qkv_grads = self._take_grad_payload(
+                    dev, pre_layer, mb, instr.stage
+                )
+                da_pre, pre_grads = blocks.pre_attention_bwd(
+                    dev.stash.pop(("pre_ctx", pre_layer, mb)), dx
+                )
+                for k, v in pre_grads.items():
+                    dev.acc(("layer", pre_layer), k, v)
+                if qkv_grads is not None:
+                    dw, db = qkv_grads
+                    dev.acc(("layer", pre_layer), "w_qkv", dw)
+                    dev.acc(("layer", pre_layer), "b_qkv", db)
+                dz = da_pre + da_resid
+            else:
+                dz = dev.stash.pop(("grad", mb))  # from the head backward
+            d_attn, da, post_grads = blocks.post_attention_bwd(
+                dev.stash.pop(("post_ctx", post_layer, mb)), dz
+            )
+            for k, v in post_grads.items():
+                dev.acc(("layer", post_layer), k, v)
+            tag = self._helix_tags("d_attn_out", post_layer, mb)
+            local = not self._tag_is_sent(instr.stage, tag)
+            self._put_out(dev, tag, (d_attn, da), local)
+
+    def _take_grad_payload(self, dev: _Device, layer: int, mb: int, stage: int):
+        return self._take(dev, self._helix_tags("d_pre_out", layer, mb))
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _tag_is_sent(self, stage: int, tag: str) -> bool:
+        """True when the stage's program contains a SEND for ``tag``."""
+        cache = getattr(self, "_send_tags", None)
+        if cache is None:
+            cache = [
+                {i.tag for i in prog if isinstance(i, SendInstr)}
+                for prog in self.schedule.programs
+            ]
+            self._send_tags = cache
+        return tag in cache[stage]
+
+    def _merge_grads(self) -> dict[str, np.ndarray]:
+        merged: dict[str, np.ndarray] = {}
+        for dev in self.devices:
+            for (scope, name), value in dev.grads.items():
+                if scope == "embed":
+                    key = f"embed.{name}"
+                elif scope == "head":
+                    key = f"head.{name}"
+                else:
+                    key = f"layer{scope[1]}.{name}"
+                if key in merged:
+                    merged[key] += value
+                else:
+                    merged[key] = value.copy()
+        return merged
+
+
+def run_schedule(
+    model: GPTModel,
+    schedule: Schedule,
+    tokens: np.ndarray,
+    targets: np.ndarray,
+    recompute: RecomputeStrategy = RecomputeStrategy.NONE,
+    ship_qkv: bool = False,
+) -> RuntimeResult:
+    """Convenience wrapper around :class:`PipelineRuntime`."""
+    return PipelineRuntime(model, schedule, tokens, targets, recompute, ship_qkv).run()

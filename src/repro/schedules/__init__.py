@@ -1,0 +1,36 @@
+"""Pipeline schedule IR, cost providers and baseline schedule builders."""
+
+from repro.schedules.adapipe import build_adapipe
+from repro.schedules.costs import CostProvider, PipelineCosts, SegCost, UnitCosts
+from repro.schedules.gpipe import build_gpipe
+from repro.schedules.ir import (
+    ComputeInstr,
+    Instr,
+    OpType,
+    RecvInstr,
+    Schedule,
+    SendInstr,
+)
+from repro.schedules.interleaved import build_interleaved_1f1b
+from repro.schedules.one_f_one_b import build_1f1b
+from repro.schedules.zb1p import build_zb1p
+from repro.schedules.zb_milp import build_zb_milp
+
+__all__ = [
+    "Schedule",
+    "OpType",
+    "Instr",
+    "ComputeInstr",
+    "SendInstr",
+    "RecvInstr",
+    "CostProvider",
+    "PipelineCosts",
+    "UnitCosts",
+    "SegCost",
+    "build_1f1b",
+    "build_gpipe",
+    "build_zb1p",
+    "build_zb_milp",
+    "build_adapipe",
+    "build_interleaved_1f1b",
+]

@@ -1,0 +1,246 @@
+"""AdaPipe baseline: adaptive recomputation + adaptive partition (Sun et
+al., ASPLOS'24; paper Sections 5.1 and 6.3).
+
+AdaPipe keeps the 1F1B micro-batch order but chooses, per pipeline stage,
+
+* how many consecutive layers the stage owns (**adaptive partition**), and
+* which recomputation strategy the stage applies (**adaptive
+  recomputation**),
+
+to minimise the bottleneck stage time subject to each stage's memory
+capacity under 1F1B's skewed ``p - i`` outstanding-micro-batch footprint.
+The original system solves this with a two-level DP; we implement the
+same structure directly: ``dp[i][l]`` = best achievable bottleneck time
+after assigning the first ``l`` layers to the first ``i`` stages, with
+per-stage choices enumerated exactly.
+
+The paper's observation (Section 5.2) falls out of this model: at very
+long sequence lengths attention dominates every layer, so no partition
+re-balancing can beat plain 1F1B -- AdaPipe matches but does not exceed
+it -- while its recomputation choices do let it *fit* longer sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel.memory import RecomputeStrategy
+from repro.model.partition import Segment, SegmentKind
+from repro.schedules.costs import CostProvider, PipelineCosts, SegCost
+from repro.schedules.ir import Schedule
+from repro.schedules.layerwise import LayerwiseBuilder
+from repro.schedules.one_f_one_b import one_f_one_b_order
+
+__all__ = ["AdaPipePlan", "plan_adapipe", "build_adapipe", "AdaPipeCosts"]
+
+_STRATEGIES = (
+    RecomputeStrategy.NONE,
+    RecomputeStrategy.SELECTIVE,
+    RecomputeStrategy.WITHOUT_ATTENTION,
+    RecomputeStrategy.FULL,
+)
+
+
+@dataclass(frozen=True)
+class AdaPipePlan:
+    """Chosen layer counts and recompute strategies per stage."""
+
+    layers_per_stage: tuple[int, ...]
+    strategy_per_stage: tuple[RecomputeStrategy, ...]
+    bottleneck_time: float
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.layers_per_stage)
+
+
+def _stage_time(cost: SegCost, num_micro_batches: int) -> float:
+    """Steady-state compute time of a stage over one iteration."""
+    return (cost.f + cost.b) * num_micro_batches
+
+
+def plan_adapipe(
+    cost_providers: dict[RecomputeStrategy, CostProvider],
+    num_stages: int,
+    num_micro_batches: int,
+    memory_cap_bytes: float | None = None,
+    static_memory_bytes: float = 0.0,
+) -> AdaPipePlan:
+    """DP over (stage, layers assigned) minimising the bottleneck stage.
+
+    Parameters
+    ----------
+    cost_providers:
+        One provider per candidate recompute strategy (they share the
+        workload shape; only stash/duration differ).
+    memory_cap_bytes:
+        Per-GPU memory capacity; stages whose 1F1B footprint
+        (``(p - i)`` outstanding micro batches of their stash plus
+        ``static_memory_bytes``) exceeds it are infeasible.  ``None``
+        disables the constraint.
+    """
+    any_provider = next(iter(cost_providers.values()))
+    L = any_provider.num_layers
+    p = num_stages
+    if p <= 0 or L < p:
+        raise ValueError("need at least one layer per stage")
+
+    # Pre-compute per-(n layers, strategy) stage time and stash bytes.
+    per_layer: dict[RecomputeStrategy, SegCost] = {
+        strat: prov.segment_cost(Segment(SegmentKind.LAYERS, 0, 1))
+        for strat, prov in cost_providers.items()
+    }
+
+    def feasible(stage: int, n: int, strat: RecomputeStrategy) -> bool:
+        if memory_cap_bytes is None:
+            return True
+        outstanding = p - stage
+        peak = (
+            static_memory_bytes
+            + outstanding * per_layer[strat].stash_bytes * n
+            + per_layer[strat].rc_extra_stash_bytes
+            + per_layer[strat].workspace_bytes
+        )
+        return peak <= memory_cap_bytes
+
+    INF = float("inf")
+    # dp[l] after processing i stages: (bottleneck, choices tuple)
+    dp: dict[int, tuple[float, tuple]] = {0: (0.0, ())}
+    for stage in range(p):
+        nxt: dict[int, tuple[float, tuple]] = {}
+        remaining_stages = p - stage - 1
+        for assigned, (bott, choices) in dp.items():
+            max_n = L - assigned - remaining_stages
+            for n in range(1, max_n + 1):
+                for strat in _STRATEGIES:
+                    if strat not in per_layer or not feasible(stage, n, strat):
+                        continue
+                    t = _stage_time(per_layer[strat], num_micro_batches) * n
+                    cand = max(bott, t)
+                    key = assigned + n
+                    prev = nxt.get(key, (INF, ()))
+                    if cand < prev[0]:
+                        nxt[key] = (cand, choices + ((n, strat),))
+        dp = nxt
+        if not dp:
+            raise ValueError(
+                "AdaPipe: no feasible plan under the memory cap "
+                f"(stage {stage}, cap {memory_cap_bytes})"
+            )
+    if L not in dp:
+        raise ValueError("AdaPipe: could not assign all layers")
+    bott, choices = dp[L]
+    return AdaPipePlan(
+        layers_per_stage=tuple(n for n, _ in choices),
+        strategy_per_stage=tuple(s for _, s in choices),
+        bottleneck_time=bott,
+    )
+
+
+class AdaPipeCosts(CostProvider):
+    """Dispatches segment costs to the per-stage strategy chosen by the plan.
+
+    LAYERS segments are identified by their first layer, which maps to a
+    stage through the plan's partition.
+    """
+
+    def __init__(
+        self,
+        cost_providers: dict[RecomputeStrategy, CostProvider],
+        plan: AdaPipePlan,
+    ) -> None:
+        self.providers = cost_providers
+        self.plan = plan
+        any_provider = next(iter(cost_providers.values()))
+        self.num_layers = any_provider.num_layers
+        self.recompute = RecomputeStrategy.NONE  # per-stage override below
+        self._stage_of_layer: dict[int, int] = {}
+        start = 0
+        for stage, n in enumerate(plan.layers_per_stage):
+            for l in range(start, start + n):
+                self._stage_of_layer[l] = stage
+            start += n
+        self._default = any_provider
+
+    def segment_cost(self, seg: Segment) -> SegCost:
+        if seg.kind is SegmentKind.LAYERS:
+            stage = self._stage_of_layer[seg.layer]
+            strat = self.plan.strategy_per_stage[stage]
+            return self.providers[strat].segment_cost(seg)
+        return self._default.segment_cost(seg)
+
+    def boundary_bytes(self, kind: str) -> float:
+        return self._default.boundary_bytes(kind)
+
+    def head_logits_stash_bytes(self) -> float:
+        return self._default.head_logits_stash_bytes()
+
+
+def build_adapipe(
+    num_stages: int,
+    num_micro_batches: int,
+    cost_providers: dict[RecomputeStrategy, CostProvider] | CostProvider,
+    memory_cap_bytes: float | None = None,
+    static_memory_bytes: float = 0.0,
+    include_embed: bool = True,
+    include_head: bool = True,
+) -> Schedule:
+    """Plan and materialise AdaPipe (1F1B order, adaptive partition/recompute).
+
+    ``cost_providers`` may be a single :class:`PipelineCosts`; variants
+    for the other strategies are derived from it automatically.
+    """
+    if isinstance(cost_providers, CostProvider):
+        base = cost_providers
+        if not isinstance(base, PipelineCosts):
+            cost_providers = {base.recompute: base}
+        else:
+            cost_providers = {
+                strat: PipelineCosts(
+                    model=base.model,
+                    cluster=base.cluster,
+                    micro_batch=base.b,
+                    seq_len=base.s,
+                    recompute=strat,
+                    ship_qkv_weights=base.ship_qkv_weights,
+                    chunked_mlp=base.chunked_mlp,
+                    mlp_chunk_rows=base.mlp_chunk_rows,
+                )
+                for strat in _STRATEGIES
+            }
+    plan = plan_adapipe(
+        cost_providers,
+        num_stages,
+        num_micro_batches,
+        memory_cap_bytes=memory_cap_bytes,
+        static_memory_bytes=static_memory_bytes,
+    )
+    costs = AdaPipeCosts(cost_providers, plan)
+    partition: list[list[Segment]] = []
+    start = 0
+    for stage, n in enumerate(plan.layers_per_stage):
+        segs: list[Segment] = []
+        if stage == 0 and include_embed:
+            segs.append(Segment(SegmentKind.EMBED))
+        segs.append(Segment(SegmentKind.LAYERS, layer=start, num_layers=n))
+        if stage == num_stages - 1 and include_head:
+            segs.append(Segment(SegmentKind.HEAD))
+        partition.append(segs)
+        start += n
+    builder = LayerwiseBuilder(
+        name="adapipe",
+        num_stages=num_stages,
+        num_micro_batches=num_micro_batches,
+        costs=costs,
+        include_embed=include_embed,
+        include_head=include_head,
+        partition=partition,
+    )
+    orders = [
+        one_f_one_b_order(num_stages, num_micro_batches, i)
+        for i in range(num_stages)
+    ]
+    sched = builder.build(orders)
+    sched.name = "adapipe"
+    sched.meta["plan"] = plan
+    return sched

@@ -1,0 +1,420 @@
+"""Cost providers: map segments to durations, stash bytes and volumes.
+
+Schedule builders are hardware-agnostic; they ask a cost provider for
+
+* per-segment phase durations (forward / backward-B / backward-W /
+  recompute),
+* stashed-activation bytes created by a forward and released by a
+  backward (split between BI and BW when they are decoupled),
+* message sizes for each boundary kind.
+
+Two providers are supplied: :class:`PipelineCosts` derives everything
+from the roofline timing model, Table 1 memory accounting and the cluster
+spec; :class:`UnitCosts` reproduces the abstract 1:3:2 unit-time setting
+of the paper's schedule figures (Figures 2, 5, 6, 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.topology import ClusterSpec
+from repro.comm.volumes import BoundaryVolumes, boundary_volumes
+from repro.costmodel.memory import (
+    FP16_BYTES,
+    RecomputeStrategy,
+    logits_stash_bytes,
+)
+from repro.costmodel.timing import LayerTimes, PhaseTimes, TimingModel, unit_layer_times
+from repro.model.config import ModelConfig
+from repro.model.partition import Segment, SegmentKind
+
+__all__ = ["SegCost", "CostProvider", "PipelineCosts", "UnitCosts"]
+
+#: Table 1 activation elements (x bsh) attributed to each phase of a layer:
+#: pre = ln1 + qkv inputs, attn = flash-attention intermediates,
+#: post = o/ln2/linear1/gelu/linear2 inputs.
+_PHASE_STASH_X_BSH = {"pre": 2.0, "attn": 3.0, "post": 11.0}
+#: Under recomputation-without-attention the attention phase keeps its
+#: input+output (2bsh) and the fused post+pre phase its two boundary
+#: tensors (2bsh); everything else is recomputed (Section 4.4.1).
+_PHASE_STASH_WO_ATTN_X_BSH = {"pre": 0.0, "attn": 2.0, "post": 2.0}
+#: Fraction of a layer-wise stash that backward-B can already release
+#: (everything except the linear inputs that backward-W still needs:
+#: qkv bsh + o bsh + linear1 bsh + linear2 4bsh = 7 of 16).
+_BI_RELEASE_FRACTION = 9.0 / 16.0
+
+
+@dataclass(frozen=True)
+class SegCost:
+    """Durations (seconds) and stash bytes for one segment."""
+
+    f: float  # forward duration
+    bi: float  # backward w.r.t. inputs
+    bw: float  # backward w.r.t. weights
+    rc: float  # recompute-forward duration (0 when nothing is recomputed)
+    stash_bytes: float  # activation bytes created by F, freed by backward
+    workspace_bytes: float = 0.0  # transient bytes while any op of it runs
+    #: Bytes of intermediates re-materialised by a recompute pass; they
+    #: live from the RC instruction until the matching backward frees them.
+    rc_extra_stash_bytes: float = 0.0
+
+    @property
+    def b(self) -> float:
+        """Fused backward duration (includes recompute when folded)."""
+        return self.bi + self.bw
+
+
+class CostProvider:
+    """Interface expected by schedule builders."""
+
+    num_layers: int
+    recompute: RecomputeStrategy
+
+    def segment_cost(self, seg: Segment) -> SegCost:
+        raise NotImplementedError
+
+    def boundary_bytes(self, kind: str) -> float:
+        """Per-GPU message size for 'layerwise' / 'pre_to_attn' / 'attn_to_post'."""
+        raise NotImplementedError
+
+    def bi_release_fraction(self) -> float:
+        """Fraction of stash released by BI when B/W are decoupled."""
+        return _BI_RELEASE_FRACTION
+
+    def head_logits_stash_bytes(self) -> float:
+        """fp32 logits bytes stashed per outstanding head backward-W."""
+        return 0.0
+
+
+class PipelineCosts(CostProvider):
+    """Hardware-derived costs for a (model, cluster, b, s) workload.
+
+    Parameters
+    ----------
+    model, cluster:
+        Architecture and hardware.
+    micro_batch, seq_len:
+        Workload shape.
+    recompute:
+        Strategy applied during backward (Section 4.4.1).
+    ship_qkv_weights:
+        Move the QKV GEMM to the attention stage and shrink the
+        pre->attn boundary to ``2bsh + 3h^2`` (Section 4.2).
+    chunked_mlp:
+        Bound the transient MLP workspace to ``chunk_elems`` rows
+        (Section 4.4.2); affects workspace bytes only.
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        cluster: ClusterSpec,
+        micro_batch: int = 1,
+        seq_len: int = 32768,
+        recompute: RecomputeStrategy = RecomputeStrategy.WITHOUT_ATTENTION,
+        ship_qkv_weights: bool = True,
+        chunked_mlp: bool = True,
+        mlp_chunk_rows: int = 2048,
+        causal: bool = True,
+    ) -> None:
+        self.model = model
+        self.cluster = cluster
+        self.b = micro_batch
+        self.s = seq_len
+        self.sp = cluster.sequence_parallel_size
+        self.num_layers = model.num_layers
+        self.recompute = recompute
+        self.ship_qkv_weights = ship_qkv_weights
+        self.chunked_mlp = chunked_mlp
+        self.mlp_chunk_rows = mlp_chunk_rows
+        self.timing = TimingModel(
+            cluster.node.gpu, model, micro_batch, seq_len, sp=self.sp, causal=causal
+        )
+        self.layer = self.timing.layer_times()
+        self.volumes = boundary_volumes(
+            micro_batch, seq_len, model.hidden_size, ship_qkv_weights
+        )
+        self._bsh_bytes = float(micro_batch) * seq_len * model.hidden_size * FP16_BYTES
+
+    # -- internals ----------------------------------------------------------
+
+    def _phase_stash(self, phase: str) -> float:
+        if self.recompute is RecomputeStrategy.WITHOUT_ATTENTION:
+            x = _PHASE_STASH_WO_ATTN_X_BSH[phase]
+        elif self.recompute is RecomputeStrategy.NONE:
+            x = _PHASE_STASH_X_BSH[phase]
+        elif self.recompute is RecomputeStrategy.SELECTIVE:
+            x = {"pre": 2.0, "attn": 0.0, "post": 11.0}[phase]
+        else:  # FULL: layer input only, charged to the pre phase
+            x = {"pre": 1.0, "attn": 0.0, "post": 0.0}[phase]
+        return x * self._bsh_bytes / self.sp
+
+    def _layer_stash(self) -> float:
+        return sum(self._phase_stash(ph) for ph in ("pre", "attn", "post"))
+
+    def _phase_rc_extra(self, phase: str) -> float:
+        """Bytes re-materialised for ``phase`` by its recompute pass."""
+        recomputed = {
+            RecomputeStrategy.NONE: (),
+            RecomputeStrategy.SELECTIVE: ("attn",),
+            RecomputeStrategy.WITHOUT_ATTENTION: ("pre", "post"),
+            RecomputeStrategy.FULL: ("pre", "attn", "post"),
+        }[self.recompute]
+        if phase not in recomputed:
+            return 0.0
+        full = _PHASE_STASH_X_BSH[phase] * self._bsh_bytes / self.sp
+        return max(0.0, full - self._phase_stash(phase))
+
+    def _layer_recompute_time(self) -> float:
+        """Forward time re-executed per layer before its backward."""
+        lt = self.layer
+        if self.recompute is RecomputeStrategy.NONE:
+            return 0.0
+        if self.recompute is RecomputeStrategy.SELECTIVE:
+            return lt.attn.fwd
+        if self.recompute is RecomputeStrategy.WITHOUT_ATTENTION:
+            return lt.pre.fwd + lt.post.fwd
+        return lt.fwd  # FULL
+
+    def _mlp_workspace(self) -> float:
+        """Transient MLP intermediate: 4h wide, full s (or one chunk)."""
+        rows = min(self.mlp_chunk_rows, self.s) if self.chunked_mlp else self.s
+        h = self.model.hidden_size
+        return 4.0 * self.b * rows * h * FP16_BYTES / self.sp
+
+    def _pre_times(self) -> PhaseTimes:
+        lt = self.layer
+        if self.ship_qkv_weights:
+            return PhaseTimes(
+                lt.pre.fwd - lt.qkv.fwd,
+                lt.pre.bwd_b - lt.qkv.bwd_b,
+                lt.pre.bwd_w - lt.qkv.bwd_w,
+            )
+        return lt.pre
+
+    def _attn_times(self) -> PhaseTimes:
+        lt = self.layer
+        if self.ship_qkv_weights:
+            return PhaseTimes(
+                lt.attn.fwd + lt.qkv.fwd,
+                lt.attn.bwd_b + lt.qkv.bwd_b,
+                lt.attn.bwd_w + lt.qkv.bwd_w,
+            )
+        return lt.attn
+
+    # -- CostProvider API ----------------------------------------------------
+
+    def segment_cost(self, seg: Segment) -> SegCost:
+        lt = self.layer
+        k = seg.kind
+        if k is SegmentKind.LAYERS:
+            n = seg.num_layers
+            rc = self._layer_recompute_time() * n
+            rc_extra = sum(
+                self._phase_rc_extra(ph) for ph in ("pre", "attn", "post")
+            ) * n
+            # Layer-wise schedules fold recompute into the backward pass.
+            return SegCost(
+                f=lt.fwd * n,
+                bi=(lt.pre.bwd_b + lt.attn.bwd_b + lt.post.bwd_b) * n + rc,
+                bw=(lt.pre.bwd_w + lt.attn.bwd_w + lt.post.bwd_w) * n,
+                rc=0.0,
+                stash_bytes=self._layer_stash() * n,
+                workspace_bytes=self._mlp_workspace(),
+                rc_extra_stash_bytes=rc_extra,
+            )
+        if k is SegmentKind.PRE:
+            t = self._pre_times()
+            return SegCost(
+                f=t.fwd,
+                bi=t.bwd_b,
+                bw=t.bwd_w,
+                rc=t.fwd if self._recompute_pre_post() else 0.0,
+                stash_bytes=self._phase_stash("pre"),
+                rc_extra_stash_bytes=self._phase_rc_extra("pre"),
+            )
+        if k is SegmentKind.ATTN:
+            t = self._attn_times()
+            return SegCost(
+                f=t.fwd,
+                bi=t.bwd_b,
+                bw=t.bwd_w,
+                rc=0.0,  # attention is never recomputed by HelixPipe
+                stash_bytes=self._phase_stash("attn"),
+            )
+        if k is SegmentKind.POST:
+            return SegCost(
+                f=lt.post.fwd,
+                bi=lt.post.bwd_b,
+                bw=lt.post.bwd_w,
+                rc=lt.post.fwd if self._recompute_pre_post() else 0.0,
+                stash_bytes=self._phase_stash("post"),
+                workspace_bytes=self._mlp_workspace(),
+                rc_extra_stash_bytes=self._phase_rc_extra("post"),
+            )
+        if k is SegmentKind.POST_PRE:
+            pre = self._pre_times()
+            t = PhaseTimes(
+                lt.post.fwd + pre.fwd,
+                lt.post.bwd_b + pre.bwd_b,
+                lt.post.bwd_w + pre.bwd_w,
+            )
+            return SegCost(
+                f=t.fwd,
+                bi=t.bwd_b,
+                bw=t.bwd_w,
+                rc=t.fwd if self._recompute_pre_post() else 0.0,
+                stash_bytes=self._phase_stash("post") + self._phase_stash("pre"),
+                workspace_bytes=self._mlp_workspace(),
+                rc_extra_stash_bytes=self._phase_rc_extra("post")
+                + self._phase_rc_extra("pre"),
+            )
+        if k is SegmentKind.EMBED:
+            t = self.timing.embedding_times()
+            return SegCost(
+                f=t.fwd, bi=t.bwd_b, bw=t.bwd_w, rc=0.0,
+                stash_bytes=self._bsh_bytes / self.sp,
+            )
+        if k is SegmentKind.HEAD:
+            t = self.timing.head_times()
+            return SegCost(
+                f=t.fwd, bi=t.bwd_b, bw=t.bwd_w, rc=0.0,
+                stash_bytes=self._bsh_bytes / self.sp,
+            )
+        raise ValueError(f"unknown segment kind: {k}")
+
+    def _recompute_pre_post(self) -> bool:
+        return self.recompute in (
+            RecomputeStrategy.WITHOUT_ATTENTION,
+            RecomputeStrategy.FULL,
+        )
+
+    def boundary_bytes(self, kind: str) -> float:
+        return self.volumes.bytes(kind, sp=self.sp)
+
+    def head_logits_stash_bytes(self) -> float:
+        return logits_stash_bytes(self.b, self.s, self.model.vocab_size, sp=self.sp)
+
+
+class UnitCosts(CostProvider):
+    """Abstract unit-time costs matching the paper's schedule figures.
+
+    Pre : attention : post forward times default to 1:3:2, backward equals
+    forward (the figures draw them the same width), boundaries cost
+    ``comm_time`` each, and memory stash is one abstract unit per layer.
+    """
+
+    def __init__(
+        self,
+        num_layers: int,
+        ratio: tuple[float, float, float] = (1.0, 3.0, 2.0),
+        comm_time: float = 0.0,
+        recompute: RecomputeStrategy = RecomputeStrategy.NONE,
+        backward_multiplier: float = 1.0,
+    ) -> None:
+        self.num_layers = num_layers
+        self.ratio = ratio
+        self.comm_time = comm_time
+        self.recompute = recompute
+        self.backward_multiplier = backward_multiplier
+        self._lt: LayerTimes = unit_layer_times(ratio)
+
+    #: Stashed abstract units per phase (x 1 per layer) for each strategy,
+    #: mirroring :data:`_PHASE_STASH_X_BSH` in unit-world terms.
+    _UNIT_STASH = {
+        RecomputeStrategy.NONE: {"pre": 2.0, "attn": 3.0, "post": 11.0},
+        RecomputeStrategy.SELECTIVE: {"pre": 2.0, "attn": 0.0, "post": 11.0},
+        RecomputeStrategy.WITHOUT_ATTENTION: {"pre": 0.0, "attn": 2.0, "post": 2.0},
+        RecomputeStrategy.FULL: {"pre": 1.0, "attn": 0.0, "post": 0.0},
+    }
+
+    def _stash(self, phase: str) -> float:
+        return self._UNIT_STASH[self.recompute][phase]
+
+    def _rc_extra(self, phase: str) -> float:
+        recomputed = {
+            RecomputeStrategy.NONE: (),
+            RecomputeStrategy.SELECTIVE: ("attn",),
+            RecomputeStrategy.WITHOUT_ATTENTION: ("pre", "post"),
+            RecomputeStrategy.FULL: ("pre", "attn", "post"),
+        }[self.recompute]
+        if phase not in recomputed:
+            return 0.0
+        full = self._UNIT_STASH[RecomputeStrategy.NONE][phase]
+        return max(0.0, full - self._stash(phase))
+
+    def segment_cost(self, seg: Segment) -> SegCost:
+        lt = self._lt
+        m = self.backward_multiplier
+        k = seg.kind
+        recompute_pre_post = self.recompute in (
+            RecomputeStrategy.WITHOUT_ATTENTION,
+            RecomputeStrategy.FULL,
+        )
+        if k is SegmentKind.LAYERS:
+            n = seg.num_layers
+            rc = (lt.pre.fwd + lt.post.fwd) * n if recompute_pre_post else 0.0
+            if self.recompute is RecomputeStrategy.SELECTIVE:
+                rc = lt.attn.fwd * n
+            elif self.recompute is RecomputeStrategy.FULL:
+                rc = lt.fwd * n
+            return SegCost(
+                f=lt.fwd * n,
+                bi=(lt.pre.bwd_b + lt.attn.bwd_b + lt.post.bwd_b) * m * n + rc,
+                bw=(lt.pre.bwd_w + lt.post.bwd_w) * m * n,
+                rc=0.0,
+                stash_bytes=sum(self._stash(ph) for ph in ("pre", "attn", "post")) * n,
+                rc_extra_stash_bytes=sum(
+                    self._rc_extra(ph) for ph in ("pre", "attn", "post")
+                )
+                * n,
+            )
+        if k is SegmentKind.PRE:
+            return SegCost(
+                f=lt.pre.fwd,
+                bi=lt.pre.bwd_b * m,
+                bw=lt.pre.bwd_w * m,
+                rc=lt.pre.fwd if recompute_pre_post else 0.0,
+                stash_bytes=self._stash("pre"),
+                rc_extra_stash_bytes=self._rc_extra("pre"),
+            )
+        if k is SegmentKind.ATTN:
+            return SegCost(
+                f=lt.attn.fwd,
+                bi=lt.attn.bwd_b * m,
+                bw=0.0,
+                rc=0.0,
+                stash_bytes=self._stash("attn"),
+            )
+        if k is SegmentKind.POST:
+            return SegCost(
+                f=lt.post.fwd,
+                bi=lt.post.bwd_b * m,
+                bw=lt.post.bwd_w * m,
+                rc=lt.post.fwd if recompute_pre_post else 0.0,
+                stash_bytes=self._stash("post"),
+                rc_extra_stash_bytes=self._rc_extra("post"),
+            )
+        if k is SegmentKind.POST_PRE:
+            f = lt.post.fwd + lt.pre.fwd
+            return SegCost(
+                f=f,
+                bi=(lt.post.bwd_b + lt.pre.bwd_b) * m,
+                bw=(lt.post.bwd_w + lt.pre.bwd_w) * m,
+                rc=f if recompute_pre_post else 0.0,
+                stash_bytes=self._stash("post") + self._stash("pre"),
+                rc_extra_stash_bytes=self._rc_extra("post") + self._rc_extra("pre"),
+            )
+        if k in (SegmentKind.EMBED, SegmentKind.HEAD):
+            return SegCost(f=0.0, bi=0.0, bw=0.0, rc=0.0, stash_bytes=0.0)
+        raise ValueError(f"unknown segment kind: {k}")
+
+    def boundary_bytes(self, kind: str) -> float:
+        # Unit world: one abstract byte so transfers take `comm_time`
+        # under a unit-bandwidth link; the simulator uses the cluster's
+        # p2p model, so unit schedules pair with `uniform_link` clusters.
+        return self.comm_time
+
+    def head_logits_stash_bytes(self) -> float:
+        return 0.0

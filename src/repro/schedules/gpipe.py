@@ -1,0 +1,40 @@
+"""GPipe: layer-wise FILO schedule (Huang et al., 2019; paper Section 6.2).
+
+All micro batches run forward, then backward in reverse (first-in,
+last-out).  Peak activation memory is the full ``m`` micro batches on
+every stage, which is why GPipe is usually paired with full
+recomputation; it serves here as the FILO reference point that HelixPipe's
+schedule refines.
+"""
+
+from __future__ import annotations
+
+from repro.schedules.costs import CostProvider
+from repro.schedules.ir import Schedule
+from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
+
+__all__ = ["build_gpipe"]
+
+
+def build_gpipe(
+    num_stages: int,
+    num_micro_batches: int,
+    costs: CostProvider,
+    include_embed: bool = True,
+    include_head: bool = True,
+) -> Schedule:
+    """All forwards in order, then all backwards in reverse order."""
+    builder = LayerwiseBuilder(
+        name="gpipe",
+        num_stages=num_stages,
+        num_micro_batches=num_micro_batches,
+        costs=costs,
+        include_embed=include_embed,
+        include_head=include_head,
+    )
+    orders: list[list[SymbolicOp]] = []
+    for _ in range(num_stages):
+        order: list[SymbolicOp] = [("F", k) for k in range(num_micro_batches)]
+        order.extend(("B", k) for k in reversed(range(num_micro_batches)))
+        orders.append(order)
+    return builder.build(orders)

@@ -1,0 +1,203 @@
+"""Interleaved 1F1B (Megatron virtual pipeline; paper Section 6.2).
+
+Each stage owns ``v`` *chunks* of ``L / (p v)`` consecutive layers --
+chunk ``c`` lives on stage ``c mod p`` -- so a micro batch crosses every
+stage ``v`` times.  The bubble shrinks roughly by ``v`` at the price of
+``v`` times the p2p traffic and, as the paper notes, the need for many
+micro batches to saturate the pipeline, which is why HelixPipe does not
+build on it for long sequences.
+
+The schedule is expressed as a task DAG (forward/backward of each (chunk,
+micro batch), chained across chunks) and ordered per stage by the shared
+list scheduler with 1F1B-style priorities: within a round of ``p`` micro
+batches, lower chunk first in forward, the FILO mirror in backward, and
+a chained backward entry so gradients drain in order.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.model.partition import Segment, SegmentKind
+from repro.schedules.costs import CostProvider
+from repro.schedules.ir import (
+    ComputeInstr,
+    Instr,
+    OpType,
+    RecvInstr,
+    Schedule,
+    SendInstr,
+)
+from repro.schedules.planner import PlannedTask, list_schedule
+
+__all__ = ["build_interleaved_1f1b"]
+
+
+def build_interleaved_1f1b(
+    num_stages: int,
+    num_micro_batches: int,
+    costs: CostProvider,
+    num_chunks_per_stage: int = 2,
+    include_embed: bool = True,
+    include_head: bool = True,
+) -> Schedule:
+    """Build the interleaved schedule with ``v = num_chunks_per_stage``."""
+    p, m, v = num_stages, num_micro_batches, num_chunks_per_stage
+    if p <= 0 or m <= 0 or v <= 0:
+        raise ValueError("num_stages, num_micro_batches, num_chunks must be positive")
+    L = costs.num_layers
+    total_chunks = p * v
+    if L % total_chunks != 0:
+        raise ValueError(
+            f"num_layers ({L}) must be divisible by p*v ({total_chunks})"
+        )
+    per_chunk = L // total_chunks
+
+    def chunk_stage(c: int) -> int:
+        return c % p
+
+    def chunk_seg(c: int) -> Segment:
+        return Segment(SegmentKind.LAYERS, layer=c * per_chunk, num_layers=per_chunk)
+
+    # -- task graph -------------------------------------------------------------
+    ids = itertools.count()
+    tasks: list[PlannedTask] = []
+    f_id: dict[tuple[int, int], int] = {}
+    prev_b_entry: int | None = None
+    seg_costs = {c: costs.segment_cost(chunk_seg(c)) for c in range(total_chunks)}
+    embed_cost = costs.segment_cost(Segment(SegmentKind.EMBED))
+    head_cost = costs.segment_cost(Segment(SegmentKind.HEAD))
+    for mb in range(m):
+        rnd = mb // p
+        for c in range(total_chunks):
+            dur = seg_costs[c].f
+            if c == 0 and include_embed:
+                dur += embed_cost.f
+            if c == total_chunks - 1 and include_head:
+                dur += head_cost.f
+            t = PlannedTask(
+                tid=next(ids),
+                stage=chunk_stage(c),
+                key=(0, rnd, c, mb % p),
+                duration=dur,
+                deps=[] if c == 0 else [f_id[(c - 1, mb)]],
+                payload=("F", c, mb),
+            )
+            tasks.append(t)
+            f_id[(c, mb)] = t.tid
+    for mb in range(m):
+        rnd = mb // p
+        prev: int | None = None
+        for c in range(total_chunks - 1, -1, -1):
+            dur = seg_costs[c].b
+            if c == 0 and include_embed:
+                dur += embed_cost.b
+            if c == total_chunks - 1 and include_head:
+                dur += head_cost.b
+            deps = [f_id[(total_chunks - 1, mb)]] if prev is None else [prev]
+            if prev is None and prev_b_entry is not None:
+                deps.append(prev_b_entry)
+            t = PlannedTask(
+                tid=next(ids),
+                stage=chunk_stage(c),
+                key=(1, rnd, total_chunks - 1 - c, mb % p),
+                duration=dur,
+                deps=deps,
+                payload=("B", c, mb),
+            )
+            tasks.append(t)
+            if prev is None:
+                prev_b_entry = t.tid
+            prev = t.tid
+
+    order = list_schedule(tasks, p)
+
+    # -- emission ---------------------------------------------------------------
+    programs: list[list[Instr]] = [[] for _ in range(p)]
+
+    def fwd_tag(c: int, mb: int) -> str:
+        return f"il.fwd:c{c}:mb{mb}"
+
+    def bwd_tag(c: int, mb: int) -> str:
+        return f"il.bwd:c{c}:mb{mb}"
+
+    for stage, seq in enumerate(order):
+        prog = programs[stage]
+        for t in seq:
+            op, c, mb = t.payload
+            seg = chunk_seg(c)
+            sc = seg_costs[c]
+            if op == "F":
+                if c > 0:
+                    src = chunk_stage(c - 1)
+                    if src != stage:
+                        prog.append(
+                            RecvInstr(stage, src, fwd_tag(c, mb),
+                                      costs.boundary_bytes("layerwise"),
+                                      micro_batch=mb, payload="fwd_boundary")
+                        )
+                if c == 0 and include_embed:
+                    ec = embed_cost
+                    prog.append(ComputeInstr(OpType.F, stage, mb,
+                                             Segment(SegmentKind.EMBED),
+                                             duration=ec.f, stash_delta=ec.stash_bytes))
+                prog.append(ComputeInstr(OpType.F, stage, mb, seg, duration=sc.f,
+                                         stash_delta=sc.stash_bytes,
+                                         workspace=sc.workspace_bytes))
+                if c == total_chunks - 1:
+                    if include_head:
+                        hc = head_cost
+                        prog.append(ComputeInstr(OpType.F, stage, mb,
+                                                 Segment(SegmentKind.HEAD),
+                                                 duration=hc.f,
+                                                 stash_delta=hc.stash_bytes))
+                else:
+                    dst = chunk_stage(c + 1)
+                    if dst != stage:
+                        prog.append(
+                            SendInstr(stage, dst, fwd_tag(c + 1, mb),
+                                      costs.boundary_bytes("layerwise"),
+                                      micro_batch=mb, payload="fwd_boundary")
+                        )
+            else:  # backward
+                if c < total_chunks - 1:
+                    src = chunk_stage(c + 1)
+                    if src != stage:
+                        prog.append(
+                            RecvInstr(stage, src, bwd_tag(c, mb),
+                                      costs.boundary_bytes("layerwise"),
+                                      micro_batch=mb, payload="bwd_boundary")
+                        )
+                if c == total_chunks - 1 and include_head:
+                    hc = head_cost
+                    prog.append(ComputeInstr(OpType.B, stage, mb,
+                                             Segment(SegmentKind.HEAD),
+                                             duration=hc.b,
+                                             stash_delta=-hc.stash_bytes))
+                prog.append(ComputeInstr(OpType.B, stage, mb, seg, duration=sc.b,
+                                         stash_delta=-sc.stash_bytes,
+                                         workspace=sc.workspace_bytes
+                                         + sc.rc_extra_stash_bytes))
+                if c > 0:
+                    dst = chunk_stage(c - 1)
+                    if dst != stage:
+                        prog.append(
+                            SendInstr(stage, dst, bwd_tag(c - 1, mb),
+                                      costs.boundary_bytes("layerwise"),
+                                      micro_batch=mb, payload="bwd_boundary")
+                        )
+                elif include_embed:
+                    ec = embed_cost
+                    prog.append(ComputeInstr(OpType.B, stage, mb,
+                                             Segment(SegmentKind.EMBED),
+                                             duration=ec.b,
+                                             stash_delta=-ec.stash_bytes))
+    sched = Schedule(
+        name=f"interleaved-1f1b-v{v}",
+        num_stages=p,
+        num_micro_batches=m,
+        programs=programs,
+        meta={"family": "interleaved", "num_chunks": v, "num_layers": L},
+    )
+    sched.validate()
+    return sched

@@ -1,0 +1,244 @@
+"""Shared machinery for layer-granularity pipelines (1F1B, ZB1P, GPipe).
+
+These schedules all map ``L/p`` consecutive layers to stage ``i`` (paper
+Section 2.3), differ only in the per-stage *order* of micro-batch passes,
+and exchange one ``bsh`` activation (or gradient) per stage boundary.
+
+A concrete schedule supplies an **op order**: a per-stage list of symbolic
+``(op, micro_batch)`` pairs with ``op in {"F", "B", "BI", "BW"}``.  The
+materialiser expands each pair into segment-level compute instructions
+with durations/stash bytes from a :class:`~repro.schedules.costs.CostProvider`
+and splices in the boundary SEND/RECV pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.partition import Segment, SegmentKind, layerwise_partition
+from repro.schedules.costs import CostProvider
+from repro.schedules.ir import (
+    ComputeInstr,
+    Instr,
+    OpType,
+    RecvInstr,
+    Schedule,
+    SendInstr,
+)
+
+__all__ = ["LayerwiseBuilder", "SymbolicOp"]
+
+SymbolicOp = tuple[str, int]  # ("F" | "B" | "BI" | "BW", micro_batch)
+
+
+@dataclass
+class LayerwiseBuilder:
+    """Materialise a layer-wise pipeline schedule from symbolic op orders.
+
+    Parameters
+    ----------
+    name:
+        Schedule name for reporting.
+    num_stages, num_micro_batches:
+        Pipeline shape (``m`` need not be a multiple of ``p``).
+    costs:
+        Duration / memory / volume provider.
+    include_embed, include_head:
+        Attach the embedding to stage 0 and the LM head to the last stage
+        (Section 4.6; enabled by default so memory spikes are modelled).
+    """
+
+    name: str
+    num_stages: int
+    num_micro_batches: int
+    costs: CostProvider
+    include_embed: bool = True
+    include_head: bool = True
+    #: Override the even layer split (used by AdaPipe's adaptive
+    #: partition); must still cover the model stage by stage.
+    partition: list[list[Segment]] | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_stages <= 0 or self.num_micro_batches <= 0:
+            raise ValueError("num_stages and num_micro_batches must be positive")
+        if self.partition is None:
+            self.partition = layerwise_partition(
+                self.costs.num_layers,
+                self.num_stages,
+                include_embed=self.include_embed,
+                include_head=self.include_head,
+            )
+        elif len(self.partition) != self.num_stages:
+            raise ValueError("partition must have one segment list per stage")
+
+    # -- tags ------------------------------------------------------------------
+
+    @staticmethod
+    def _fwd_tag(mb: int, src: int) -> str:
+        return f"fwd:mb{mb}:{src}->{src + 1}"
+
+    @staticmethod
+    def _bwd_tag(mb: int, src: int) -> str:
+        return f"bwd:mb{mb}:{src}->{src - 1}"
+
+    # -- materialisation ----------------------------------------------------------
+
+    def build(self, op_orders: list[list[SymbolicOp]]) -> Schedule:
+        if len(op_orders) != self.num_stages:
+            raise ValueError("need one op order per stage")
+        programs: list[list[Instr]] = []
+        for stage, order in enumerate(op_orders):
+            prog: list[Instr] = []
+            for op, mb in order:
+                if op == "F":
+                    prog.extend(self._forward_group(stage, mb))
+                elif op == "B":
+                    prog.extend(self._backward_group(stage, mb, decoupled=False))
+                elif op == "BI":
+                    prog.extend(self._backward_group(stage, mb, decoupled=True))
+                elif op == "BW":
+                    prog.extend(self._weight_group(stage, mb))
+                else:
+                    raise ValueError(f"unknown symbolic op {op!r}")
+            programs.append(prog)
+        sched = Schedule(
+            name=self.name,
+            num_stages=self.num_stages,
+            num_micro_batches=self.num_micro_batches,
+            programs=programs,
+            meta={"family": "layerwise", "num_layers": self.costs.num_layers},
+        )
+        sched.validate()
+        return sched
+
+    # -- groups -------------------------------------------------------------------
+
+    def _forward_group(self, stage: int, mb: int) -> list[Instr]:
+        p = self.num_stages
+        nbytes = self.costs.boundary_bytes("layerwise")
+        out: list[Instr] = []
+        if stage > 0:
+            out.append(
+                RecvInstr(
+                    stage=stage,
+                    peer=stage - 1,
+                    tag=self._fwd_tag(mb, stage - 1),
+                    nbytes=nbytes,
+                    micro_batch=mb,
+                    payload="fwd_boundary",
+                )
+            )
+        for seg in self.partition[stage]:
+            c = self.costs.segment_cost(seg)
+            out.append(
+                ComputeInstr(
+                    op=OpType.F,
+                    stage=stage,
+                    micro_batch=mb,
+                    segment=seg,
+                    duration=c.f,
+                    stash_delta=c.stash_bytes,
+                    workspace=c.workspace_bytes,
+                )
+            )
+        if stage < p - 1:
+            out.append(
+                SendInstr(
+                    stage=stage,
+                    peer=stage + 1,
+                    tag=self._fwd_tag(mb, stage),
+                    nbytes=nbytes,
+                    micro_batch=mb,
+                    payload="fwd_boundary",
+                )
+            )
+        return out
+
+    def _backward_group(self, stage: int, mb: int, decoupled: bool) -> list[Instr]:
+        """B (fused) or BI pass over the stage's segments in reverse order."""
+        p = self.num_stages
+        nbytes = self.costs.boundary_bytes("layerwise")
+        logits = self.costs.head_logits_stash_bytes()
+        frac = self.costs.bi_release_fraction()
+        out: list[Instr] = []
+        if stage < p - 1:
+            out.append(
+                RecvInstr(
+                    stage=stage,
+                    peer=stage + 1,
+                    tag=self._bwd_tag(mb, stage + 1),
+                    nbytes=nbytes,
+                    micro_batch=mb,
+                    payload="bwd_boundary",
+                )
+            )
+        for seg in reversed(self.partition[stage]):
+            c = self.costs.segment_cost(seg)
+            is_head = seg.kind is SegmentKind.HEAD
+            if decoupled:
+                # BI releases part of the stash; BW releases the rest.
+                delta = -c.stash_bytes * frac
+                if is_head:
+                    delta += logits  # fp32 logits kept until BW (Fig. 10)
+                out.append(
+                    ComputeInstr(
+                        op=OpType.BI,
+                        stage=stage,
+                        micro_batch=mb,
+                        segment=seg,
+                        duration=c.bi,
+                        stash_delta=delta,
+                        workspace=c.workspace_bytes + c.rc_extra_stash_bytes,
+                    )
+                )
+            else:
+                out.append(
+                    ComputeInstr(
+                        op=OpType.B,
+                        stage=stage,
+                        micro_batch=mb,
+                        segment=seg,
+                        duration=c.b,
+                        stash_delta=-c.stash_bytes,
+                        workspace=c.workspace_bytes
+                        + c.rc_extra_stash_bytes
+                        + (logits if is_head else 0.0),
+                    )
+                )
+            if seg.kind is SegmentKind.LAYERS and stage > 0:
+                out.append(
+                    SendInstr(
+                        stage=stage,
+                        peer=stage - 1,
+                        tag=self._bwd_tag(mb, stage),
+                        nbytes=nbytes,
+                        micro_batch=mb,
+                        payload="bwd_boundary",
+                    )
+                )
+        return out
+
+    def _weight_group(self, stage: int, mb: int) -> list[Instr]:
+        """The delayed backward-W pass of ZB1P (no communication)."""
+        logits = self.costs.head_logits_stash_bytes()
+        frac = self.costs.bi_release_fraction()
+        out: list[Instr] = []
+        for seg in reversed(self.partition[stage]):
+            c = self.costs.segment_cost(seg)
+            # Emit BW even when its modelled duration is zero (unit-cost
+            # worlds): the functional runtime accumulates the deferred
+            # weight gradients here.
+            delta = -c.stash_bytes * (1.0 - frac)
+            if seg.kind is SegmentKind.HEAD:
+                delta -= logits
+            out.append(
+                ComputeInstr(
+                    op=OpType.BW,
+                    stage=stage,
+                    micro_batch=mb,
+                    segment=seg,
+                    duration=c.bw,
+                    stash_delta=delta,
+                )
+            )
+        return out

@@ -1,0 +1,57 @@
+"""1F1B pipeline schedule (PipeDream-flush / DAPPLE; paper Section 2.3.1).
+
+Stage ``i`` warms up with ``p - 1 - i`` forwards, then alternates one
+forward / one backward, then drains the outstanding backwards.  Peak
+activation memory at stage ``i`` is ``p - i`` outstanding micro batches
+(paper Eq. 2) and the bubble is ``(p-1)(t_F + t_B)`` (paper Eq. 1).
+"""
+
+from __future__ import annotations
+
+from repro.schedules.costs import CostProvider
+from repro.schedules.ir import Schedule
+from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
+
+__all__ = ["build_1f1b", "one_f_one_b_order"]
+
+
+def one_f_one_b_order(
+    num_stages: int, num_micro_batches: int, stage: int
+) -> list[SymbolicOp]:
+    """Symbolic (op, micro_batch) order of 1F1B for one stage."""
+    p, m = num_stages, num_micro_batches
+    warmup = min(p - 1 - stage, m)
+    order: list[SymbolicOp] = [("F", k) for k in range(warmup)]
+    f, b = warmup, 0
+    while f < m:
+        order.append(("F", f))
+        f += 1
+        order.append(("B", b))
+        b += 1
+    while b < m:
+        order.append(("B", b))
+        b += 1
+    return order
+
+
+def build_1f1b(
+    num_stages: int,
+    num_micro_batches: int,
+    costs: CostProvider,
+    include_embed: bool = True,
+    include_head: bool = True,
+) -> Schedule:
+    """Materialise 1F1B for every stage."""
+    builder = LayerwiseBuilder(
+        name="1f1b",
+        num_stages=num_stages,
+        num_micro_batches=num_micro_batches,
+        costs=costs,
+        include_embed=include_embed,
+        include_head=include_head,
+    )
+    orders = [
+        one_f_one_b_order(num_stages, num_micro_batches, i)
+        for i in range(num_stages)
+    ]
+    return builder.build(orders)

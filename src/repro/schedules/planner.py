@@ -1,0 +1,111 @@
+"""Deterministic list scheduling over pipeline task DAGs.
+
+Schedule builders that cannot write down a closed-form per-stage order
+(HelixPipe's multi-loop FILO, interleaved pipelines) describe their work
+as a task DAG -- each task pinned to a stage with a priority key -- and
+derive the per-stage instruction order from a work-conserving greedy
+simulation: whenever a stage is free it starts its ready task with the
+smallest key.  Ties and event order are fully deterministic.
+
+This mirrors what a static pipeline runtime does when turning a logical
+schedule into per-rank operation streams.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["PlannedTask", "list_schedule", "critical_path_levels"]
+
+
+@dataclass
+class PlannedTask:
+    """One schedulable unit pinned to a stage."""
+
+    tid: int
+    stage: int
+    key: tuple
+    duration: float
+    deps: list[int]
+    payload: Any = None
+    undone_deps: int = field(default=0, repr=False)
+    start: float = field(default=0.0, repr=False)
+
+
+def critical_path_levels(tasks: list["PlannedTask"]) -> dict[int, float]:
+    """Remaining critical-path length (own duration included) per task."""
+    by_id = {t.tid: t for t in tasks}
+    dependents: dict[int, list[int]] = {t.tid: [] for t in tasks}
+    for t in tasks:
+        for d in t.deps:
+            dependents[d].append(t.tid)
+    level: dict[int, float] = {}
+    remaining = {t.tid: len(dependents[t.tid]) for t in tasks}
+    stack = [tid for tid, n in remaining.items() if n == 0]
+    while stack:
+        tid = stack.pop()
+        t = by_id[tid]
+        level[tid] = t.duration + max((level[d] for d in dependents[tid]), default=0.0)
+        for d in t.deps:
+            remaining[d] -= 1
+            if remaining[d] == 0:
+                stack.append(d)
+    if len(level) != len(tasks):
+        raise RuntimeError("cycle detected while computing critical-path levels")
+    return level
+
+
+def list_schedule(tasks: list[PlannedTask], num_stages: int) -> list[list[PlannedTask]]:
+    """Greedy work-conserving schedule; returns per-stage task order.
+
+    Raises ``RuntimeError`` if the DAG has a cycle (not all tasks become
+    ready).
+    """
+    by_id = {t.tid: t for t in tasks}
+    dependents: dict[int, list[int]] = {t.tid: [] for t in tasks}
+    for t in tasks:
+        t.undone_deps = len(t.deps)
+        for d in t.deps:
+            dependents[d].append(t.tid)
+    ready: list[list[tuple]] = [[] for _ in range(num_stages)]
+    for t in tasks:
+        if t.undone_deps == 0:
+            heapq.heappush(ready[t.stage], (t.key, t.tid))
+    stage_free = [0.0] * num_stages
+    events: list[tuple[float, int, int]] = []
+    seq = itertools.count()
+    order: list[list[PlannedTask]] = [[] for _ in range(num_stages)]
+    scheduled = 0
+
+    def try_start(stage: int, now: float) -> None:
+        nonlocal scheduled
+        if stage_free[stage] > now or not ready[stage]:
+            return
+        _, tid = heapq.heappop(ready[stage])
+        t = by_id[tid]
+        t.start = now
+        stage_free[stage] = now + t.duration
+        order[stage].append(t)
+        scheduled += 1
+        heapq.heappush(events, (now + t.duration, next(seq), tid))
+
+    for s in range(num_stages):
+        try_start(s, 0.0)
+    while events:
+        now, _, tid = heapq.heappop(events)
+        for dep_tid in dependents[tid]:
+            dt = by_id[dep_tid]
+            dt.undone_deps -= 1
+            if dt.undone_deps == 0:
+                heapq.heappush(ready[dt.stage], (dt.key, dep_tid))
+        for s in range(num_stages):
+            try_start(s, now)
+    if scheduled != len(tasks):
+        raise RuntimeError(
+            f"list_schedule placed {scheduled}/{len(tasks)} tasks; "
+            "dependency cycle in the task graph"
+        )
+    return order

@@ -1,0 +1,128 @@
+"""Exact backward-W placement for ZB1P via mixed-integer programming.
+
+The zero bubble paper pairs its heuristic with an ILP that decides, for
+each stage, how many delayed W passes to interleave at each point of the
+steady phase.  We reproduce the essential decision with
+``scipy.optimize.milp``: given a stage's 1F1B-ordered F/BI stream, choose
+after which BI each BW runs so that
+
+* BW_k runs after BI_k (data dependency),
+* at most ``cap`` micro batches are outstanding (memory parity, Eq. 4),
+* the weighted tail (BWs left after the final BI, which extend the
+  iteration) is minimised -- W passes scheduled earlier fill bubbles for
+  free in the event-driven simulator.
+
+The search space per stage is tiny (m slots x m passes), so the exact
+solve is instant; the result is an op order consumable by
+:class:`~repro.schedules.layerwise.LayerwiseBuilder` exactly like the
+heuristic's.
+
+A finding worth recording: this static "earliest feasible W" optimum is
+*not* always better end-to-end than the greedy heuristic, because the
+event-driven execution fills idle gaps dynamically -- a W forced early
+can displace a critical-path F/BI, while the heuristic's W-before-RECV
+placement only consumes time the stage would have spent blocked.  The
+zero bubble paper's full ILP models start times explicitly to avoid
+this; we keep this light version as an ablation of that design choice
+(see ``benchmarks``/tests for the measured comparison).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import LinearConstraint, milp
+
+from repro.schedules.costs import CostProvider
+from repro.schedules.ir import Schedule
+from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
+from repro.schedules.one_f_one_b import one_f_one_b_order
+
+__all__ = ["zb_milp_order", "build_zb_milp"]
+
+
+def _placement_milp(m: int, cap: int, warmup: int) -> list[int]:
+    """How many BWs to emit after each of the ``m`` BIs (exact solve).
+
+    Variables ``x[i]`` = number of BW passes emitted right after BI_i.
+    Constraints: cumulative BW <= cumulative BI (dependency), outstanding
+    forwards minus completed BWs <= cap (memory), all m scheduled.
+    Objective: schedule W mass as early as feasible (weights grow with
+    the slot index), which leaves the shortest mandatory tail.
+    """
+    # Cost favours early slots; strictly increasing to break ties.
+    c = np.arange(1, m + 1, dtype=float)
+    lower_tri = np.tril(np.ones((m, m)))
+    # Dependency: sum_{j<=i} x_j <= i + 1  (only BI_0..BI_i have run).
+    dep = LinearConstraint(lower_tri, ub=np.arange(1, m + 1, dtype=float))
+    # Memory: forwards issued by slot i is min(m, warmup + i + 1);
+    # outstanding = forwards - cumulative BW <= cap, i.e.
+    # -sum_{j<=i} x_j <= cap - forwards_i.
+    b_mem = np.array([float(cap - min(m, warmup + i + 1)) for i in range(m)])
+    mem = LinearConstraint(-lower_tri, ub=b_mem)
+    total = LinearConstraint(np.ones((1, m)), lb=[float(m)], ub=[float(m)])
+    constraints = [dep, mem, total]
+    res = milp(
+        c=c,
+        integrality=np.ones(m),
+        bounds=(0, m),
+        constraints=constraints,
+    )
+    if not res.success:  # pragma: no cover - relaxed fallback
+        raise RuntimeError(f"ZB MILP infeasible: {res.message}")
+    return [int(round(v)) for v in res.x]
+
+
+def zb_milp_order(
+    num_stages: int,
+    num_micro_batches: int,
+    stage: int,
+    max_outstanding: int | None = None,
+) -> list[SymbolicOp]:
+    """ZB1P op order with MILP-optimal BW placement for one stage."""
+    p, m = num_stages, num_micro_batches
+    cap = p if max_outstanding is None else max_outstanding
+    warmup = min(p - 1 - stage, m)
+    base = one_f_one_b_order(p, m, stage)
+    placement = _placement_milp(m, cap, warmup)
+    order: list[SymbolicOp] = []
+    bi_seen = 0
+    bw = 0
+    for op, mb in base:
+        if op == "F":
+            order.append(("F", mb))
+            continue
+        order.append(("BI", mb))
+        for _ in range(placement[bi_seen]):
+            order.append(("BW", bw))
+            bw += 1
+        bi_seen += 1
+    while bw < m:  # pragma: no cover - MILP schedules all m
+        order.append(("BW", bw))
+        bw += 1
+    return order
+
+
+def build_zb_milp(
+    num_stages: int,
+    num_micro_batches: int,
+    costs: CostProvider,
+    include_embed: bool = True,
+    include_head: bool = True,
+    max_outstanding: int | None = None,
+) -> Schedule:
+    """Materialise ZB1P with the exact MILP W placement."""
+    builder = LayerwiseBuilder(
+        name="zb1p-milp",
+        num_stages=num_stages,
+        num_micro_batches=num_micro_batches,
+        costs=costs,
+        include_embed=include_embed,
+        include_head=include_head,
+    )
+    orders = [
+        zb_milp_order(num_stages, num_micro_batches, i, max_outstanding)
+        for i in range(num_stages)
+    ]
+    sched = builder.build(orders)
+    sched.name = "zb1p-milp"
+    return sched

@@ -1,0 +1,15 @@
+"""Discrete-event pipeline simulator."""
+
+from repro.sim.engine import DeadlockError, PipelineSimulator, simulate
+from repro.sim.metrics import SimResult, StageMetrics
+from repro.sim.trace import Interval, Trace
+
+__all__ = [
+    "PipelineSimulator",
+    "simulate",
+    "DeadlockError",
+    "SimResult",
+    "StageMetrics",
+    "Interval",
+    "Trace",
+]

@@ -1,0 +1,312 @@
+"""Discrete-event simulator for pipeline schedules.
+
+Executes a :class:`~repro.schedules.ir.Schedule` against a
+:class:`~repro.cluster.ClusterSpec`:
+
+* each stage owns a serial **compute engine** that runs its
+  :class:`~repro.schedules.ir.ComputeInstr` stream in program order;
+* each stage owns **communication engines** modelling the NCCL p2p
+  channel.  The default is full-duplex (independent send and receive
+  engines per stage, matching InfiniBand), which serialises outgoing and
+  incoming bytes separately at the fair-share per-GPU bandwidth;
+  ``duplex="half"`` forces a single engine per stage, reproducing the
+  paper's Figure 6a pathology where a receive delays the following send
+  (NCCL's shared-SM channel behaviour) -- kept as an ablation;
+* a transfer starts once its SEND has been issued and the required
+  engines are free, taking ``cluster.p2p_time(nbytes)`` seconds;
+* a RECV blocks the stage's program counter (not its comm engine) until
+  the tagged message has fully arrived.
+
+Memory accounting: every stage tracks ``static + sum(stash_delta)`` with
+transient ``workspace`` added while an instruction runs; the high-water
+mark is reported per stage (paper Figures 4, 10, 11).
+
+The simulator is deterministic: ties are broken by instruction issue
+order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.topology import ClusterSpec
+from repro.schedules.ir import (
+    ComputeInstr,
+    RecvInstr,
+    Schedule,
+    SendInstr,
+)
+from repro.sim.metrics import SimResult, StageMetrics
+from repro.sim.trace import Interval, Trace
+
+__all__ = ["PipelineSimulator", "simulate", "DeadlockError"]
+
+
+class DeadlockError(RuntimeError):
+    """The schedule cannot make progress (missing message / cyclic wait)."""
+
+
+@dataclass
+class _StageState:
+    pc: int = 0
+    blocked_tag: str | None = None
+    blocked_since: float = 0.0
+    computing: bool = False
+    busy_time: float = 0.0
+    comm_blocked_time: float = 0.0
+    current_mem: float = 0.0
+    peak_mem: float = 0.0
+    bytes_sent: float = 0.0
+    bytes_received: float = 0.0
+    comm_free_at: float = 0.0  # half-duplex engine
+    send_free_at: float = 0.0  # full-duplex engines
+    recv_free_at: float = 0.0
+
+
+@dataclass(order=True)
+class _PendingTransfer:
+    ready_time: float
+    seq: int
+    send: SendInstr = field(compare=False)
+
+
+class PipelineSimulator:
+    """Simulate one training iteration of ``schedule`` on ``cluster``.
+
+    Parameters
+    ----------
+    schedule:
+        Per-stage instruction programs (validated before running).
+    cluster:
+        Provides the p2p link model; must have at least as many nodes as
+        the schedule has stages.
+    static_memory_bytes:
+        Per-stage baseline (model states) added to activation tracking.
+    duplex:
+        ``"half"`` (default, one comm engine per stage) or ``"full"``.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        cluster: ClusterSpec,
+        static_memory_bytes: list[float] | float = 0.0,
+        duplex: str = "full",
+    ) -> None:
+        schedule.validate()
+        if cluster.num_stages < schedule.num_stages:
+            raise ValueError(
+                f"cluster has {cluster.num_stages} nodes but schedule needs "
+                f"{schedule.num_stages}"
+            )
+        if duplex not in ("half", "full"):
+            raise ValueError(f"duplex must be 'half' or 'full', got {duplex!r}")
+        self.schedule = schedule
+        self.cluster = cluster
+        self.duplex = duplex
+        p = schedule.num_stages
+        if isinstance(static_memory_bytes, (int, float)):
+            static_memory_bytes = [float(static_memory_bytes)] * p
+        if len(static_memory_bytes) != p:
+            raise ValueError("static_memory_bytes must have one entry per stage")
+        self.static = [float(x) for x in static_memory_bytes]
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self) -> SimResult:
+        p = self.schedule.num_stages
+        self._states = [_StageState() for _ in range(p)]
+        for st, base in zip(self._states, self.static):
+            st.current_mem = base
+            st.peak_mem = base
+        self._events: list[tuple[float, int, str, object]] = []
+        self._eseq = itertools.count()
+        self._pending: list[_PendingTransfer] = []
+        self._tseq = itertools.count()
+        self._arrived: set[str] = set()
+        self._trace = Trace()
+
+        for stage in range(p):
+            self._advance(stage, 0.0)
+
+        while self._events:
+            t, _, kind, payload = heapq.heappop(self._events)
+            if kind == "compute_done":
+                self._on_compute_done(t, payload)  # type: ignore[arg-type]
+            elif kind == "transfer_done":
+                self._on_transfer_done(t, payload)  # type: ignore[arg-type]
+
+        self._check_all_done()
+        return self._build_result()
+
+    # -- program advancement ---------------------------------------------------
+
+    def _advance(self, stage: int, now: float) -> None:
+        st = self._states[stage]
+        prog = self.schedule.programs[stage]
+        while not st.computing and st.pc < len(prog):
+            instr = prog[st.pc]
+            if isinstance(instr, ComputeInstr):
+                self._start_compute(stage, instr, now)
+                return
+            if isinstance(instr, SendInstr):
+                heapq.heappush(
+                    self._pending,
+                    _PendingTransfer(now, next(self._tseq), instr),
+                )
+                st.pc += 1
+                self._start_transfers(now)
+                continue
+            if isinstance(instr, RecvInstr):
+                if instr.tag in self._arrived:
+                    st.pc += 1
+                    continue
+                st.blocked_tag = instr.tag
+                st.blocked_since = now
+                return
+            raise TypeError(f"unknown instruction type: {type(instr)!r}")
+
+    def _start_compute(self, stage: int, instr: ComputeInstr, now: float) -> None:
+        st = self._states[stage]
+        st.computing = True
+        st.peak_mem = max(st.peak_mem, st.current_mem + max(0.0, instr.workspace))
+        end = now + instr.duration
+        heapq.heappush(
+            self._events, (end, next(self._eseq), "compute_done", (stage, instr, now))
+        )
+
+    def _on_compute_done(self, t: float, payload: object) -> None:
+        stage, instr, started = payload  # type: ignore[misc]
+        st = self._states[stage]
+        st.computing = False
+        st.busy_time += instr.duration
+        st.current_mem += instr.stash_delta
+        st.peak_mem = max(st.peak_mem, st.current_mem)
+        self._trace.add(
+            Interval(
+                kind="compute",
+                stage=stage,
+                start=started,
+                end=t,
+                label=instr.label,
+                micro_batch=instr.micro_batch,
+            )
+        )
+        st.pc += 1
+        self._advance(stage, t)
+
+    # -- transfers ---------------------------------------------------------------
+
+    def _engines_free_at(self, src: int, dst: int) -> float:
+        s, d = self._states[src], self._states[dst]
+        if self.duplex == "half":
+            return max(s.comm_free_at, d.comm_free_at)
+        return max(s.send_free_at, d.recv_free_at)
+
+    def _occupy_engines(self, src: int, dst: int, until: float) -> None:
+        s, d = self._states[src], self._states[dst]
+        if self.duplex == "half":
+            s.comm_free_at = until
+            d.comm_free_at = until
+        else:
+            s.send_free_at = until
+            d.recv_free_at = until
+
+    def _start_transfers(self, now: float) -> None:
+        """Start every pending transfer whose engines are free at ``now``.
+
+        A single pass in (ready_time, issue order) suffices: starting a
+        transfer only makes engines busier, never frees one.
+        """
+        still: list[_PendingTransfer] = []
+        while self._pending:
+            pt = heapq.heappop(self._pending)
+            send = pt.send
+            if pt.ready_time <= now and self._engines_free_at(send.stage, send.peer) <= now:
+                end = now + self.cluster.p2p_time(send.nbytes)
+                self._occupy_engines(send.stage, send.peer, end)
+                heapq.heappush(
+                    self._events,
+                    (end, next(self._eseq), "transfer_done", (send, now)),
+                )
+            else:
+                still.append(pt)
+        for pt in still:
+            heapq.heappush(self._pending, pt)
+
+    def _on_transfer_done(self, t: float, payload: object) -> None:
+        send, started = payload  # type: ignore[misc]
+        self._arrived.add(send.tag)
+        src, dst = send.stage, send.peer
+        self._states[src].bytes_sent += send.nbytes
+        self._states[dst].bytes_received += send.nbytes
+        self._trace.add(
+            Interval(
+                kind="comm",
+                stage=src,
+                start=started,
+                end=t,
+                label=send.tag,
+                micro_batch=send.micro_batch,
+                peer=dst,
+            )
+        )
+        self._start_transfers(t)
+        st = self._states[dst]
+        if st.blocked_tag == send.tag:
+            st.blocked_tag = None
+            st.comm_blocked_time += t - st.blocked_since
+            st.pc += 1
+            self._advance(dst, t)
+
+    # -- wrap-up -------------------------------------------------------------------
+
+    def _check_all_done(self) -> None:
+        stuck = []
+        for stage, st in enumerate(self._states):
+            prog = self.schedule.programs[stage]
+            if st.pc < len(prog):
+                stuck.append(
+                    f"stage {stage} stuck at pc={st.pc} "
+                    f"({prog[st.pc].label}, blocked_on={st.blocked_tag})"
+                )
+        if self._pending:
+            tags = [pt.send.tag for pt in self._pending]
+            stuck.append(f"undelivered transfers: {tags[:5]}")
+        if stuck:
+            raise DeadlockError(
+                f"schedule {self.schedule.name!r} deadlocked:\n  " + "\n  ".join(stuck)
+            )
+
+    def _build_result(self) -> SimResult:
+        makespan = self._trace.makespan
+        stages = [
+            StageMetrics(
+                stage=i,
+                busy_time=st.busy_time,
+                comm_blocked_time=st.comm_blocked_time,
+                peak_memory_bytes=st.peak_mem,
+                static_memory_bytes=self.static[i],
+                bytes_sent=st.bytes_sent,
+                bytes_received=st.bytes_received,
+            )
+            for i, st in enumerate(self._states)
+        ]
+        return SimResult(
+            schedule_name=self.schedule.name,
+            makespan=makespan,
+            stages=stages,
+            trace=self._trace,
+        )
+
+
+def simulate(
+    schedule: Schedule,
+    cluster: ClusterSpec,
+    static_memory_bytes: list[float] | float = 0.0,
+    duplex: str = "full",
+) -> SimResult:
+    """Convenience wrapper: build a :class:`PipelineSimulator` and run it."""
+    return PipelineSimulator(schedule, cluster, static_memory_bytes, duplex).run()

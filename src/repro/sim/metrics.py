@@ -1,0 +1,81 @@
+"""Aggregate metrics of one simulated training iteration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.trace import Trace
+
+__all__ = ["StageMetrics", "SimResult"]
+
+
+@dataclass(frozen=True)
+class StageMetrics:
+    """Per-stage accounting of one iteration."""
+
+    stage: int
+    busy_time: float  # total compute-engine busy seconds
+    comm_blocked_time: float  # compute idle specifically waiting on a RECV
+    peak_memory_bytes: float  # activations + declared static baseline
+    static_memory_bytes: float  # model states baseline supplied by caller
+    bytes_sent: float
+    bytes_received: float
+
+    def bubble_time(self, makespan: float) -> float:
+        """Idle compute time within the iteration span (paper's bubble)."""
+        return makespan - self.busy_time
+
+
+@dataclass
+class SimResult:
+    """Result of simulating one iteration of a schedule on a cluster."""
+
+    schedule_name: str
+    makespan: float
+    stages: list[StageMetrics]
+    trace: Trace = field(repr=False, default_factory=Trace)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    @property
+    def total_bubble_time(self) -> float:
+        return sum(s.bubble_time(self.makespan) for s in self.stages)
+
+    @property
+    def mean_bubble_time(self) -> float:
+        return self.total_bubble_time / max(1, self.num_stages)
+
+    @property
+    def bubble_fraction(self) -> float:
+        """Idle fraction of the whole pipeline (0 = perfectly busy)."""
+        denom = self.makespan * self.num_stages
+        return self.total_bubble_time / denom if denom > 0 else 0.0
+
+    @property
+    def peak_memory_bytes(self) -> list[float]:
+        return [s.peak_memory_bytes for s in self.stages]
+
+    @property
+    def max_peak_memory_bytes(self) -> float:
+        return max(self.peak_memory_bytes)
+
+    def throughput_tokens_per_s(self, tokens_per_iteration: float) -> float:
+        if self.makespan <= 0:
+            raise ValueError("makespan must be positive to compute throughput")
+        return tokens_per_iteration / self.makespan
+
+    def summary(self) -> str:
+        lines = [
+            f"schedule={self.schedule_name} makespan={self.makespan:.6g}s "
+            f"bubble_fraction={self.bubble_fraction:.3f}"
+        ]
+        for s in self.stages:
+            lines.append(
+                f"  stage {s.stage}: busy={s.busy_time:.6g}s "
+                f"bubble={s.bubble_time(self.makespan):.6g}s "
+                f"comm_blocked={s.comm_blocked_time:.6g}s "
+                f"peak_mem={s.peak_memory_bytes / 2 ** 30:.3f}GiB"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Execution traces recorded by the simulator.
+
+A trace is a flat list of :class:`Interval` records -- compute spans on a
+stage's compute engine and transfer spans between stage pairs.  The
+analysis layer renders these as ASCII Gantt charts (the reproduction of
+the paper's schedule figures) and the metrics layer aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Interval", "Trace"]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """One busy span.
+
+    ``kind`` is ``"compute"`` or ``"comm"``; for transfers ``stage`` is the
+    sender and ``peer`` the receiver (both engines are busy for the span).
+    """
+
+    kind: str
+    stage: int
+    start: float
+    end: float
+    label: str
+    micro_batch: int = -1
+    peer: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class Trace:
+    """All intervals of one simulated iteration."""
+
+    intervals: list[Interval] = field(default_factory=list)
+
+    def add(self, interval: Interval) -> None:
+        self.intervals.append(interval)
+
+    def compute_intervals(self, stage: int | None = None) -> list[Interval]:
+        out = [iv for iv in self.intervals if iv.kind == "compute"]
+        if stage is not None:
+            out = [iv for iv in out if iv.stage == stage]
+        return sorted(out, key=lambda iv: (iv.stage, iv.start))
+
+    def comm_intervals(self) -> list[Interval]:
+        return sorted(
+            (iv for iv in self.intervals if iv.kind == "comm"),
+            key=lambda iv: iv.start,
+        )
+
+    @property
+    def makespan(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return max(iv.end for iv in self.intervals)

@@ -1,0 +1,106 @@
+"""Analysis helpers: formulas, report tables, timelines."""
+
+import pytest
+
+from repro.analysis import (
+    activation_elems_table2,
+    bubble_time_1f1b,
+    bubble_time_helix,
+    bubble_time_zb1p,
+    format_table,
+    normalize,
+    render_timeline,
+)
+from repro.costmodel import unit_layer_times
+
+
+class TestBubbleFormulas:
+    def setup_method(self):
+        self.lt = unit_layer_times()  # pre 1, attn 3, post 2; bwd == fwd
+
+    def test_eq1_unit_world(self):
+        # (p-1) * (fwd + bwd) * L/p = 3 * 12 * 2 = 72.
+        assert bubble_time_1f1b(self.lt, 8, 4) == pytest.approx(72.0)
+
+    def test_eq3_below_eq1(self):
+        assert bubble_time_zb1p(self.lt, 8, 4) < bubble_time_1f1b(self.lt, 8, 4)
+
+    def test_helix_excludes_attention(self):
+        b = bubble_time_helix(self.lt, 4, fold=1, recompute_pre_post=False)
+        assert b == pytest.approx(3 * (3.0 + 3.0))  # (p-1)(pre+post fwd+bwd)
+
+    def test_helix_fold_doubles(self):
+        one = bubble_time_helix(self.lt, 4, fold=1, recompute_pre_post=False)
+        two = bubble_time_helix(self.lt, 4, fold=2, recompute_pre_post=False)
+        assert two == pytest.approx(2 * one)
+
+    def test_helix_recompute_adds_forward(self):
+        off = bubble_time_helix(self.lt, 4, fold=2, recompute_pre_post=False)
+        on = bubble_time_helix(self.lt, 4, fold=2, recompute_pre_post=True)
+        assert on == pytest.approx(off + 2 * 3 * 3.0)  # fold*(p-1)*fwd(pre+post)
+
+    def test_table2_memory_rows(self):
+        bsh = 2 * 8 * 4
+        assert activation_elems_table2("1f1b", 2, 8, 4, 16, 4, stage=0) == 16 * bsh * 16
+        assert activation_elems_table2("zb1p", 2, 8, 4, 16, 4) == 16 * bsh * 16
+        assert activation_elems_table2(
+            "helix", 2, 8, 4, 16, 4, num_micro_batches=8
+        ) == 4 * bsh * 8 * 4
+        with pytest.raises(ValueError):
+            activation_elems_table2("helix", 1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            activation_elems_table2("nope", 1, 1, 1, 1, 1)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table([{"a": 1, "bb": 2.5}, {"a": 10, "bb": 0.25}])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in out and "0.250" in out
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_normalize(self):
+        n = normalize({"x": 2.0, "y": 4.0})
+        assert n == {"x": 0.5, "y": 1.0}
+
+    def test_normalize_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            normalize({"x": 0.0})
+
+
+class TestTimeline:
+    def _trace(self):
+        from repro.cluster import abstract_cluster
+        from repro.schedules.costs import UnitCosts
+        from repro.schedules.one_f_one_b import build_1f1b
+        from repro.sim import simulate
+
+        sched = build_1f1b(
+            2, 2, UnitCosts(num_layers=2), include_embed=False, include_head=False
+        )
+        return simulate(sched, abstract_cluster(2)).trace
+
+    def test_renders_all_stages(self):
+        out = render_timeline(self._trace(), 2, width=60)
+        assert "P0 |" in out and "P1 |" in out
+
+    def test_forward_digits_and_backward_letters(self):
+        out = render_timeline(self._trace(), 2, width=60)
+        assert "0" in out and "a" in out
+
+    def test_idle_shown_as_dots(self):
+        out = render_timeline(self._trace(), 2, width=60)
+        assert "." in out  # 1F1B at p=2 has warmup idle
+
+    def test_comm_rows(self):
+        out = render_timeline(self._trace(), 2, width=60, show_comm=True)
+        assert "~" in out
+
+    def test_empty_trace(self):
+        from repro.sim.trace import Trace
+
+        assert render_timeline(Trace(), 1) == "(empty trace)"

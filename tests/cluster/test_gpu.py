@@ -1,0 +1,53 @@
+"""Tests for GPU specs and derived rates."""
+
+import pytest
+
+from repro.cluster import A100, A800, GPU_PRESETS, H20, H100, GPUSpec
+
+
+class TestGPUSpec:
+    def test_presets_registered(self):
+        assert set(GPU_PRESETS) == {"H20", "A800", "A100", "H100"}
+
+    def test_paper_compute_ratio_a800_vs_h20(self):
+        # Section 5.2: "A800 GPU has double computation power compared to H20".
+        assert 1.9 < A800.fp16_tflops / H20.fp16_tflops < 2.3
+
+    def test_h20_has_more_memory_and_bandwidth(self):
+        assert H20.hbm_gib > A800.hbm_gib
+        assert H20.hbm_bw_gbps > A800.hbm_bw_gbps
+
+    def test_gemm_time_scales_linearly(self):
+        assert H20.gemm_time(2e12) == pytest.approx(2 * H20.gemm_time(1e12))
+
+    def test_sustained_rates_below_peak(self):
+        for g in (H20, A800, A100, H100):
+            assert g.matmul_flops_per_s < g.fp16_tflops * 1e12
+            assert g.attn_flops_per_s < g.fp16_tflops * 1e12
+
+    def test_membound_time(self):
+        t = H20.membound_time(H20.hbm_bw_gbps * 1e9)
+        assert t == pytest.approx(1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fp16_tflops": -1.0},
+            {"hbm_gib": 0.0},
+            {"mm_efficiency": 0.0},
+            {"mm_efficiency": 1.5},
+            {"attn_efficiency": -0.1},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        base = dict(
+            name="bad", fp16_tflops=100.0, hbm_gib=80.0,
+            hbm_bw_gbps=2000.0, nvlink_bw_gbps=400.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ValueError):
+            GPUSpec(**base)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            H20.fp16_tflops = 1.0  # type: ignore[misc]

@@ -1,0 +1,61 @@
+"""Communication volumes (Section 4.2) and cost models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import a800_cluster, h20_cluster
+from repro.comm import CommModel, boundary_volumes
+
+
+class TestBoundaryVolumes:
+    def test_paper_section_4_2_counts(self):
+        b, s, h = 1, 4096, 1024
+        bsh = b * s * h
+        naive = boundary_volumes(b, s, h, ship_qkv_weights=False)
+        assert naive.pre_to_attn == 4 * bsh  # Q, K, V + residual
+        assert naive.attn_to_post == 2 * bsh  # attention out + residual
+        assert naive.layerwise == bsh
+        shipped = boundary_volumes(b, s, h, ship_qkv_weights=True)
+        assert shipped.pre_to_attn == 2 * bsh + 3 * h * h
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=1024, max_value=1 << 17),
+        st.integers(min_value=64, max_value=8192),
+    )
+    def test_shipping_wins_for_long_sequences(self, b, s, h):
+        """s >> h makes 2bsh + 3h^2 < 4bsh (the optimisation's point)."""
+        naive = boundary_volumes(b, s, h, False).pre_to_attn
+        ship = boundary_volumes(b, s, h, True).pre_to_attn
+        if b * s * 2 > 3 * h:  # 2bsh > 3h^2  <=>  shipping smaller
+            assert ship < naive
+
+    def test_bytes_fp16_and_sp(self):
+        v = boundary_volumes(1, 1024, 64, False)
+        assert v.bytes("layerwise", sp=1) == 1024 * 64 * 2
+        assert v.bytes("layerwise", sp=8) == 1024 * 64 * 2 / 8
+
+
+class TestCommModel:
+    def test_p2p_matches_cluster(self):
+        cl = h20_cluster(2)
+        cm = CommModel(cl)
+        assert cm.p2p_time(1e8) == pytest.approx(cl.p2p_time(1e8))
+
+    def test_h20_vs_a800_bandwidth(self):
+        h, a = CommModel(h20_cluster(2)), CommModel(a800_cluster(2))
+        assert h.p2p_time(1e9) < a.p2p_time(1e9)
+
+    def test_all_reduce_decomposition(self):
+        cm = CommModel(h20_cluster(2))
+        assert cm.all_reduce_time(1e9) == pytest.approx(
+            cm.all_gather_time(1e9) + cm.reduce_scatter_time(1e9)
+        )
+
+    def test_sp_overhead_positive(self):
+        cm = CommModel(h20_cluster(2))
+        assert cm.sequence_parallel_layer_overhead(1, 32768, 4096) > 0
+
+    def test_slowdown_validation(self):
+        with pytest.raises(ValueError):
+            CommModel(h20_cluster(2), compute_slowdown=0.5)

@@ -1,0 +1,103 @@
+"""Attention parallel partition tests (paper Section 4.2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.partition import (
+    attention_stage,
+    helix_partition,
+    owner_segment,
+    owner_stage,
+)
+from repro.model import SegmentKind, segments_cover_model
+
+
+class TestOwnerMapping:
+    def test_paper_placement_rules(self):
+        """pre(0)->stage 0; post(l-1)+pre(l)->stage l%p; post(L-1)->stage 0."""
+        L, p = 8, 4
+        assert owner_stage(0, p, L) == 0
+        for l in range(1, L):
+            assert owner_stage(l, p, L) == l % p
+        assert owner_stage(L, p, L) == 0  # wrap-around (L % p == 0)
+
+    def test_position_bounds(self):
+        with pytest.raises(ValueError):
+            owner_stage(9, 4, 8)
+
+    def test_owner_segments(self):
+        assert owner_segment(0, 8)[0].kind is SegmentKind.PRE
+        seg = owner_segment(3, 8)[0]
+        assert seg.kind is SegmentKind.POST_PRE and seg.layer == 3
+        assert owner_segment(8, 8)[0].kind is SegmentKind.POST
+
+
+class TestAttentionStage:
+    def test_paper_formula(self):
+        """Attention of (l, i) runs on stage (l + i + 1) mod p."""
+        p = 4
+        for l in range(8):
+            for i in range(8):
+                assert attention_stage(l, i, p, fold=1) == (l + i + 1) % p
+
+    def test_parallel_across_stages(self):
+        """Within one loop of p micro batches, the p attention computations
+        of a layer land on p distinct stages."""
+        p = 4
+        for l in range(6):
+            stages = {attention_stage(l, i, p, fold=1) for i in range(p)}
+            assert stages == set(range(p))
+
+    def test_two_fold_pairs_share_stage(self):
+        p = 4
+        for l in range(4):
+            for k in range(p):
+                a = attention_stage(l, 2 * k, p, fold=2)
+                b = attention_stage(l, 2 * k + 1, p, fold=2)
+                assert a == b
+
+    def test_two_fold_covers_all_stages(self):
+        p = 4
+        for l in range(4):
+            stages = {attention_stage(l, i, p, fold=2) for i in range(2 * p)}
+            assert stages == set(range(p))
+
+    def test_invalid_fold(self):
+        with pytest.raises(ValueError):
+            attention_stage(0, 0, 4, fold=0)
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=63),
+        st.integers(min_value=0, max_value=63),
+        st.sampled_from([1, 2, 4]),
+    )
+    def test_stage_in_range(self, p, l, i, fold):
+        assert 0 <= attention_stage(l, i, p, fold) < p
+
+
+class TestHelixPartition:
+    def test_covers_model(self):
+        stages = helix_partition(8, 4)
+        assert segments_cover_model(stages, 8)
+
+    def test_stage0_extras(self):
+        stages = helix_partition(8, 4)
+        kinds = [s.kind for s in stages[0]]
+        assert kinds[0] is SegmentKind.EMBED
+        assert SegmentKind.PRE in kinds
+        assert SegmentKind.POST in kinds
+        assert kinds[-1] is SegmentKind.HEAD
+
+    def test_balanced_post_pre_blocks(self):
+        """Each stage owns L/p parameterised blocks (stage 0's pre+post
+        halves combine to one block's worth)."""
+        L, p = 16, 4
+        stages = helix_partition(L, p)
+        for s in range(1, p):
+            blocks = [x for x in stages[s] if x.kind is SegmentKind.POST_PRE]
+            assert len(blocks) == L // p
+
+    def test_requires_divisibility(self):
+        with pytest.raises(ValueError):
+            helix_partition(10, 4)

@@ -1,0 +1,111 @@
+"""Analytic memory model tests: Eq. 2 / Eq. 4 / Table 2 / Figure 4."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.costmodel import (
+    RecomputeStrategy,
+    activation_bytes_per_layer,
+    activation_elems_per_layer,
+    logits_stash_bytes,
+    model_state_bytes_per_stage,
+    stage_activation_bytes_1f1b,
+    stage_activation_bytes_helix,
+    stage_activation_bytes_zb1p,
+)
+from repro.model import GPT3_3B, GPT3_13B
+
+GIB = float(1 << 30)
+
+
+class TestPerLayer:
+    def test_strategy_element_counts(self):
+        b, s, h = 1, 1024, 64
+        bsh = b * s * h
+        expect = {
+            RecomputeStrategy.NONE: 16,
+            RecomputeStrategy.SELECTIVE: 13,
+            RecomputeStrategy.WITHOUT_ATTENTION: 4,
+            RecomputeStrategy.FULL: 1,
+        }
+        for strat, x in expect.items():
+            assert activation_elems_per_layer(b, s, h, strat) == x * bsh
+
+    def test_bytes_fp16_and_sp_sharding(self):
+        b, s, h = 1, 1024, 64
+        full = activation_bytes_per_layer(b, s, h, RecomputeStrategy.NONE, sp=1)
+        assert full == 16 * b * s * h * 2
+        assert activation_bytes_per_layer(b, s, h, RecomputeStrategy.NONE, sp=8) == full / 8
+
+    def test_invalid_sp(self):
+        with pytest.raises(ValueError):
+            activation_bytes_per_layer(1, 1, 1, sp=0)
+
+
+class TestEq2Eq4:
+    @given(st.integers(min_value=2, max_value=16))
+    def test_1f1b_stage0_independent_of_p(self, p):
+        """Paper: 'for the first stage the activation overhead is 16bshL,
+        irrelevant to pipeline size p'."""
+        b, s, h, L = 1, 8192, 512, 48
+        m0 = stage_activation_bytes_1f1b(b, s, h, L, p, 0)
+        assert m0 == pytest.approx(16 * b * s * h * L * 2)
+
+    def test_1f1b_memory_decreases_with_stage(self):
+        vals = [
+            stage_activation_bytes_1f1b(1, 8192, 512, 32, 8, i) for i in range(8)
+        ]
+        assert vals == sorted(vals, reverse=True)
+        assert vals[-1] == pytest.approx(vals[0] / 8)
+
+    def test_zb1p_equals_1f1b_worst_case(self):
+        args = (1, 8192, 512, 32, 8)
+        assert stage_activation_bytes_zb1p(*args) == pytest.approx(
+            stage_activation_bytes_1f1b(*args, 0)
+        )
+
+    def test_stage_out_of_range(self):
+        with pytest.raises(ValueError):
+            stage_activation_bytes_1f1b(1, 1, 1, 8, 4, 4)
+
+    def test_fig4_13b_128k_exceeds_80gb_on_first_two_stages(self):
+        """Figure 4: at 128k the first two stages of a 13B/8-stage 1F1B
+        run exceed the 80 GB A800 capacity while later stages do not."""
+        h, L = GPT3_13B.hidden_size, GPT3_13B.num_layers
+        # Per-GPU bytes with the paper's sequence-parallel size 8.
+        per_gpu = [
+            stage_activation_bytes_1f1b(1, 131072, h, L, 8, i, sp=8) / GIB
+            for i in range(8)
+        ]
+        assert per_gpu[0] > 80
+        assert per_gpu[1] > 80
+        assert per_gpu[3] < 80
+
+    def test_helix_balanced_and_table2(self):
+        b, s, h, L, p, m = 1, 8192, 512, 32, 8, 16
+        v = stage_activation_bytes_helix(b, s, h, L, p, m)
+        assert v == pytest.approx(4 * b * s * h * m * L / p * 2)
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_helix_beats_zb1p_when_m_at_most_2p(self, p, k):
+        """With the paper's m = 2p setting, HelixPipe's 4bsh*m*L/p = 8bsh*L
+        is half of ZB1P's 16bsh*L."""
+        b, s, h, L = 1, 4096, 256, 8 * p
+        m = 2 * p
+        helix = stage_activation_bytes_helix(b, s, h, L, p, m)
+        zb = stage_activation_bytes_zb1p(b, s, h, L, p)
+        assert helix == pytest.approx(zb / 2)
+
+
+class TestModelStates:
+    def test_3b_model_states_order_of_magnitude(self):
+        per_stage = model_state_bytes_per_stage(GPT3_3B, 8, sp=8)
+        # ~3B params * 18B / 8 stages / 8 GPUs ~ 0.9 GiB per GPU.
+        assert 0.3 * GIB < per_stage < 2.5 * GIB
+
+    def test_logits_stash(self):
+        v = logits_stash_bytes(1, 1024, 51200)
+        assert v == 1024 * 51200 * 4

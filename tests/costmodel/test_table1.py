@@ -1,0 +1,87 @@
+"""Table 1 reproduction: per-op FLOPs / params / activation elements."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.costmodel import LAYER_OPS, layer_totals, op_costs
+
+DIMS = st.tuples(
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=128, max_value=1 << 17),
+    st.integers(min_value=64, max_value=8192),
+)
+
+
+class TestTable1Rows:
+    def setup_method(self):
+        self.b, self.s, self.h = 1, 4096, 2048
+        self.ops = op_costs(self.b, self.s, self.h)
+
+    def test_all_ops_present_in_order(self):
+        assert tuple(self.ops) == LAYER_OPS
+
+    def test_qkv_linear_row(self):
+        bsh2 = self.b * self.s * self.h**2
+        op = self.ops["qkv_linear"]
+        assert op.fwd_flops == 6 * bsh2
+        assert op.bwd_b_flops == 6 * bsh2
+        assert op.bwd_w_flops == 6 * bsh2
+        assert op.params == 3 * self.h**2
+
+    def test_attention_row(self):
+        bhs2 = self.b * self.h * self.s**2
+        op = self.ops["attention"]
+        assert op.fwd_flops == 4 * bhs2
+        assert op.bwd_b_flops == 8 * bhs2
+        assert op.bwd_w_flops == 0  # non-parameterised (paper's key fact)
+        assert op.params == 0
+        assert op.activation_elems == 3 * self.b * self.s * self.h
+
+    def test_layernorms_have_no_matrix_flops(self):
+        for name in ("ln1", "ln2"):
+            assert self.ops[name].fwd_flops == 0
+            assert self.ops[name].params == 2 * self.h
+
+    def test_mlp_linears(self):
+        bsh2 = self.b * self.s * self.h**2
+        for name in ("linear1", "linear2"):
+            assert self.ops[name].fwd_flops == 8 * bsh2
+            assert self.ops[name].params == 4 * self.h**2
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            op_costs(0, 1, 1)
+
+
+class TestTable1Totals:
+    @given(DIMS)
+    def test_row_sums_match_totals_column(self, dims):
+        b, s, h = dims
+        ops = op_costs(b, s, h)
+        tot = layer_totals(b, s, h)
+        assert sum(o.fwd_flops for o in ops.values()) == pytest.approx(tot.fwd_flops)
+        assert sum(o.bwd_b_flops for o in ops.values()) == pytest.approx(tot.bwd_b_flops)
+        assert sum(o.bwd_w_flops for o in ops.values()) == pytest.approx(tot.bwd_w_flops)
+        assert sum(o.params for o in ops.values()) == pytest.approx(tot.params)
+        assert sum(o.activation_elems for o in ops.values()) == pytest.approx(
+            tot.activation_elems
+        )
+
+    @given(DIMS)
+    def test_closed_forms(self, dims):
+        b, s, h = dims
+        tot = layer_totals(b, s, h)
+        bsh = b * s * h
+        assert tot.fwd_flops == pytest.approx(4 * bsh * (6 * h + s))
+        assert tot.bwd_b_flops == pytest.approx(4 * bsh * (6 * h + 2 * s))
+        assert tot.bwd_w_flops == pytest.approx(4 * bsh * 6 * h)
+        assert tot.params == pytest.approx(12 * h * h + 4 * h)
+        assert tot.activation_elems == pytest.approx(16 * bsh)
+
+    @given(DIMS)
+    def test_backward_roughly_twice_forward_for_long_seq(self, dims):
+        # Section 2.3.1: backward (B+W) ~ 2x forward.
+        b, s, h = dims
+        tot = layer_totals(b, s, h)
+        ratio = (tot.bwd_b_flops + tot.bwd_w_flops) / tot.fwd_flops
+        assert 1.9 < ratio < 2.7

@@ -1,0 +1,99 @@
+"""Timing model tests: Figure 3 / Figure 9 shapes and invariants."""
+
+import pytest
+
+from repro.cluster import A800, H20
+from repro.costmodel import TimingModel, unit_layer_times
+from repro.model import GPT3_7B, ModelConfig
+
+FIG3_MODEL = ModelConfig(name="fig3", num_layers=1, num_heads=32, hidden_size=4096)
+
+
+class TestTimingModel:
+    def test_attention_fraction_grows_with_seq_len(self):
+        """Figure 3: attention share of the layer grows superlinearly."""
+        fractions = []
+        for s in (4096, 16384, 65536, 131072):
+            tm = TimingModel(A800, FIG3_MODEL, micro_batch=1, seq_len=s, sp=1)
+            bd = tm.breakdown()
+            total = sum(bd.values())
+            fractions.append((bd["attn_fwd"] + bd["attn_bwd"]) / total)
+        assert fractions == sorted(fractions)
+        assert fractions[0] < 0.25  # small share at 4k
+        assert fractions[-1] > 0.6  # dominant at 128k
+
+    def test_attention_dominates_at_128k(self):
+        tm = TimingModel(A800, FIG3_MODEL, micro_batch=1, seq_len=131072, sp=1)
+        lt = tm.layer_times()
+        assert lt.attn.fwd > 2 * (lt.pre.fwd + lt.post.fwd)
+
+    def test_attention_quadratic_pre_post_linear(self):
+        t1 = TimingModel(H20, GPT3_7B, seq_len=32768, sp=8).layer_times()
+        t2 = TimingModel(H20, GPT3_7B, seq_len=65536, sp=8).layer_times()
+        assert t2.attn.fwd / t1.attn.fwd == pytest.approx(4.0, rel=0.01)
+        assert t2.post.fwd / t1.post.fwd == pytest.approx(2.0, rel=0.15)
+
+    def test_fig9_magnitudes_7b_h20_128k(self):
+        """Figure 9 (H20, 128k): attention fwd in the low hundreds of ms,
+        clearly above pre+post, with comm (tested elsewhere) far below."""
+        tm = TimingModel(H20, GPT3_7B, micro_batch=1, seq_len=131072, sp=8)
+        lt = tm.layer_times()
+        assert 0.1 < lt.attn.fwd < 0.5
+        assert lt.attn.fwd > lt.pre.fwd + lt.post.fwd
+
+    def test_a800_faster_attention_than_h20(self):
+        # 2x compute -> roughly half the attention time (Section 5.2).
+        a = TimingModel(A800, GPT3_7B, seq_len=65536, sp=8).attention_times()
+        h = TimingModel(H20, GPT3_7B, seq_len=65536, sp=8).attention_times()
+        assert a.fwd == pytest.approx(h.fwd * 148.0 / 312.0, rel=0.05)
+
+    def test_causal_halves_attention(self):
+        kw = dict(micro_batch=1, seq_len=32768, sp=8)
+        c = TimingModel(H20, GPT3_7B, causal=True, **kw).attention_times()
+        d = TimingModel(H20, GPT3_7B, causal=False, **kw).attention_times()
+        assert d.fwd == pytest.approx(2 * c.fwd)
+
+    def test_sp_divides_work(self):
+        t1 = TimingModel(H20, GPT3_7B, seq_len=32768, sp=1).layer_times()
+        t8 = TimingModel(H20, GPT3_7B, seq_len=32768, sp=8).layer_times()
+        assert t1.attn.fwd == pytest.approx(8 * t8.attn.fwd)
+        assert t1.fwd == pytest.approx(8 * t8.fwd, rel=0.01)
+
+    def test_attention_has_no_weight_gradient_time(self):
+        tm = TimingModel(H20, GPT3_7B, seq_len=32768, sp=8)
+        assert tm.attention_times().bwd_w == 0.0
+
+    def test_qkv_is_part_of_pre(self):
+        tm = TimingModel(H20, GPT3_7B, seq_len=32768, sp=8)
+        lt = tm.layer_times()
+        assert lt.qkv.fwd < lt.pre.fwd
+
+    def test_head_time_scales_with_vocab(self):
+        small = ModelConfig("s", 2, 2, 64, vocab_size=1000)
+        big = ModelConfig("b", 2, 2, 64, vocab_size=2000)
+        ts = TimingModel(H20, small, seq_len=4096, sp=1).head_times()
+        tb = TimingModel(H20, big, seq_len=4096, sp=1).head_times()
+        assert tb.fwd > ts.fwd
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TimingModel(H20, GPT3_7B, micro_batch=0)
+
+
+class TestUnitTimes:
+    def test_ratio_1_3_2(self):
+        lt = unit_layer_times()
+        assert lt.pre.fwd == 1.0
+        assert lt.attn.fwd == 3.0
+        assert lt.post.fwd == 2.0
+        assert lt.fwd == 6.0
+
+    def test_backward_equals_forward(self):
+        lt = unit_layer_times()
+        assert lt.pre.bwd == lt.pre.fwd
+        assert lt.attn.bwd == lt.attn.fwd
+        assert lt.post.bwd == lt.post.fwd
+
+    def test_custom_ratio(self):
+        lt = unit_layer_times((2.0, 5.0, 3.0))
+        assert (lt.pre.fwd, lt.attn.fwd, lt.post.fwd) == (2.0, 5.0, 3.0)

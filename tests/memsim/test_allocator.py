@@ -1,0 +1,147 @@
+"""Caching allocator unit tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memsim import CachingAllocator, OutOfMemoryError
+
+KB = 1024
+
+
+class TestBasics:
+    def test_malloc_free_roundtrip(self):
+        a = CachingAllocator(capacity=1024 * KB, segment_granularity=KB)
+        h = a.malloc(10 * KB)
+        assert a.allocated == 10 * KB
+        assert a.reserved == 10 * KB
+        a.free(h)
+        assert a.allocated == 0
+        assert a.reserved == 10 * KB  # cached, not released
+
+    def test_cached_block_reused(self):
+        a = CachingAllocator(capacity=1024 * KB, segment_granularity=KB)
+        h = a.malloc(10 * KB)
+        a.free(h)
+        a.malloc(8 * KB)  # fits in the cached block
+        assert a.reserved == 10 * KB
+
+    def test_split_and_coalesce(self):
+        a = CachingAllocator(capacity=1024 * KB, segment_granularity=KB)
+        h = a.malloc(10 * KB)
+        a.free(h)
+        h1 = a.malloc(4 * KB)
+        h2 = a.malloc(6 * KB)
+        assert a.reserved == 10 * KB  # both carved from the old block
+        a.free(h1)
+        a.free(h2)
+        h3 = a.malloc(10 * KB)  # coalesced back into one block
+        assert a.reserved == 10 * KB
+        a.free(h3)
+
+    def test_granularity_rounding(self):
+        a = CachingAllocator(capacity=1024 * KB, segment_granularity=4 * KB)
+        a.malloc(KB)
+        assert a.reserved == 4 * KB
+
+    def test_oom_on_capacity(self):
+        a = CachingAllocator(capacity=10 * KB, segment_granularity=KB)
+        a.malloc(8 * KB)
+        with pytest.raises(OutOfMemoryError):
+            a.malloc(4 * KB)
+
+    def test_fragmentation_oom(self):
+        """Free bytes exist but no block is large enough -> OOM."""
+        a = CachingAllocator(capacity=10 * KB, segment_granularity=KB)
+        h1 = a.malloc(4 * KB)
+        h2 = a.malloc(2 * KB)
+        h3 = a.malloc(4 * KB)
+        a.free(h1)
+        a.free(h3)  # 8 KB free, but split 4 + 4 across segments
+        with pytest.raises(OutOfMemoryError):
+            a.malloc(6 * KB)
+        del h2
+
+    def test_empty_cache_releases_free_segments(self):
+        a = CachingAllocator(capacity=100 * KB, segment_granularity=KB)
+        h = a.malloc(10 * KB)
+        a.free(h)
+        a.empty_cache()
+        assert a.reserved == 0
+
+    def test_empty_cache_keeps_live_segments(self):
+        a = CachingAllocator(capacity=100 * KB, segment_granularity=KB)
+        a.malloc(10 * KB)
+        a.empty_cache()
+        assert a.reserved == 10 * KB
+
+    def test_invalid_sizes(self):
+        a = CachingAllocator(capacity=KB)
+        with pytest.raises(ValueError):
+            a.malloc(0)
+        with pytest.raises(ValueError):
+            CachingAllocator(capacity=0)
+
+
+class TestExpandableSegments:
+    def test_grows_in_place(self):
+        a = CachingAllocator(
+            capacity=100 * KB, segment_granularity=KB, expandable_segments=True
+        )
+        a.malloc(10 * KB)
+        a.malloc(10 * KB)
+        assert len(a.segments) == 1
+        assert a.reserved == 20 * KB
+
+    def test_tail_block_extension(self):
+        a = CachingAllocator(
+            capacity=100 * KB, segment_granularity=KB, expandable_segments=True
+        )
+        h = a.malloc(10 * KB)
+        a.free(h)
+        a.malloc(14 * KB)  # tail (10 free) grows by 4
+        assert a.reserved == 14 * KB
+        assert len(a.segments) == 1
+
+    def test_oom_when_growth_exceeds_capacity(self):
+        a = CachingAllocator(
+            capacity=10 * KB, segment_granularity=KB, expandable_segments=True
+        )
+        a.malloc(8 * KB)
+        with pytest.raises(OutOfMemoryError):
+            a.malloc(4 * KB)
+
+
+class TestStatsInvariants:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=1, max_value=64)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_accounting_invariants(self, ops):
+        """allocated <= reserved <= capacity under any malloc/free stream."""
+        a = CachingAllocator(capacity=100_000 * KB, segment_granularity=KB)
+        live = []
+        for is_malloc, size in ops:
+            if is_malloc or not live:
+                live.append(a.malloc(size * KB))
+            else:
+                a.free(live.pop())
+            s = a.stats()
+            assert 0 <= s.allocated <= s.reserved <= a.capacity
+            assert s.peak_allocated >= s.allocated
+            assert s.peak_reserved >= s.reserved
+        # Freeing everything leaves allocated at exactly zero.
+        for h in live:
+            a.free(h)
+        assert a.stats().allocated == 0
+
+    def test_fragmentation_ratio(self):
+        a = CachingAllocator(capacity=100 * KB, segment_granularity=KB)
+        h = a.malloc(10 * KB)
+        a.free(h)
+        st_ = a.stats()
+        assert st_.fragmentation == 10 * KB
+        assert st_.fragmentation_ratio == pytest.approx(1.0)

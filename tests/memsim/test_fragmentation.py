@@ -1,0 +1,69 @@
+"""Chunked-MLP fragmentation study (paper Section 4.4.2)."""
+
+import pytest
+
+from repro.memsim import (
+    CachingAllocator,
+    chunked_mlp_trace,
+    mlp_phase_trace,
+    replay,
+)
+
+GIB = 1 << 30
+ARGS = dict(num_layers=4, num_micro_batches=8, s=32768, b=1, h=4096)
+
+
+def _run(trace, expandable=False):
+    alloc = CachingAllocator(
+        capacity=960 * GIB, segment_granularity=2 << 20, expandable_segments=expandable
+    )
+    return replay(trace, alloc)
+
+
+class TestChunkedMLP:
+    def test_traces_balance(self):
+        for fn in (mlp_phase_trace, chunked_mlp_trace):
+            trace = fn(**ARGS)
+            mallocs = {e.name for e in trace if e.op == "malloc"}
+            frees = {e.name for e in trace if e.op == "free"}
+            assert mallocs == frees
+
+    def test_chunked_lowers_peak_reserved(self):
+        """The headline effect: chunking shrinks the transient footprint
+        and removes the irregular-size fragmentation."""
+        un, _ = _run(mlp_phase_trace(**ARGS))
+        ch, _ = _run(chunked_mlp_trace(**ARGS, chunk_rows=2048))
+        assert ch.peak_reserved < un.peak_reserved
+
+    def test_unchunked_fragments_chunked_does_not(self):
+        un, _ = _run(mlp_phase_trace(**ARGS))
+        ch, _ = _run(chunked_mlp_trace(**ARGS, chunk_rows=2048))
+        frag_un = un.peak_reserved - un.peak_allocated
+        frag_ch = ch.peak_reserved - ch.peak_allocated
+        assert frag_un > 0
+        assert frag_ch <= frag_un * 0.25
+
+    def test_expandable_segments_mitigates(self):
+        """Section 5.1: expandable segments reduce reservation waste."""
+        plain, _ = _run(mlp_phase_trace(**ARGS), expandable=False)
+        expand, _ = _run(mlp_phase_trace(**ARGS), expandable=True)
+        assert expand.peak_reserved <= plain.peak_reserved
+        assert expand.num_segments < plain.num_segments
+
+    def test_smaller_chunks_smaller_transients(self):
+        big, _ = _run(chunked_mlp_trace(**ARGS, chunk_rows=8192))
+        small, _ = _run(chunked_mlp_trace(**ARGS, chunk_rows=1024))
+        assert small.peak_reserved <= big.peak_reserved
+
+    def test_replay_rejects_double_malloc(self):
+        from repro.memsim import TraceEvent
+
+        trace = [TraceEvent("malloc", "x", 10), TraceEvent("malloc", "x", 10)]
+        with pytest.raises(ValueError, match="double malloc"):
+            _run(trace)
+
+    def test_replay_rejects_unknown_op(self):
+        from repro.memsim import TraceEvent
+
+        with pytest.raises(ValueError, match="unknown trace op"):
+            _run([TraceEvent("poke", "x", 10)])

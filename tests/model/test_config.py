@@ -1,0 +1,75 @@
+"""Table 3 model configurations and parameter counting."""
+
+import pytest
+
+from repro.model import (
+    GPT3_1P3B,
+    GPT3_3B,
+    GPT3_7B,
+    GPT3_13B,
+    MODEL_PRESETS,
+    ModelConfig,
+    tiny_config,
+)
+
+
+class TestTable3:
+    def test_1_3b_row(self):
+        assert GPT3_1P3B.num_layers == 24
+        assert GPT3_1P3B.num_heads == 16
+        assert GPT3_1P3B.hidden_size == 2048
+
+    def test_3b_row(self):
+        assert GPT3_3B.num_layers == 16
+        assert GPT3_3B.num_heads == 32
+        assert GPT3_3B.hidden_size == 4096
+
+    def test_7b_row(self):
+        assert GPT3_7B.num_layers == 32
+        assert GPT3_7B.num_heads == 32
+        assert GPT3_7B.hidden_size == 4096
+
+    @pytest.mark.parametrize(
+        "cfg,lo,hi",
+        [
+            (GPT3_1P3B, 1.1e9, 1.5e9),
+            (GPT3_3B, 2.8e9, 3.5e9),
+            (GPT3_7B, 6.2e9, 7.5e9),
+            (GPT3_13B, 12.0e9, 14.0e9),
+        ],
+    )
+    def test_param_counts_match_names(self, cfg, lo, hi):
+        assert lo < cfg.total_params() < hi
+
+    def test_presets(self):
+        assert set(MODEL_PRESETS) == {"1.3B", "3B", "7B", "13B"}
+
+
+class TestModelConfig:
+    def test_layer_params_formula(self):
+        h = 512
+        cfg = ModelConfig("x", 2, 8, h)
+        assert cfg.layer_params() == 12 * h * h + 4 * h
+
+    def test_head_dim(self):
+        assert GPT3_7B.head_dim == 128
+
+    def test_ffn_hidden(self):
+        assert GPT3_7B.ffn_hidden == 4 * 4096
+
+    def test_hidden_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 3, 64)
+
+    def test_positive_layers(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 0, 2, 64)
+
+    def test_tiny_config(self):
+        t = tiny_config()
+        assert t.num_layers == 4
+        assert t.hidden_size % t.num_heads == 0
+
+    def test_embedding_params_with_positions(self):
+        cfg = ModelConfig("x", 2, 2, 64, vocab_size=100)
+        assert cfg.embedding_params(10) == 100 * 64 + 10 * 64

@@ -1,0 +1,70 @@
+"""Segment and layer-wise partition tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model import Segment, SegmentKind, layerwise_partition, segments_cover_model
+
+
+class TestSegment:
+    def test_labels(self):
+        assert Segment(SegmentKind.EMBED).label == "embed"
+        assert Segment(SegmentKind.LAYERS, 4, 2).label == "layers[4:6]"
+        assert Segment(SegmentKind.POST_PRE, 3).label == "post2+pre3"
+        assert Segment(SegmentKind.ATTN, 5).label == "attn5"
+
+    def test_post_pre_requires_l_ge_1(self):
+        with pytest.raises(ValueError):
+            Segment(SegmentKind.POST_PRE, 0)
+
+    def test_phase_needs_layer(self):
+        with pytest.raises(ValueError):
+            Segment(SegmentKind.PRE)
+
+    def test_layers_validation(self):
+        with pytest.raises(ValueError):
+            Segment(SegmentKind.LAYERS, 0, 0)
+
+    def test_ordering_and_hash(self):
+        a = Segment(SegmentKind.ATTN, 1)
+        b = Segment(SegmentKind.ATTN, 1)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestLayerwisePartition:
+    def test_even_split(self):
+        stages = layerwise_partition(8, 4)
+        runs = [
+            [s for s in segs if s.kind is SegmentKind.LAYERS][0] for segs in stages
+        ]
+        assert [(r.layer, r.num_layers) for r in runs] == [
+            (0, 2), (2, 2), (4, 2), (6, 2),
+        ]
+
+    def test_embed_head_placement(self):
+        stages = layerwise_partition(8, 4)
+        assert stages[0][0].kind is SegmentKind.EMBED
+        assert stages[-1][-1].kind is SegmentKind.HEAD
+        middle = [s for segs in stages[1:-1] for s in segs]
+        assert all(s.kind is SegmentKind.LAYERS for s in middle)
+
+    def test_uneven_rejected(self):
+        with pytest.raises(ValueError):
+            layerwise_partition(10, 4)
+
+    @given(
+        st.integers(min_value=1, max_value=8).flatmap(
+            lambda p: st.tuples(
+                st.just(p), st.integers(min_value=1, max_value=6).map(lambda k: k * p)
+            )
+        )
+    )
+    def test_coverage_property(self, pL):
+        p, L = pL
+        stages = layerwise_partition(L, p)
+        assert segments_cover_model(stages, L)
+
+    def test_optional_embed_head(self):
+        stages = layerwise_partition(4, 2, include_embed=False, include_head=False)
+        kinds = {s.kind for segs in stages for s in segs}
+        assert kinds == {SegmentKind.LAYERS}

@@ -1,0 +1,128 @@
+"""Phase blocks, the reference GPT, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.model import tiny_config
+from repro.nn import Adam, GPTModel, SGD, blocks
+
+
+RNG = np.random.default_rng(21)
+
+
+def _layer_params(h=8):
+    return blocks.init_layer_params(np.random.default_rng(0), h)
+
+
+class TestPhaseBlocks:
+    def test_shipping_is_equivalent_forward(self):
+        """pre+attention compose to the same value whether the QKV linear
+        runs on the pre side or is shipped to the attention side."""
+        lp = _layer_params()
+        a = RNG.normal(size=(6, 2, 8))
+        qkv_local, _ = blocks.pre_attention_fwd(lp, a, ship_qkv=False)
+        out_local, _ = blocks.attention_fwd(qkv_local, num_heads=2)
+        x, _ = blocks.pre_attention_fwd(lp, a, ship_qkv=True)
+        out_ship, _ = blocks.attention_fwd(
+            x, num_heads=2, shipped_w=(lp["w_qkv"], lp["b_qkv"])
+        )
+        np.testing.assert_allclose(out_local, out_ship, atol=1e-12)
+
+    def test_post_attention_residuals(self):
+        """Zeroing the MLP and O weights must reduce post to identity on
+        the residual stream."""
+        lp = _layer_params()
+        lp = {k: np.zeros_like(v) for k, v in lp.items()}
+        lp["ln2_g"] = np.ones_like(lp["ln2_g"])
+        a = RNG.normal(size=(4, 1, 8))
+        attn_out = RNG.normal(size=(4, 1, 8))
+        z, _ = blocks.post_attention_fwd(lp, attn_out, a)
+        np.testing.assert_allclose(z, a, atol=1e-12)
+
+    def test_pre_bwd_grads_subset_when_shipped(self):
+        lp = _layer_params()
+        a = RNG.normal(size=(4, 1, 8))
+        x, ctx = blocks.pre_attention_fwd(lp, a, ship_qkv=True)
+        _, grads = blocks.pre_attention_bwd(ctx, np.ones_like(x))
+        assert set(grads) == {"ln1_g", "ln1_b"}
+
+    def test_head_loss_scalar(self):
+        hp = blocks.init_head_params(np.random.default_rng(1), vocab=16, h=8)
+        z = RNG.normal(size=(4, 1, 8))
+        targets = RNG.integers(0, 16, size=(4, 1))
+        loss, _ = blocks.head_fwd(hp, z, targets)
+        assert np.isscalar(loss) or loss.shape == ()
+
+
+class TestGPTModel:
+    def setup_method(self):
+        self.cfg = tiny_config(num_layers=2, num_heads=2, hidden_size=16, vocab_size=32)
+        self.model = GPTModel.init(self.cfg, max_seq=8, seed=1)
+        rng = np.random.default_rng(2)
+        self.tokens = rng.integers(0, 32, size=(2, 8, 2))
+        self.targets = rng.integers(0, 32, size=(2, 8, 2))
+
+    def test_deterministic_init(self):
+        m2 = GPTModel.init(self.cfg, max_seq=8, seed=1)
+        np.testing.assert_array_equal(self.model.embed["wte"], m2.embed["wte"])
+
+    def test_grad_shapes_match_params(self):
+        _, grads = self.model.forward_backward_batch(self.tokens, self.targets)
+        flat = grads.flat()
+        for i, lp in enumerate(self.model.layers):
+            for k, v in lp.items():
+                assert flat[f"layer{i}.{k}"].shape == v.shape
+
+    def test_loss_near_log_vocab_at_init(self):
+        losses, _ = self.model.forward_backward_batch(self.tokens, self.targets)
+        assert abs(np.mean(losses) - np.log(32)) < 0.5
+
+    def test_grad_is_descent_direction(self):
+        losses, grads = self.model.forward_backward_batch(self.tokens, self.targets)
+        SGD(lr=1e-2).step(self.model, grads)
+        losses2, _ = self.model.forward_backward_batch(self.tokens, self.targets)
+        assert np.mean(losses2) < np.mean(losses)
+
+    def test_gradients_accumulate_over_micro_batches(self):
+        _, g_all = self.model.forward_backward_batch(self.tokens, self.targets)
+        g0 = self.model.zero_grads()
+        self.model.forward_backward_micro_batch(self.tokens[0], self.targets[0], g0)
+        g1 = self.model.zero_grads()
+        self.model.forward_backward_micro_batch(self.tokens[1], self.targets[1], g1)
+        np.testing.assert_allclose(
+            g_all.embed["wte"], g0.embed["wte"] + g1.embed["wte"], atol=1e-12
+        )
+
+
+class TestOptimizers:
+    def _quadratic_step(self, opt_cls, **kw):
+        cfg = tiny_config(num_layers=2, num_heads=2, hidden_size=16, vocab_size=32)
+        model = GPTModel.init(cfg, max_seq=8, seed=4)
+        rng = np.random.default_rng(5)
+        tokens = rng.integers(0, 32, size=(2, 8, 2))
+        targets = rng.integers(0, 32, size=(2, 8, 2))
+        opt = opt_cls(**kw)
+        losses = []
+        for _ in range(8):
+            ls, grads = model.forward_backward_batch(tokens, targets)
+            losses.append(float(np.mean(ls)))
+            opt.step(model, grads)
+        return losses
+
+    def test_sgd_reduces_loss(self):
+        losses = self._quadratic_step(SGD, lr=5e-2)
+        assert losses[-1] < losses[0]
+
+    def test_sgd_momentum_reduces_loss(self):
+        losses = self._quadratic_step(SGD, lr=2e-2, momentum=0.9)
+        assert losses[-1] < losses[0]
+
+    def test_adam_reduces_loss(self):
+        losses = self._quadratic_step(Adam, lr=1e-2)
+        assert losses[-1] < losses[0]
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            Adam(lr=-1.0)

@@ -1,0 +1,156 @@
+"""Gradient checks for every primitive op via central differences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn import functional as F
+
+RNG = np.random.default_rng(7)
+EPS = 1e-6
+TOL = 1e-6
+
+
+def numgrad(f, x, dout):
+    """Central-difference gradient of scalar <f(x), dout>."""
+    g = np.zeros_like(x, dtype=float)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + EPS
+        hi = float((f(x) * dout).sum())
+        x[idx] = orig - EPS
+        lo = float((f(x) * dout).sum())
+        x[idx] = orig
+        g[idx] = (hi - lo) / (2 * EPS)
+        it.iternext()
+    return g
+
+
+class TestLinear:
+    def test_grad_x_w_b(self):
+        x = RNG.normal(size=(3, 2, 4))
+        w = RNG.normal(size=(4, 5))
+        b = RNG.normal(size=5)
+        out, ctx = F.linear_fwd(x, w, b)
+        dout = RNG.normal(size=out.shape)
+        dx, dw, db = F.linear_bwd(ctx, dout)
+        assert np.allclose(dx, numgrad(lambda t: F.linear_fwd(t, w, b)[0], x, dout), atol=TOL)
+        assert np.allclose(dw, numgrad(lambda t: F.linear_fwd(x, t, b)[0], w, dout), atol=TOL)
+        assert np.allclose(db, numgrad(lambda t: F.linear_fwd(x, w, t)[0], b, dout), atol=TOL)
+
+
+class TestLayerNorm:
+    def test_grads(self):
+        x = RNG.normal(size=(3, 2, 6))
+        g = RNG.normal(size=6)
+        b = RNG.normal(size=6)
+        out, ctx = F.layer_norm_fwd(x, g, b)
+        dout = RNG.normal(size=out.shape)
+        dx, dg, db = F.layer_norm_bwd(ctx, dout)
+        assert np.allclose(dx, numgrad(lambda t: F.layer_norm_fwd(t, g, b)[0], x, dout), atol=TOL)
+        assert np.allclose(dg, numgrad(lambda t: F.layer_norm_fwd(x, t, b)[0], g, dout), atol=TOL)
+        assert np.allclose(db, numgrad(lambda t: F.layer_norm_fwd(x, g, t)[0], b, dout), atol=TOL)
+
+    def test_normalises(self):
+        x = RNG.normal(size=(4, 2, 8)) * 10 + 3
+        out, _ = F.layer_norm_fwd(x, np.ones(8), np.zeros(8))
+        assert np.allclose(out.mean(-1), 0, atol=1e-10)
+        assert np.allclose(out.var(-1), 1, atol=1e-3)
+
+
+class TestGelu:
+    def test_grad(self):
+        x = RNG.normal(size=(3, 2, 5))
+        out, ctx = F.gelu_fwd(x)
+        dout = RNG.normal(size=out.shape)
+        dx = F.gelu_bwd(ctx, dout)
+        assert np.allclose(dx, numgrad(lambda t: F.gelu_fwd(t)[0], x, dout), atol=TOL)
+
+    def test_known_values(self):
+        out, _ = F.gelu_fwd(np.array([0.0]))
+        assert out[0] == pytest.approx(0.0)
+        out, _ = F.gelu_fwd(np.array([100.0]))
+        assert out[0] == pytest.approx(100.0)
+
+
+class TestAttention:
+    def test_grad(self):
+        s, b, h, nh = 5, 2, 8, 2
+        qkv = RNG.normal(size=(s, b, 3 * h))
+        out, ctx = F.causal_attention_fwd(qkv, nh)
+        dout = RNG.normal(size=out.shape)
+        dqkv = F.causal_attention_bwd(ctx, dout)
+        ref = numgrad(lambda t: F.causal_attention_fwd(t, nh)[0], qkv, dout)
+        assert np.allclose(dqkv, ref, atol=1e-5)
+
+    def test_causality(self):
+        """Changing future tokens must not affect earlier outputs."""
+        s, b, h, nh = 6, 1, 4, 2
+        qkv = RNG.normal(size=(s, b, 3 * h))
+        out1, _ = F.causal_attention_fwd(qkv, nh)
+        qkv2 = qkv.copy()
+        qkv2[-1] += 100.0
+        out2, _ = F.causal_attention_fwd(qkv2, nh)
+        assert np.allclose(out1[:-1], out2[:-1])
+
+    def test_probs_rows_sum_to_one(self):
+        qkv = RNG.normal(size=(4, 1, 6))
+        _, (_, probs, _) = F.causal_attention_fwd(qkv, 2)
+        assert np.allclose(probs.sum(-1), 1.0)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=2))
+    @settings(max_examples=10, deadline=None)
+    def test_output_shape(self, s, b):
+        qkv = RNG.normal(size=(s, b, 12))
+        out, _ = F.causal_attention_fwd(qkv, 2)
+        assert out.shape == (s, b, 4)
+
+
+class TestEmbedding:
+    def test_grad_accumulates_repeats(self):
+        tokens = np.array([[1, 1], [1, 2]])  # token 1 appears 3 times
+        wte = RNG.normal(size=(5, 4))
+        wpe = RNG.normal(size=(8, 4))
+        out, ctx = F.embedding_fwd(tokens, wte, wpe)
+        dout = np.ones_like(out)
+        dwte, dwpe = F.embedding_bwd(ctx, dout)
+        assert np.allclose(dwte[1], 3.0)
+        assert np.allclose(dwte[2], 1.0)
+        assert np.allclose(dwte[0], 0.0)
+        assert np.allclose(dwpe[0], 2.0)  # summed over batch
+        assert np.allclose(dwpe[2:], 0.0)
+
+    def test_forward_adds_positions(self):
+        tokens = np.zeros((2, 1), dtype=int)
+        wte = np.zeros((3, 2))
+        wpe = np.arange(8).reshape(4, 2).astype(float)
+        out, _ = F.embedding_fwd(tokens, wte, wpe)
+        assert np.allclose(out[1, 0], wpe[1])
+
+
+class TestCrossEntropy:
+    def test_grad(self):
+        logits = RNG.normal(size=(3, 2, 7))
+        targets = RNG.integers(0, 7, size=(3, 2))
+        loss, ctx = F.cross_entropy_fwd(logits, targets)
+        dlogits = F.cross_entropy_bwd(ctx)
+        ref = numgrad(
+            lambda t: np.array(F.cross_entropy_fwd(t, targets)[0]), logits, np.array(1.0)
+        )
+        assert np.allclose(dlogits, ref, atol=TOL)
+
+    def test_perfect_prediction_low_loss(self):
+        targets = np.array([[0, 1]])
+        logits = np.full((1, 2, 3), -100.0)
+        logits[0, 0, 0] = logits[0, 1, 1] = 100.0
+        loss, _ = F.cross_entropy_fwd(logits, targets)
+        assert loss < 1e-6
+
+    def test_uniform_loss_is_log_v(self):
+        v = 11
+        logits = np.zeros((2, 2, v))
+        targets = np.zeros((2, 2), dtype=int)
+        loss, _ = F.cross_entropy_fwd(logits, targets)
+        assert loss == pytest.approx(np.log(v))

@@ -1,0 +1,95 @@
+"""AdaPipe planning and schedule tests."""
+
+import pytest
+
+from repro.cluster import abstract_cluster, h20_cluster
+from repro.costmodel import RecomputeStrategy
+from repro.model import GPT3_3B
+from repro.schedules.adapipe import AdaPipePlan, build_adapipe, plan_adapipe
+from repro.schedules.costs import PipelineCosts, UnitCosts
+from repro.sim import simulate
+
+
+def _unit_providers(L):
+    return {
+        strat: UnitCosts(num_layers=L, recompute=strat)
+        for strat in (
+            RecomputeStrategy.NONE,
+            RecomputeStrategy.SELECTIVE,
+            RecomputeStrategy.WITHOUT_ATTENTION,
+            RecomputeStrategy.FULL,
+        )
+    }
+
+
+class TestPlanner:
+    def test_unconstrained_prefers_no_recompute_even_split(self):
+        plan = plan_adapipe(_unit_providers(8), 4, 8, memory_cap_bytes=None)
+        assert plan.layers_per_stage == (2, 2, 2, 2)
+        assert all(s is RecomputeStrategy.NONE for s in plan.strategy_per_stage)
+
+    def test_memory_cap_forces_recompute_on_early_stages(self):
+        """1F1B's skew means stage 0 holds p outstanding micro batches;
+        a tight cap forces recompute there first."""
+        # Unit stash: 16/layer; 2 layers/stage; stage 0 outstanding = 4
+        # -> 128 units without recompute.
+        plan = plan_adapipe(_unit_providers(8), 4, 8, memory_cap_bytes=100.0)
+        assert plan.strategy_per_stage[0] is not RecomputeStrategy.NONE
+
+    def test_infeasible_cap_raises(self):
+        with pytest.raises(ValueError, match="feasible"):
+            plan_adapipe(_unit_providers(8), 4, 8, memory_cap_bytes=1.0)
+
+    def test_needs_layer_per_stage(self):
+        with pytest.raises(ValueError):
+            plan_adapipe(_unit_providers(2), 4, 8)
+
+    def test_plan_covers_all_layers(self):
+        plan = plan_adapipe(_unit_providers(12), 4, 8, memory_cap_bytes=None)
+        assert sum(plan.layers_per_stage) == 12
+
+    def test_bottleneck_reported(self):
+        plan = plan_adapipe(_unit_providers(8), 4, 8)
+        assert plan.bottleneck_time > 0
+
+
+class TestBuildAdapipe:
+    def test_valid_schedule(self):
+        sched = build_adapipe(4, 8, _unit_providers(8))
+        sched.validate()
+        assert sched.name == "adapipe"
+        assert isinstance(sched.meta["plan"], AdaPipePlan)
+
+    def test_matches_1f1b_when_unconstrained(self):
+        """Unconstrained AdaPipe degenerates to 1F1B (paper Section 5.2:
+        'its computation efficiency is no better than 1F1B')."""
+        from repro.schedules.one_f_one_b import build_1f1b
+
+        p, m, L = 4, 8, 8
+        ada = simulate(build_adapipe(p, m, _unit_providers(L)), abstract_cluster(p))
+        fb = simulate(
+            build_1f1b(p, m, UnitCosts(num_layers=L)), abstract_cluster(p)
+        )
+        assert ada.makespan == pytest.approx(fb.makespan, rel=0.01)
+
+    def test_hardware_costs_single_provider_expansion(self):
+        cluster = h20_cluster(4)
+        base = PipelineCosts(
+            GPT3_3B, cluster, micro_batch=1, seq_len=32768,
+            recompute=RecomputeStrategy.NONE,
+        )
+        sched = build_adapipe(4, 8, base, memory_cap_bytes=cluster.node.gpu.hbm_bytes)
+        r = simulate(sched, cluster)
+        assert r.makespan > 0
+        assert max(r.peak_memory_bytes) <= cluster.node.gpu.hbm_bytes
+
+    def test_cap_lowers_memory_vs_unconstrained(self):
+        cluster = h20_cluster(4)
+        base = PipelineCosts(
+            GPT3_3B, cluster, micro_batch=1, seq_len=65536,
+            recompute=RecomputeStrategy.NONE,
+        )
+        free = simulate(build_adapipe(4, 8, base), cluster)
+        cap = 0.5 * max(free.peak_memory_bytes)
+        tight = simulate(build_adapipe(4, 8, base, memory_cap_bytes=cap), cluster)
+        assert max(tight.peak_memory_bytes) < max(free.peak_memory_bytes)

@@ -1,0 +1,97 @@
+"""Schedule IR structural tests."""
+
+import pytest
+
+from repro.model import Segment, SegmentKind
+from repro.schedules.ir import (
+    ComputeInstr,
+    OpType,
+    RecvInstr,
+    Schedule,
+    SendInstr,
+    compute_only,
+)
+
+SEG = Segment(SegmentKind.LAYERS, 0, 1)
+
+
+def _f(stage, mb=0, dur=1.0):
+    return ComputeInstr(OpType.F, stage, mb, SEG, duration=dur)
+
+
+class TestValidation:
+    def test_valid_pair(self):
+        s = Schedule(
+            "t", 2, 1,
+            [
+                [_f(0), SendInstr(0, 1, "x", 8.0)],
+                [RecvInstr(1, 0, "x", 8.0), _f(1)],
+            ],
+        )
+        s.validate()
+
+    def test_stage_mismatch(self):
+        s = Schedule("t", 2, 1, [[_f(1)], []])
+        with pytest.raises(ValueError, match="stage"):
+            s.validate()
+
+    def test_unpaired_tag(self):
+        s = Schedule("t", 2, 1, [[SendInstr(0, 1, "x", 8.0)], []])
+        with pytest.raises(ValueError, match="unpaired"):
+            s.validate()
+
+    def test_duplicate_send_tag(self):
+        s = Schedule(
+            "t", 2, 1,
+            [
+                [SendInstr(0, 1, "x", 8.0), SendInstr(0, 1, "x", 8.0)],
+                [RecvInstr(1, 0, "x", 8.0)],
+            ],
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            s.validate()
+
+    def test_size_mismatch(self):
+        s = Schedule(
+            "t", 2, 1,
+            [[SendInstr(0, 1, "x", 8.0)], [RecvInstr(1, 0, "x", 4.0)]],
+        )
+        with pytest.raises(ValueError, match="size"):
+            s.validate()
+
+    def test_self_send(self):
+        s = Schedule("t", 2, 1, [[SendInstr(0, 0, "x", 8.0)], []])
+        with pytest.raises(ValueError, match="self-send"):
+            s.validate()
+
+    def test_endpoint_mismatch(self):
+        s = Schedule(
+            "t", 3, 1,
+            [[SendInstr(0, 1, "x", 8.0)], [], [RecvInstr(2, 0, "x", 8.0)]],
+        )
+        with pytest.raises(ValueError, match="endpoints"):
+            s.validate()
+
+    def test_program_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Schedule("t", 3, 1, [[], []])
+
+
+class TestAccessors:
+    def test_total_compute_time(self):
+        s = Schedule("t", 1, 2, [[_f(0, dur=1.5), _f(0, 1, dur=2.5)]])
+        assert s.total_compute_time(0) == pytest.approx(4.0)
+
+    def test_compute_only_filters(self):
+        s = Schedule(
+            "t", 2, 1,
+            [[_f(0), SendInstr(0, 1, "x", 1.0)], [RecvInstr(1, 0, "x", 1.0), _f(1)]],
+        )
+        assert len(compute_only(s, 0)) == 1
+        assert len(list(s.compute_instructions())) == 2
+
+    def test_labels(self):
+        i = _f(0, 3)
+        assert "mb3" in i.label
+        assert "SEND" in SendInstr(0, 1, "t", 1.0).label
+        assert "RECV" in RecvInstr(0, 1, "t", 1.0).label

@@ -1,0 +1,166 @@
+"""1F1B / GPipe / ZB1P schedule behaviour against the paper's formulas."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.bubble import bubble_time_1f1b, bubble_time_zb1p
+from repro.cluster import abstract_cluster
+from repro.costmodel import RecomputeStrategy, unit_layer_times
+from repro.schedules.costs import UnitCosts
+from repro.schedules.gpipe import build_gpipe
+from repro.schedules.ir import ComputeInstr, OpType
+from repro.schedules.one_f_one_b import build_1f1b, one_f_one_b_order
+from repro.schedules.zb1p import build_zb1p, zb1p_order
+
+
+def _sim(schedule, p):
+    from repro.sim import simulate
+
+    return simulate(schedule, abstract_cluster(p))
+
+
+def _unit(L, recompute=RecomputeStrategy.NONE):
+    return UnitCosts(num_layers=L, recompute=recompute)
+
+
+class TestOneFOneB:
+    def test_order_counts(self):
+        for stage in range(4):
+            order = one_f_one_b_order(4, 8, stage)
+            assert sum(1 for op, _ in order if op == "F") == 8
+            assert sum(1 for op, _ in order if op == "B") == 8
+
+    def test_warmup_depth(self):
+        order = one_f_one_b_order(4, 8, 0)
+        warmup = 0
+        for op, _ in order:
+            if op != "F":
+                break
+            warmup += 1
+        assert warmup == 4  # p - 1 - stage + the first steady F
+
+    def test_last_stage_strictly_alternates(self):
+        order = one_f_one_b_order(4, 8, 3)
+        assert [op for op, _ in order[:6]] == ["F", "B", "F", "B", "F", "B"]
+
+    def test_backward_in_forward_order(self):
+        order = one_f_one_b_order(4, 8, 1)
+        bs = [mb for op, mb in order if op == "B"]
+        assert bs == sorted(bs)
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_every_mb_exactly_once(self, p, m):
+        for stage in range(p):
+            order = one_f_one_b_order(p, m, stage)
+            fs = sorted(mb for op, mb in order if op == "F")
+            bs = sorted(mb for op, mb in order if op == "B")
+            assert fs == list(range(m)) and bs == list(range(m))
+
+    def test_bubble_matches_eq1(self):
+        p, m, L = 4, 8, 8
+        sched = build_1f1b(p, m, _unit(L), include_embed=False, include_head=False)
+        r = _sim(sched, p)
+        expected = bubble_time_1f1b(unit_layer_times(), L, p)
+        assert r.mean_bubble_time == pytest.approx(expected, rel=0.01)
+
+    def test_memory_skew_eq2(self):
+        """Stage i stashes p - i outstanding micro batches (Eq. 2)."""
+        p, m, L = 4, 8, 8
+        sched = build_1f1b(p, m, _unit(L), include_embed=False, include_head=False)
+        r = _sim(sched, p)
+        per_layer_stash = 16.0
+        for i, st_m in enumerate(r.stages):
+            expected = (p - i) * per_layer_stash * L / p
+            assert st_m.peak_memory_bytes == pytest.approx(expected)
+
+
+class TestGPipe:
+    def test_filo_backward(self):
+        sched = build_gpipe(2, 4, _unit(4), include_embed=False, include_head=False)
+        ops = [
+            (i.op, i.micro_batch)
+            for i in sched.programs[0]
+            if isinstance(i, ComputeInstr)
+        ]
+        assert ops[:4] == [(OpType.F, k) for k in range(4)]
+        assert ops[4:] == [(OpType.B, k) for k in (3, 2, 1, 0)]
+
+    def test_peak_memory_is_all_micro_batches(self):
+        p, m, L = 4, 8, 8
+        sched = build_gpipe(p, m, _unit(L), include_embed=False, include_head=False)
+        r = _sim(sched, p)
+        assert r.stages[0].peak_memory_bytes == pytest.approx(16.0 * m * L / p)
+
+    def test_same_bubble_as_1f1b(self):
+        """GPipe and 1F1B differ in memory, not bubble (both layer-wise)."""
+        p, m, L = 4, 8, 8
+        g = _sim(build_gpipe(p, m, _unit(L), include_embed=False, include_head=False), p)
+        f = _sim(build_1f1b(p, m, _unit(L), include_embed=False, include_head=False), p)
+        assert g.makespan == pytest.approx(f.makespan, rel=0.02)
+
+
+class TestZB1P:
+    @given(
+        st.integers(min_value=2, max_value=6),
+        st.integers(min_value=2, max_value=12),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_order_complete(self, p, m):
+        for stage in range(p):
+            order = zb1p_order(p, m, stage)
+            for kind in ("F", "BI", "BW"):
+                mbs = sorted(mb for op, mb in order if op == kind)
+                assert mbs == list(range(m)), f"{kind} wrong at stage {stage}"
+
+    def test_bw_after_bi(self):
+        for stage in range(4):
+            order = zb1p_order(4, 8, stage)
+            bi_done = set()
+            for op, mb in order:
+                if op == "BI":
+                    bi_done.add(mb)
+                elif op == "BW":
+                    assert mb in bi_done
+
+    def test_memory_cap_respected(self):
+        p, m = 4, 16
+        for stage in range(p):
+            order = zb1p_order(p, m, stage)
+            outstanding = 0
+            for op, _ in order:
+                if op == "F":
+                    outstanding += 1
+                elif op == "BW":
+                    outstanding -= 1
+                assert outstanding <= p + 1
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            zb1p_order(4, 8, 0, max_outstanding=0)
+
+    def test_bubble_below_1f1b_and_near_eq3(self):
+        p, m, L = 4, 12, 8
+        zb = _sim(build_zb1p(p, m, _unit(L), include_embed=False, include_head=False), p)
+        fb = _sim(build_1f1b(p, m, _unit(L), include_embed=False, include_head=False), p)
+        assert zb.makespan < fb.makespan
+        expected = bubble_time_zb1p(unit_layer_times(), L, p)
+        assert zb.mean_bubble_time <= bubble_time_1f1b(unit_layer_times(), L, p)
+        assert zb.mean_bubble_time == pytest.approx(expected, rel=0.35)
+
+    def test_head_logits_spike_modeled(self):
+        """ZB1P stashes fp32 logits per outstanding head BW (Fig. 10)."""
+
+        class LogitsCosts(UnitCosts):
+            def head_logits_stash_bytes(self) -> float:
+                return 100.0
+
+        p, m, L = 4, 8, 8
+        costs = LogitsCosts(num_layers=L)
+        zb = _sim(build_zb1p(p, m, costs), p)
+        fb = _sim(build_1f1b(p, m, costs), p)
+        # Last stage of ZB1P spikes above 1F1B's last stage.
+        assert zb.stages[-1].peak_memory_bytes > fb.stages[-1].peak_memory_bytes

@@ -1,0 +1,96 @@
+"""MILP-placed ZB1P: validity, memory parity, and the ablation finding."""
+
+import pytest
+
+from repro.cluster import abstract_cluster
+from repro.schedules.costs import UnitCosts
+from repro.schedules.zb1p import build_zb1p
+from repro.schedules.zb_milp import build_zb_milp, zb_milp_order
+from repro.sim import simulate
+
+
+class TestZbMilpOrder:
+    def test_all_ops_scheduled(self):
+        for stage in range(4):
+            order = zb_milp_order(4, 8, stage)
+            for kind in ("F", "BI", "BW"):
+                assert sorted(mb for op, mb in order if op == kind) == list(range(8))
+
+    def test_dependency_bw_after_bi(self):
+        for stage in range(4):
+            done = set()
+            for op, mb in zb_milp_order(4, 8, stage):
+                if op == "BI":
+                    done.add(mb)
+                elif op == "BW":
+                    assert mb in done
+
+    def test_memory_cap(self):
+        for stage in range(4):
+            outstanding = 0
+            for op, _ in zb_milp_order(4, 16, stage):
+                if op == "F":
+                    outstanding += 1
+                elif op == "BW":
+                    outstanding -= 1
+                assert outstanding <= 4
+
+    def test_custom_cap_respected(self):
+        order = zb_milp_order(2, 8, 0, max_outstanding=2)
+        outstanding = 0
+        for op, _ in order:
+            outstanding += op == "F"
+            outstanding -= op == "BW"
+            assert outstanding <= 2
+
+
+class TestZbMilpSchedule:
+    def test_builds_and_validates(self):
+        sched = build_zb_milp(4, 8, UnitCosts(num_layers=8))
+        sched.validate()
+        assert sched.name == "zb1p-milp"
+
+    def test_simulates_without_deadlock(self):
+        sched = build_zb_milp(
+            4, 8, UnitCosts(num_layers=8), include_embed=False, include_head=False
+        )
+        r = simulate(sched, abstract_cluster(4))
+        assert r.makespan > 0
+
+    def test_ablation_heuristic_vs_milp(self):
+        """Documented finding: the static earliest-W MILP is close to but
+        not better than the gap-filling heuristic under event-driven
+        execution (its objective cannot see the timing)."""
+        p, m, L = 4, 12, 8
+        costs = UnitCosts(num_layers=L)
+        heur = simulate(
+            build_zb1p(p, m, costs, include_embed=False, include_head=False),
+            abstract_cluster(p),
+        )
+        milp = simulate(
+            build_zb_milp(p, m, costs, include_embed=False, include_head=False),
+            abstract_cluster(p),
+        )
+        assert milp.makespan <= heur.makespan * 1.25
+        assert heur.makespan <= milp.makespan * 1.05  # heuristic not worse
+
+    def test_runtime_equivalence(self):
+        """The MILP order still computes exact gradients."""
+        import numpy as np
+
+        from repro.model import tiny_config
+        from repro.nn import GPTModel
+        from repro.runtime import run_schedule
+
+        cfg = tiny_config(num_layers=4, num_heads=2, hidden_size=16, vocab_size=32)
+        model = GPTModel.init(cfg, max_seq=8, seed=5)
+        rng = np.random.default_rng(6)
+        tokens = rng.integers(0, 32, size=(4, 8, 2))
+        targets = rng.integers(0, 32, size=(4, 8, 2))
+        ref_losses, ref_grads = model.forward_backward_batch(tokens, targets)
+        sched = build_zb_milp(2, 4, UnitCosts(num_layers=4))
+        result = run_schedule(model, sched, tokens, targets)
+        for i, ref in enumerate(ref_losses):
+            assert result.losses[i] == pytest.approx(ref, abs=1e-10)
+        for k, ref in ref_grads.flat().items():
+            np.testing.assert_allclose(result.grads[k], ref, atol=1e-10)
