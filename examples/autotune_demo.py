@@ -1,0 +1,53 @@
+"""Auto-tune the pipeline schedule for a long-sequence workload.
+
+Sweeps every tunable registered schedule x its admissible recomputation
+strategies x the feasible micro-batch counts for the paper's 7B / H20 /
+p=8 / 64k workload, ranks the feasible plans by simulated throughput
+under the HBM cap, and shows the memoizing cost cache at work: the
+second sweep re-simulates nothing.
+
+Run:  python examples/autotune_demo.py
+"""
+
+import time
+
+from repro.analysis import format_plan_table
+from repro.experiments import Workload
+from repro.tuner import CostCache, autotune
+
+GIB = float(1 << 30)
+
+
+def main() -> None:
+    wl = Workload.paper("7B", "H20", 8, 65536)
+    cap = wl.cluster.node.gpu.hbm_bytes
+    print(
+        f"Workload: {wl.model.name} GPT, seq {wl.seq_len // 1024}k, "
+        f"p={wl.p}, micro-batch budget {wl.num_micro_batches}, "
+        f"HBM cap {cap / GIB:.0f} GiB\n"
+    )
+
+    cache = CostCache()
+    t0 = time.perf_counter()
+    plans = autotune(wl, cache=cache)
+    cold = time.perf_counter() - t0
+
+    print(format_plan_table(plans))
+    best = plans[0]
+    print(
+        f"\nBest plan: {best.label} -- {best.iteration_time:.2f} s/iter, "
+        f"{best.tokens_per_s:.0f} tokens/s, peak {best.peak_memory_bytes / GIB:.1f} GiB"
+    )
+
+    t0 = time.perf_counter()
+    again = autotune(wl, cache=cache)
+    warm = time.perf_counter() - t0
+    assert again == plans, "cached sweep must reproduce the cold results"
+    print(
+        f"\nCold sweep {cold:.2f} s, cached sweep {warm * 1e3:.1f} ms "
+        f"({cache.stats}, hit rate {cache.stats.hit_rate:.0%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -7,11 +7,18 @@ amplifies the bubble.  This planner sweeps sequence lengths and pipeline
 sizes for a 7B model under a 4M-token budget, checks each method against
 the GPU memory capacity, and reports the fastest feasible configuration.
 
+Each method is resolved through the schedule registry, which also
+supplies its micro-batch divisibility constraint: two-fold FILO runs in
+loops of ``2p`` while the layer-wise baselines only need rounds of
+``p``, so the token budget is rounded down per schedule instead of
+forcing every method onto HelixPipe's coarser grid.
+
 Run:  python examples/long_context_planner.py
 """
 
 from repro.analysis import format_table
 from repro.experiments.common import METHODS, Workload, run_method
+from repro.schedules.registry import get_schedule
 
 GIB = float(1 << 30)
 TOKEN_BUDGET = 4 << 20  # 4M tokens per iteration
@@ -21,18 +28,19 @@ def main() -> None:
     rows = []
     for seq_len in (32768, 65536, 131072):
         for p in (4, 8):
-            micro_batches = max(p, TOKEN_BUDGET // seq_len // 1)
-            # Two-fold FILO needs m to be a multiple of 2p; round down.
-            micro_batches -= micro_batches % (2 * p)
-            if micro_batches == 0:
-                continue
-            wl = Workload.paper("7B", "H20", p, seq_len)
-            wl.num_micro_batches = micro_batches
-            capacity = wl.cluster.node.gpu.hbm_bytes
+            budget = TOKEN_BUDGET // seq_len
             for method in METHODS:
+                # Round the budget down to the schedule's own grid
+                # (2p for two-fold FILO, p for layer-wise baselines).
+                micro_batches = get_schedule(method).round_micro_batches(budget, p)
+                if micro_batches == 0:
+                    continue
+                wl = Workload.paper("7B", "H20", p, seq_len)
+                wl.num_micro_batches = micro_batches
+                capacity = wl.cluster.node.gpu.hbm_bytes
                 try:
                     r = run_method(wl, method)
-                except ValueError as err:  # AdaPipe: no feasible plan
+                except ValueError as err:  # e.g. AdaPipe: no feasible plan
                     rows.append(
                         {
                             "seq_len": f"{seq_len // 1024}k",

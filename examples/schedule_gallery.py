@@ -4,15 +4,21 @@ Reproduces Figures 2a/2b (1F1B vs HelixPipe FILO) and 7a/7b (naive vs
 two-fold FILO) in the unit-time world the paper draws them in
 (pre : attention : post = 1 : 3 : 2, backward == forward).  Digits are
 forward micro batches, letters are backwards, dots are pipeline bubble.
+Every schedule is resolved by name through the schedule registry.
 
 Run:  python examples/schedule_gallery.py
 """
 
 from repro.analysis import format_table
 from repro.experiments import fig2_fig7_schedules
+from repro.schedules.registry import available_schedules, get_schedule
 
 
 def main() -> None:
+    print("Registered schedules:")
+    for name in available_schedules():
+        print(f"  {name:20s} {get_schedule(name).description}")
+    print()
     print(fig2_fig7_schedules.render(width=110))
     print(format_table(fig2_fig7_schedules.run()))
 

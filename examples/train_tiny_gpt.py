@@ -14,12 +14,12 @@ Run:  python examples/train_tiny_gpt.py
 
 import numpy as np
 
-from repro.core.filo import build_helix_filo
 from repro.costmodel import RecomputeStrategy
 from repro.model import tiny_config
 from repro.nn import Adam, GPTModel
 from repro.runtime import run_schedule
 from repro.schedules.costs import UnitCosts
+from repro.schedules.registry import build_schedule
 
 SEQ, BATCH, MICRO_BATCHES, STAGES = 16, 2, 4, 2
 STEPS = 200
@@ -41,11 +41,10 @@ def main() -> None:
     cfg = tiny_config(num_layers=4, num_heads=2, hidden_size=32, vocab_size=64)
     pipeline_model = GPTModel.init(cfg, max_seq=SEQ, seed=0)
     reference_model = GPTModel.init(cfg, max_seq=SEQ, seed=0)
-    sched = build_helix_filo(
-        STAGES,
-        MICRO_BATCHES,
+    sched = build_schedule(
+        "helix",
+        (STAGES, MICRO_BATCHES),
         UnitCosts(num_layers=cfg.num_layers, recompute=RecomputeStrategy.WITHOUT_ATTENTION),
-        fold=2,
     )
     opt_pipe, opt_ref = Adam(lr=1e-2), Adam(lr=1e-2)
     rng = np.random.default_rng(42)

@@ -5,13 +5,53 @@ Subpackages
 cluster / costmodel / model / comm
     Simulated hardware and analytic cost substrates.
 schedules / core
-    Schedule IR, baselines (1F1B, GPipe, ZB1P, AdaPipe) and the paper's
-    contribution (attention parallel partition + FILO schedules).
+    Schedule IR, verification passes, the schedule registry, baselines
+    (1F1B, GPipe, ZB1P, AdaPipe) and the paper's contribution
+    (attention parallel partition + FILO schedules).
+tuner
+    Auto-tuning planner: searches the registered schedule space for the
+    fastest plan under a memory cap.
 sim / runtime / memsim
     The three executors: discrete-event timing, functional numpy math,
     caching-allocator memory.
 analysis / experiments
     Closed-form formulas, reporting, and one module per paper figure.
+
+Registry quickstart
+-------------------
+Schedules are registered by name and built through one uniform
+signature; every build runs the verification pass pipeline (SEND/RECV
+tag matching, static deadlock-freedom, program order, stash balance):
+
+>>> from repro.schedules import available_schedules, build_schedule, UnitCosts
+>>> available_schedules()
+['1f1b', 'adapipe', 'gpipe', 'helix', 'helix-naive', ...]
+>>> sched = build_schedule("helix", (4, 8), UnitCosts(num_layers=4))
+
+New schedules self-register with the decorator::
+
+    from repro.schedules import register_schedule
+
+    @register_schedule("my-sched", family="layerwise",
+                       options={"include_embed": True, "include_head": True},
+                       divisor=lambda p, opts: p)
+    def build_my_sched(num_stages, num_micro_batches, costs, **options):
+        ...
+
+Tuner quickstart
+----------------
+:func:`repro.tuner.autotune` sweeps registered schedules x recompute
+strategies x feasible micro-batch counts, evaluates each candidate with
+the discrete-event simulator behind a memoizing cost cache, and returns
+ranked plans with per-candidate infeasibility reasons:
+
+>>> from repro.experiments import Workload
+>>> from repro.tuner import autotune
+>>> from repro.analysis import format_plan_table
+>>> plans = autotune(Workload.paper("7B", "H20", 8, 65536))
+>>> print(format_plan_table(plans[:5]))
+
+See ``examples/autotune_demo.py`` for a runnable walkthrough.
 """
 
 __version__ = "0.1.0"
@@ -23,6 +63,7 @@ __all__ = [
     "model",
     "schedules",
     "core",
+    "tuner",
     "sim",
     "runtime",
     "memsim",

@@ -8,6 +8,7 @@ from repro.analysis.bubble import (
 )
 from repro.analysis.report import format_table, normalize
 from repro.analysis.timeline import render_timeline
+from repro.analysis.tuner_view import format_plan_table, plan_rows
 
 __all__ = [
     "bubble_time_1f1b",
@@ -17,4 +18,6 @@ __all__ = [
     "format_table",
     "normalize",
     "render_timeline",
+    "format_plan_table",
+    "plan_rows",
 ]

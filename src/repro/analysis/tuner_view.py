@@ -1,0 +1,46 @@
+"""Tabular views of auto-tuner results (:mod:`repro.tuner`)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.report import format_table
+
+__all__ = ["plan_rows", "format_plan_table"]
+
+_GIB = float(1 << 30)
+
+
+def plan_rows(results: Iterable) -> list[dict]:
+    """Flatten :class:`~repro.tuner.PlanResult` rows for ``format_table``."""
+    rows = []
+    for rank, r in enumerate(results, start=1):
+        c = r.candidate
+        rows.append(
+            {
+                "rank": rank if r.feasible else "-",
+                "schedule": c.schedule,
+                "recompute": c.recompute.value,
+                "mb": c.num_micro_batches,
+                "status": "ok" if r.feasible else (r.reason or "infeasible")[:48],
+                # Metrics are None for candidates that never built.
+                "iter_s": "-" if r.iteration_time is None else r.iteration_time,
+                "tokens_per_s": r.tokens_per_s,
+                "peak_gib": (
+                    "-"
+                    if r.peak_memory_bytes is None
+                    else r.peak_memory_bytes / _GIB
+                ),
+                "bubble_pct": (
+                    "-"
+                    if r.bubble_fraction is None
+                    else 100.0 * r.bubble_fraction
+                ),
+            }
+        )
+    return rows
+
+
+def format_plan_table(results: Iterable, floatfmt: str = ".2f") -> str:
+    """Render ranked tuner results as an aligned text table."""
+    return format_table(plan_rows(results), floatfmt=floatfmt)

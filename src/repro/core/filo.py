@@ -58,9 +58,16 @@ from repro.schedules.ir import (
     Schedule,
     SendInstr,
 )
+from repro.costmodel.memory import RecomputeStrategy
 from repro.schedules.planner import PlannedTask, critical_path_levels, list_schedule
+from repro.schedules.registry import register_schedule
 
 __all__ = ["build_helix_filo", "HelixFiloBuilder"]
+
+
+def _helix_divisor(p: int, opts) -> int:
+    """Loop size ``fold * p`` (a single stage accepts any micro count)."""
+    return opts.get("fold", 2) * p if p > 1 else 1
 
 
 @dataclass
@@ -460,6 +467,43 @@ class HelixFiloBuilder:
             )
 
 
+@register_schedule(
+    "helix",
+    description="HelixPipe two-fold FILO (attention parallel partition)",
+    family="helix",
+    options={"fold": 2, "include_embed": True, "include_head": True},
+    default_recompute=RecomputeStrategy.WITHOUT_ATTENTION,
+    # HelixPipe never recomputes attention (Section 4.4.1), so only the
+    # strategies the builder models faithfully are swept.
+    recompute_choices=(
+        RecomputeStrategy.NONE,
+        RecomputeStrategy.WITHOUT_ATTENTION,
+    ),
+    divisor=_helix_divisor,
+)
+@register_schedule(
+    "helix-naive",
+    description="HelixPipe naive (fold-1) FILO, no transfer hiding",
+    family="helix",
+    options={"fold": 1, "include_embed": True, "include_head": True},
+    default_recompute=RecomputeStrategy.WITHOUT_ATTENTION,
+    recompute_choices=(
+        RecomputeStrategy.NONE,
+        RecomputeStrategy.WITHOUT_ATTENTION,
+    ),
+    divisor=_helix_divisor,
+)
+@register_schedule(
+    "helix-no-recompute",
+    description="HelixPipe two-fold FILO without recomputation",
+    family="helix",
+    options={"fold": 2, "include_embed": True, "include_head": True},
+    default_recompute=RecomputeStrategy.NONE,
+    # Alias of helix x RecomputeStrategy.NONE kept for the experiment
+    # method names; the tuner sweeps that combination via "helix".
+    tunable=False,
+    divisor=_helix_divisor,
+)
 def build_helix_filo(
     num_stages: int,
     num_micro_batches: int,

@@ -13,14 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.cluster.topology import ClusterSpec, a800_cluster, h20_cluster
-from repro.core.filo import build_helix_filo
 from repro.costmodel.memory import RecomputeStrategy, model_state_bytes_per_stage
 from repro.model.config import MODEL_PRESETS, ModelConfig
-from repro.schedules.adapipe import build_adapipe
 from repro.schedules.costs import PipelineCosts
 from repro.schedules.ir import Schedule
-from repro.schedules.one_f_one_b import build_1f1b
-from repro.schedules.zb1p import build_zb1p
+from repro.schedules.registry import (
+    available_schedules,
+    get_schedule,
+    workload_option_defaults,
+)
 from repro.sim import SimResult, simulate
 
 __all__ = ["Workload", "METHODS", "SEQ_LENS", "run_method", "run_all_methods"]
@@ -79,46 +80,27 @@ class Workload:
     def build(self, method: str, **kw) -> Schedule:
         """Build one method's schedule under the paper's settings.
 
-        Baselines run without recomputation (they fit the paper's
-        configurations, Section 5.1); AdaPipe plans adaptive recompute
-        under the GPU memory cap; HelixPipe uses two-fold FILO +
-        recomputation-without-attention + weight shipping + chunked MLP.
+        ``method`` is resolved through the schedule registry
+        (:mod:`repro.schedules.registry`); the spec supplies the
+        recomputation strategy it is designed around (baselines run
+        without recomputation, Section 5.1; HelixPipe with
+        recomputation-without-attention) and any workload-derived
+        options it needs (AdaPipe plans under the GPU memory cap).
+        Pass ``recompute=...`` or any spec option to override.
         """
-        m = self.num_micro_batches
-        if method == "1f1b":
-            return build_1f1b(self.p, m, self.costs(RecomputeStrategy.NONE), **kw)
-        if method == "zb1p":
-            return build_zb1p(self.p, m, self.costs(RecomputeStrategy.NONE), **kw)
-        if method == "adapipe":
-            return build_adapipe(
-                self.p,
-                m,
-                self.costs(RecomputeStrategy.NONE),
-                memory_cap_bytes=self.cluster.node.gpu.hbm_bytes,
-                static_memory_bytes=self.static_memory(),
-                **kw,
-            )
-        if method == "helix":
-            return build_helix_filo(
-                self.p,
-                m,
-                self.costs(RecomputeStrategy.WITHOUT_ATTENTION),
-                fold=2,
-                **kw,
-            )
-        if method == "helix-naive":
-            return build_helix_filo(
-                self.p,
-                m,
-                self.costs(RecomputeStrategy.WITHOUT_ATTENTION),
-                fold=1,
-                **kw,
-            )
-        if method == "helix-no-recompute":
-            return build_helix_filo(
-                self.p, m, self.costs(RecomputeStrategy.NONE), fold=2, **kw
-            )
-        raise ValueError(f"unknown method {method!r}")
+        try:
+            spec = get_schedule(method)
+        except KeyError:
+            raise ValueError(
+                f"unknown method {method!r}; registered: {available_schedules()}"
+            ) from None
+        recompute = kw.pop("recompute", spec.default_recompute)
+        opts = dict(kw)
+        for name, value in workload_option_defaults(spec, self).items():
+            opts.setdefault(name, value)
+        return spec.build(
+            (self.p, self.num_micro_batches), self.costs(recompute), **opts
+        )
 
 
 def run_method(wl: Workload, method: str, **kw) -> SimResult:

@@ -10,10 +10,9 @@ from __future__ import annotations
 
 from repro.analysis.timeline import render_timeline
 from repro.cluster.topology import abstract_cluster
-from repro.core.filo import build_helix_filo
 from repro.costmodel.memory import RecomputeStrategy
 from repro.schedules.costs import UnitCosts
-from repro.schedules.one_f_one_b import build_1f1b
+from repro.schedules.registry import build_schedule
 from repro.sim import simulate
 
 __all__ = ["run", "render"]
@@ -21,28 +20,25 @@ __all__ = ["run", "render"]
 
 def _cases():
     return [
-        ("fig2a_1f1b", "1f1b", dict(p=4, m=4, L=8, fold=None)),
-        ("fig2b_helix_filo", "helix", dict(p=4, m=4, L=8, fold=1)),
-        ("fig7a_naive_filo", "helix", dict(p=4, m=8, L=4, fold=1)),
-        ("fig7b_twofold_filo", "helix", dict(p=4, m=8, L=4, fold=2)),
+        ("fig2a_1f1b", "1f1b", dict(p=4, m=4, L=8)),
+        ("fig2b_helix_filo", "helix-naive", dict(p=4, m=4, L=8)),
+        ("fig7a_naive_filo", "helix-naive", dict(p=4, m=8, L=4)),
+        ("fig7b_twofold_filo", "helix", dict(p=4, m=8, L=4)),
     ]
 
 
-def _simulate(kind: str, p: int, m: int, L: int, fold: int | None):
+def _simulate(schedule_name: str, p: int, m: int, L: int):
     costs = UnitCosts(num_layers=L, recompute=RecomputeStrategy.NONE)
-    if kind == "1f1b":
-        sched = build_1f1b(p, m, costs, include_embed=False, include_head=False)
-    else:
-        sched = build_helix_filo(
-            p, m, costs, fold=fold or 1, include_embed=False, include_head=False
-        )
+    sched = build_schedule(
+        schedule_name, (p, m), costs, include_embed=False, include_head=False
+    )
     return sched, simulate(sched, abstract_cluster(p))
 
 
 def run() -> list[dict]:
     rows = []
     for name, kind, cfg in _cases():
-        sched, r = _simulate(kind, cfg["p"], cfg["m"], cfg["L"], cfg["fold"])
+        sched, r = _simulate(kind, cfg["p"], cfg["m"], cfg["L"])
         rows.append(
             {
                 "figure": name,
@@ -59,7 +55,7 @@ def render(width: int = 110) -> str:
     """All four timelines as one printable block."""
     out = []
     for name, kind, cfg in _cases():
-        sched, r = _simulate(kind, cfg["p"], cfg["m"], cfg["L"], cfg["fold"])
+        sched, r = _simulate(kind, cfg["p"], cfg["m"], cfg["L"])
         out.append(f"== {name} ({sched.name}): makespan {r.makespan:g} ==")
         out.append(render_timeline(r.trace, cfg["p"], width=width))
         out.append("")

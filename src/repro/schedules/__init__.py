@@ -1,4 +1,4 @@
-"""Pipeline schedule IR, cost providers and baseline schedule builders."""
+"""Pipeline schedule IR, verification passes, registry and builders."""
 
 from repro.schedules.adapipe import build_adapipe
 from repro.schedules.costs import CostProvider, PipelineCosts, SegCost, UnitCosts
@@ -13,6 +13,19 @@ from repro.schedules.ir import (
 )
 from repro.schedules.interleaved import build_interleaved_1f1b
 from repro.schedules.one_f_one_b import build_1f1b
+from repro.schedules.passes import (
+    PassIssue,
+    ScheduleVerificationError,
+    run_passes,
+)
+from repro.schedules.registry import (
+    ScheduleBuildError,
+    ScheduleSpec,
+    available_schedules,
+    build_schedule,
+    get_schedule,
+    register_schedule,
+)
 from repro.schedules.zb1p import build_zb1p
 from repro.schedules.zb_milp import build_zb_milp
 
@@ -27,6 +40,15 @@ __all__ = [
     "PipelineCosts",
     "UnitCosts",
     "SegCost",
+    "PassIssue",
+    "ScheduleVerificationError",
+    "run_passes",
+    "ScheduleSpec",
+    "ScheduleBuildError",
+    "register_schedule",
+    "get_schedule",
+    "available_schedules",
+    "build_schedule",
     "build_1f1b",
     "build_gpipe",
     "build_zb1p",

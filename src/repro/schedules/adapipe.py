@@ -30,6 +30,7 @@ from repro.schedules.costs import CostProvider, PipelineCosts, SegCost
 from repro.schedules.ir import Schedule
 from repro.schedules.layerwise import LayerwiseBuilder
 from repro.schedules.one_f_one_b import one_f_one_b_order
+from repro.schedules.registry import register_schedule
 
 __all__ = ["AdaPipePlan", "plan_adapipe", "build_adapipe", "AdaPipeCosts"]
 
@@ -176,6 +177,22 @@ class AdaPipeCosts(CostProvider):
         return self._default.head_logits_stash_bytes()
 
 
+@register_schedule(
+    "adapipe",
+    description="AdaPipe: 1F1B with adaptive partition + recomputation (DP)",
+    family="layerwise",
+    options={
+        "memory_cap_bytes": None,
+        "static_memory_bytes": 0.0,
+        "include_embed": True,
+        "include_head": True,
+    },
+    # AdaPipe chooses recomputation per stage itself; the tuner only
+    # feeds it the strategy-free base costs.
+    recompute_choices=(RecomputeStrategy.NONE,),
+    divisor=lambda p, opts: p,
+    workload_options=("memory_cap_bytes", "static_memory_bytes"),
+)
 def build_adapipe(
     num_stages: int,
     num_micro_batches: int,

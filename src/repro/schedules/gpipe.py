@@ -12,10 +12,18 @@ from __future__ import annotations
 from repro.schedules.costs import CostProvider
 from repro.schedules.ir import Schedule
 from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
+from repro.schedules.registry import register_schedule
 
 __all__ = ["build_gpipe"]
 
 
+@register_schedule(
+    "gpipe",
+    description="Layer-wise FILO: all forwards, then all backwards (GPipe)",
+    family="layerwise",
+    options={"include_embed": True, "include_head": True},
+    divisor=lambda p, opts: p,
+)
 def build_gpipe(
     num_stages: int,
     num_micro_batches: int,

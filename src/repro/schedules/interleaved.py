@@ -29,10 +29,22 @@ from repro.schedules.ir import (
     SendInstr,
 )
 from repro.schedules.planner import PlannedTask, list_schedule
+from repro.schedules.registry import register_schedule
 
 __all__ = ["build_interleaved_1f1b"]
 
 
+@register_schedule(
+    "interleaved",
+    description="Megatron interleaved 1F1B (virtual pipeline chunks)",
+    family="interleaved",
+    options={
+        "num_chunks_per_stage": 2,
+        "include_embed": True,
+        "include_head": True,
+    },
+    divisor=lambda p, opts: p,
+)
 def build_interleaved_1f1b(
     num_stages: int,
     num_micro_batches: int,

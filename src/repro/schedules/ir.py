@@ -155,7 +155,10 @@ class Schedule:
         )
 
     def validate(self) -> None:
-        validate_program(self)
+        """Run the full verification pass pipeline (see :mod:`..passes`)."""
+        from repro.schedules.passes import run_passes
+
+        run_passes(self)
 
 
 def validate_program(schedule: Schedule) -> None:
@@ -165,35 +168,17 @@ def validate_program(schedule: Schedule) -> None:
     * message tags pair up: exactly one SEND and one RECV per tag, with
       mirrored endpoints and equal sizes;
     * no self-sends.
+
+    This is the structural subset of the verification pipeline; use
+    :meth:`Schedule.validate` (or :func:`repro.schedules.passes.run_passes`)
+    for the full set of passes including static deadlock-freedom,
+    program-order and stash-balance checks.
     """
-    sends: dict[str, SendInstr] = {}
-    recvs: dict[str, RecvInstr] = {}
-    for stage, prog in enumerate(schedule.programs):
-        for instr in prog:
-            if instr.stage != stage:
-                raise ValueError(
-                    f"{schedule.name}: instruction {instr.label} has stage "
-                    f"{instr.stage} but sits in program {stage}"
-                )
-            if isinstance(instr, SendInstr):
-                if instr.peer == instr.stage:
-                    raise ValueError(f"{schedule.name}: self-send {instr.label}")
-                if instr.tag in sends:
-                    raise ValueError(f"{schedule.name}: duplicate send tag {instr.tag}")
-                sends[instr.tag] = instr
-            elif isinstance(instr, RecvInstr):
-                if instr.tag in recvs:
-                    raise ValueError(f"{schedule.name}: duplicate recv tag {instr.tag}")
-                recvs[instr.tag] = instr
-    if set(sends) != set(recvs):
-        missing = set(sends) ^ set(recvs)
-        raise ValueError(f"{schedule.name}: unpaired message tags: {sorted(missing)[:5]}")
-    for tag, s in sends.items():
-        r = recvs[tag]
-        if s.peer != r.stage or r.peer != s.stage:
-            raise ValueError(f"{schedule.name}: endpoints mismatch for tag {tag}")
-        if s.nbytes != r.nbytes:
-            raise ValueError(f"{schedule.name}: size mismatch for tag {tag}")
+    from repro.schedules.passes import ScheduleVerificationError, check_structure
+
+    issues = check_structure(schedule)
+    if issues:
+        raise ScheduleVerificationError(schedule.name, issues)
 
 
 def compute_only(schedule: Schedule, stage: int) -> list[ComputeInstr]:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.schedules.costs import CostProvider
 from repro.schedules.ir import Schedule
 from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
+from repro.schedules.registry import register_schedule
 
 __all__ = ["build_1f1b", "one_f_one_b_order"]
 
@@ -34,6 +35,13 @@ def one_f_one_b_order(
     return order
 
 
+@register_schedule(
+    "1f1b",
+    description="PipeDream-flush / DAPPLE one-forward-one-backward",
+    family="layerwise",
+    options={"include_embed": True, "include_head": True},
+    divisor=lambda p, opts: p,
+)
 def build_1f1b(
     num_stages: int,
     num_micro_batches: int,

@@ -1,0 +1,363 @@
+"""Verification passes over built pipeline schedules.
+
+Every schedule the repository produces -- whatever builder emitted it --
+is run through the same pass pipeline before an executor touches it:
+
+``structure``
+    Per-instruction sanity: the ``stage`` field matches the program the
+    instruction sits in, message tags pair up (exactly one SEND and one
+    RECV per tag, mirrored endpoints, equal sizes), and no self-sends.
+``deadlock``
+    Static deadlock-freedom under the IR's execution semantics (SENDs
+    issue asynchronously once the program counter reaches them, RECVs
+    block until the matching SEND has been issued).  A fixed-point
+    abstract execution advances every stage as far as possible; if any
+    program counter is still short of its program end afterwards, the
+    schedule contains a cyclic wait or a RECV whose SEND can never be
+    issued, and the blocked stages/tags are reported.
+``program-order``
+    Per-stage, per-(micro batch, segment) ordering: forward before any
+    backward, RC between forward and its backward, BI before BW, and no
+    duplicated passes.
+``stash-balance``
+    The Table 2 accounting property: per stage, the running sum of
+    ``stash_delta`` never goes negative (nothing is released before it
+    was stashed) and returns to zero at the end of the iteration (every
+    stashed byte is released -- schedules must not leak activations
+    across iterations).
+
+Passes return :class:`PassIssue` lists instead of asserting inline, so
+callers can either raise (:func:`run_passes` default, via
+:class:`ScheduleVerificationError`) or collect diagnostics.  The
+pipeline replaces the ad-hoc assertions that used to live in the
+individual builders and in :mod:`repro.sim.engine`; the simulator keeps
+its runtime :class:`~repro.sim.engine.DeadlockError` only as a backstop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.schedules.ir import (
+    BACKWARD_OPS,
+    ComputeInstr,
+    OpType,
+    RecvInstr,
+    Schedule,
+    SendInstr,
+)
+
+__all__ = [
+    "PassIssue",
+    "ScheduleVerificationError",
+    "check_structure",
+    "check_deadlock_freedom",
+    "check_program_order",
+    "check_stash_balance",
+    "DEFAULT_PASSES",
+    "run_passes",
+]
+
+
+@dataclass(frozen=True)
+class PassIssue:
+    """One violation found by a verification pass."""
+
+    pass_name: str
+    message: str
+    stage: int | None = None
+
+    def __str__(self) -> str:
+        where = f" (stage {self.stage})" if self.stage is not None else ""
+        return f"[{self.pass_name}]{where} {self.message}"
+
+
+class ScheduleVerificationError(ValueError):
+    """A schedule failed one of the verification passes."""
+
+    def __init__(self, schedule_name: str, issues: Sequence[PassIssue]) -> None:
+        self.schedule_name = schedule_name
+        self.issues = list(issues)
+        shown = "\n  ".join(str(i) for i in self.issues[:8])
+        extra = "" if len(self.issues) <= 8 else f"\n  ... {len(self.issues) - 8} more"
+        super().__init__(
+            f"schedule {schedule_name!r} failed verification:\n  {shown}{extra}"
+        )
+
+
+PassFn = Callable[[Schedule], list[PassIssue]]
+
+
+# -- structure ---------------------------------------------------------------
+
+
+def check_structure(schedule: Schedule) -> list[PassIssue]:
+    """Stage fields, SEND/RECV tag pairing, endpoint mirroring, sizes."""
+    issues: list[PassIssue] = []
+    sends: dict[str, SendInstr] = {}
+    recvs: dict[str, RecvInstr] = {}
+    if len(schedule.programs) != schedule.num_stages:
+        issues.append(
+            PassIssue(
+                "structure",
+                f"{len(schedule.programs)} programs for "
+                f"{schedule.num_stages} stages",
+            )
+        )
+        return issues
+    for stage, prog in enumerate(schedule.programs):
+        for instr in prog:
+            if instr.stage != stage:
+                issues.append(
+                    PassIssue(
+                        "structure",
+                        f"instruction {instr.label} has stage {instr.stage} "
+                        f"but sits in program {stage}",
+                        stage=stage,
+                    )
+                )
+            if isinstance(instr, SendInstr):
+                if instr.peer == instr.stage:
+                    issues.append(
+                        PassIssue("structure", f"self-send {instr.label}", stage=stage)
+                    )
+                if instr.tag in sends:
+                    issues.append(
+                        PassIssue(
+                            "structure", f"duplicate send tag {instr.tag}", stage=stage
+                        )
+                    )
+                sends[instr.tag] = instr
+            elif isinstance(instr, RecvInstr):
+                if instr.tag in recvs:
+                    issues.append(
+                        PassIssue(
+                            "structure", f"duplicate recv tag {instr.tag}", stage=stage
+                        )
+                    )
+                recvs[instr.tag] = instr
+    for tag in sorted(set(sends) - set(recvs))[:8]:
+        issues.append(
+            PassIssue(
+                "structure",
+                f"unpaired tag {tag!r}: SEND has no matching RECV "
+                "(dropped receive?)",
+                stage=sends[tag].stage,
+            )
+        )
+    for tag in sorted(set(recvs) - set(sends))[:8]:
+        issues.append(
+            PassIssue(
+                "structure",
+                f"unpaired tag {tag!r}: RECV has no matching SEND",
+                stage=recvs[tag].stage,
+            )
+        )
+    for tag, s in sends.items():
+        r = recvs.get(tag)
+        if r is None:
+            continue
+        if s.peer != r.stage or r.peer != s.stage:
+            issues.append(
+                PassIssue(
+                    "structure",
+                    f"endpoints mismatch for tag {tag}: "
+                    f"{s.stage}->{s.peer} vs {r.peer}->{r.stage}",
+                    stage=s.stage,
+                )
+            )
+        if s.nbytes != r.nbytes:
+            issues.append(
+                PassIssue("structure", f"size mismatch for tag {tag}", stage=s.stage)
+            )
+    return issues
+
+
+# -- deadlock-freedom --------------------------------------------------------
+
+
+def check_deadlock_freedom(schedule: Schedule) -> list[PassIssue]:
+    """Abstract-execute the programs to a fixed point; report stuck stages.
+
+    Mirrors the executor semantics exactly: compute instructions never
+    block, a SEND is issued the moment the program counter reaches it,
+    and a RECV completes once its tag has been issued by the peer.
+    Bandwidth and durations are irrelevant to progress, so this check is
+    sound and complete for the IR's blocking model.
+    """
+    pcs = [0] * schedule.num_stages
+    issued: set[str] = set()
+    progress = True
+    while progress:
+        progress = False
+        for stage, prog in enumerate(schedule.programs):
+            while pcs[stage] < len(prog):
+                instr = prog[pcs[stage]]
+                if isinstance(instr, RecvInstr) and instr.tag not in issued:
+                    break
+                if isinstance(instr, SendInstr):
+                    issued.add(instr.tag)
+                pcs[stage] += 1
+                progress = True
+    issues: list[PassIssue] = []
+    for stage, prog in enumerate(schedule.programs):
+        if pcs[stage] < len(prog):
+            instr = prog[pcs[stage]]
+            waiting = (
+                f"waiting on tag {instr.tag!r} from stage {instr.peer}"
+                if isinstance(instr, RecvInstr)
+                else f"at {instr.label}"
+            )
+            issues.append(
+                PassIssue(
+                    "deadlock",
+                    f"static deadlock: pc {pcs[stage]}/{len(prog)} {waiting}",
+                    stage=stage,
+                )
+            )
+    return issues
+
+
+# -- program order -----------------------------------------------------------
+
+
+def _seg_key(instr: ComputeInstr) -> tuple:
+    seg = instr.segment
+    return (instr.micro_batch, seg.kind, seg.layer, seg.num_layers)
+
+
+def check_program_order(schedule: Schedule) -> list[PassIssue]:
+    """Per-stage F/RC/B/BI/BW ordering for each (micro batch, segment)."""
+    issues: list[PassIssue] = []
+    for stage, prog in enumerate(schedule.programs):
+        seen: dict[tuple, list[OpType]] = {}
+        for instr in prog:
+            if not isinstance(instr, ComputeInstr):
+                continue
+            ops = seen.setdefault(_seg_key(instr), [])
+            op = instr.op
+            if op is OpType.F and ops:
+                issues.append(
+                    PassIssue(
+                        "program-order",
+                        f"duplicate forward {instr.label}",
+                        stage=stage,
+                    )
+                )
+            elif op in BACKWARD_OPS or op is OpType.RC:
+                if OpType.F not in ops:
+                    issues.append(
+                        PassIssue(
+                            "program-order",
+                            f"{instr.label} before its forward",
+                            stage=stage,
+                        )
+                    )
+                if op is OpType.RC and (ops and ops[-1] in BACKWARD_OPS):
+                    issues.append(
+                        PassIssue(
+                            "program-order",
+                            f"recompute {instr.label} after its backward",
+                            stage=stage,
+                        )
+                    )
+                if op in (OpType.B, OpType.BI) and any(
+                    o in (OpType.B, OpType.BI) for o in ops
+                ):
+                    issues.append(
+                        PassIssue(
+                            "program-order",
+                            f"duplicate backward {instr.label}",
+                            stage=stage,
+                        )
+                    )
+                if op is OpType.BW and OpType.BI not in ops:
+                    issues.append(
+                        PassIssue(
+                            "program-order",
+                            f"{instr.label} before its backward-B",
+                            stage=stage,
+                        )
+                    )
+            ops.append(op)
+    return issues
+
+
+# -- stash balance -----------------------------------------------------------
+
+#: Relative tolerance for the per-stage stash accounting.  Deltas are
+#: sums/fractions of exactly-representable byte counts, so only a few
+#: ulps of slack are needed.
+_STASH_REL_TOL = 1e-9
+
+
+def check_stash_balance(schedule: Schedule) -> list[PassIssue]:
+    """Running stash never negative; zero net stash at end of iteration."""
+    issues: list[PassIssue] = []
+    for stage, prog in enumerate(schedule.programs):
+        total_stashed = sum(
+            i.stash_delta
+            for i in prog
+            if isinstance(i, ComputeInstr) and i.stash_delta > 0
+        )
+        tol = _STASH_REL_TOL * max(1.0, total_stashed)
+        running = 0.0
+        went_negative = False
+        for instr in prog:
+            if not isinstance(instr, ComputeInstr):
+                continue
+            running += instr.stash_delta
+            if running < -tol:
+                issues.append(
+                    PassIssue(
+                        "stash-balance",
+                        f"running stash {running:.6g} B negative after "
+                        f"{instr.label}",
+                        stage=stage,
+                    )
+                )
+                went_negative = True
+                break
+        # The net check is only meaningful when the scan reached the end.
+        if not went_negative and abs(running) > tol:
+            issues.append(
+                PassIssue(
+                    "stash-balance",
+                    f"net stash {running:.6g} B at end of iteration "
+                    "(activations leaked or over-released)",
+                    stage=stage,
+                )
+            )
+    return issues
+
+
+# -- pipeline ----------------------------------------------------------------
+
+DEFAULT_PASSES: tuple[PassFn, ...] = (
+    check_structure,
+    check_deadlock_freedom,
+    check_program_order,
+    check_stash_balance,
+)
+
+
+def run_passes(
+    schedule: Schedule,
+    passes: Iterable[PassFn] = DEFAULT_PASSES,
+    raise_on_issue: bool = True,
+) -> list[PassIssue]:
+    """Run the verification pipeline; raise or return the issues found.
+
+    Passes run in order and the pipeline stops at the first pass that
+    reports issues -- later passes assume the invariants of earlier ones
+    (the deadlock fixed point is meaningless on unpaired tags, say), so
+    cascading reports would only be noise.
+    """
+    for p in passes:
+        issues = p(schedule)
+        if issues:
+            if raise_on_issue:
+                raise ScheduleVerificationError(schedule.name, issues)
+            return issues
+    return []

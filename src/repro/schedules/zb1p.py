@@ -23,6 +23,7 @@ from __future__ import annotations
 from repro.schedules.costs import CostProvider
 from repro.schedules.ir import Schedule
 from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
+from repro.schedules.registry import register_schedule
 
 __all__ = ["build_zb1p", "zb1p_order"]
 
@@ -70,6 +71,17 @@ def zb1p_order(
     return order
 
 
+@register_schedule(
+    "zb1p",
+    description="Zero-bubble 1P: decoupled BI/BW, greedy W placement",
+    family="layerwise",
+    options={
+        "include_embed": True,
+        "include_head": True,
+        "max_outstanding": None,
+    },
+    divisor=lambda p, opts: p,
+)
 def build_zb1p(
     num_stages: int,
     num_micro_batches: int,

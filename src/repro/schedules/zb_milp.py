@@ -36,6 +36,7 @@ from repro.schedules.costs import CostProvider
 from repro.schedules.ir import Schedule
 from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
 from repro.schedules.one_f_one_b import one_f_one_b_order
+from repro.schedules.registry import register_schedule
 
 __all__ = ["zb_milp_order", "build_zb_milp"]
 
@@ -102,6 +103,17 @@ def zb_milp_order(
     return order
 
 
+@register_schedule(
+    "zb-milp",
+    description="Zero-bubble 1P with exact MILP backward-W placement",
+    family="layerwise",
+    options={
+        "include_embed": True,
+        "include_head": True,
+        "max_outstanding": None,
+    },
+    divisor=lambda p, opts: p,
+)
 def build_zb_milp(
     num_stages: int,
     num_micro_batches: int,

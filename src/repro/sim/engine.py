@@ -38,6 +38,11 @@ from repro.schedules.ir import (
     Schedule,
     SendInstr,
 )
+from repro.schedules.passes import (
+    check_deadlock_freedom,
+    check_structure,
+    run_passes,
+)
 from repro.sim.metrics import SimResult, StageMetrics
 from repro.sim.trace import Interval, Trace
 
@@ -86,6 +91,9 @@ class PipelineSimulator:
         Per-stage baseline (model states) added to activation tracking.
     duplex:
         ``"half"`` (default, one comm engine per stage) or ``"full"``.
+    verify:
+        Run the executability passes before simulating.  Callers that
+        just verified the schedule (registry builds) may disable this.
     """
 
     def __init__(
@@ -94,8 +102,15 @@ class PipelineSimulator:
         cluster: ClusterSpec,
         static_memory_bytes: list[float] | float = 0.0,
         duplex: str = "full",
+        verify: bool = True,
     ) -> None:
-        schedule.validate()
+        # The simulator only needs the executability passes (structure +
+        # static deadlock-freedom); accounting properties like stash
+        # balance are builder-level invariants verified at build time,
+        # and hand-written fragments (tests, what-if probes) may violate
+        # them on purpose.
+        if verify:
+            run_passes(schedule, passes=(check_structure, check_deadlock_freedom))
         if cluster.num_stages < schedule.num_stages:
             raise ValueError(
                 f"cluster has {cluster.num_stages} nodes but schedule needs "
@@ -307,6 +322,9 @@ def simulate(
     cluster: ClusterSpec,
     static_memory_bytes: list[float] | float = 0.0,
     duplex: str = "full",
+    verify: bool = True,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`PipelineSimulator` and run it."""
-    return PipelineSimulator(schedule, cluster, static_memory_bytes, duplex).run()
+    return PipelineSimulator(
+        schedule, cluster, static_memory_bytes, duplex, verify
+    ).run()

@@ -1,0 +1,30 @@
+"""Auto-tuning planner subsystem.
+
+Searches the registered schedule space (schedule x fold x recomputation
+strategy x micro-batch count) for the fastest plan that fits a memory
+cap, using the discrete-event simulator as the evaluator behind a
+memoizing cost cache.
+
+>>> from repro.experiments import Workload
+>>> from repro.tuner import autotune
+>>> plans = autotune(Workload.paper("7B", "H20", 8, 65536))
+>>> plans[0].candidate.schedule, plans[0].iteration_time
+"""
+
+from repro.tuner.autotune import (
+    Candidate,
+    PlanResult,
+    autotune,
+    enumerate_candidates,
+)
+from repro.tuner.cache import DEFAULT_CACHE, CacheStats, CostCache
+
+__all__ = [
+    "Candidate",
+    "PlanResult",
+    "autotune",
+    "enumerate_candidates",
+    "CostCache",
+    "CacheStats",
+    "DEFAULT_CACHE",
+]

@@ -1,0 +1,307 @@
+"""Auto-tuning planner: search the schedule configuration space.
+
+The right pipeline schedule depends on the workload shape -- sequence
+length, pipeline size and the GPU memory cap decide whether two-fold
+FILO, zero-bubble or an adaptively-recomputing baseline wins (paper
+Sections 4.2-4.5, Figure 8).  :func:`autotune` makes that decision by
+search instead of enumeration: it sweeps every tunable registered
+schedule x its admissible :class:`RecomputeStrategy` choices x the
+feasible micro-batch counts under the workload's token budget, evaluates
+each candidate with the discrete-event simulator behind a memoizing
+:class:`~repro.tuner.cache.CostCache`, and returns ranked
+:class:`PlanResult` rows -- feasible plans ordered by simulated
+throughput, infeasible candidates kept with their reasons.
+
+The workload argument is duck-typed to
+:class:`repro.experiments.common.Workload`: anything exposing ``p``,
+``num_micro_batches``, ``micro_batch``, ``seq_len``, ``cluster``,
+``model``, ``costs(recompute)`` and ``static_memory()`` works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.costmodel.memory import RecomputeStrategy
+from repro.schedules.registry import (
+    ScheduleBuildError,
+    ScheduleSpec,
+    available_schedules,
+    get_schedule,
+    workload_option_defaults,
+)
+from repro.sim import simulate
+from repro.sim.engine import DeadlockError
+from repro.tuner.cache import DEFAULT_CACHE, CostCache
+
+__all__ = ["Candidate", "PlanResult", "enumerate_candidates", "autotune"]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the search space."""
+
+    schedule: str
+    recompute: RecomputeStrategy
+    num_micro_batches: int
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def label(self) -> str:
+        opts = "".join(f",{k}={v}" for k, v in self.options)
+        return (
+            f"{self.schedule}[{self.recompute.value},"
+            f"m={self.num_micro_batches}{opts}]"
+        )
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Evaluation of one candidate, ranked by :func:`autotune`.
+
+    ``reason`` is ``None`` for feasible plans; otherwise it explains the
+    infeasibility (builder constraint violation, planner failure under
+    the cap, simulated peak memory above the cap, executor deadlock).
+    Simulated metrics are ``None`` when the candidate never built (not
+    NaN: NaN compares unequal to itself, which would break comparing a
+    cached sweep against a cold one).
+    """
+
+    candidate: Candidate
+    feasible: bool
+    reason: str | None
+    iteration_time: float | None
+    tokens_per_s: float
+    peak_memory_bytes: float | None
+    bubble_fraction: float | None
+
+    @property
+    def label(self) -> str:
+        return self.candidate.label
+
+
+# -- candidate enumeration ---------------------------------------------------
+
+
+def _tunable_specs(schedules: Sequence[str] | None) -> list[ScheduleSpec]:
+    if schedules is None:
+        return [
+            s
+            for s in (get_schedule(n) for n in available_schedules())
+            if s.tunable
+        ]
+    return [get_schedule(n) for n in schedules]
+
+
+def enumerate_candidates(
+    workload: Any,
+    schedules: Sequence[str] | None = None,
+    recomputes: Sequence[RecomputeStrategy] | None = None,
+    micro_batch_counts: Sequence[int] | None = None,
+) -> list[Candidate]:
+    """The sweep grid: schedules x recompute choices x micro-batch counts.
+
+    With ``micro_batch_counts=None`` each schedule sweeps every multiple
+    of its own divisibility constraint up to the workload's micro-batch
+    budget (``workload.num_micro_batches``), so a layer-wise baseline
+    that only needs multiples of ``p`` is not restricted to HelixPipe's
+    ``2p`` grid.  With ``recomputes=None`` each schedule sweeps its own
+    admissible strategies.  Explicit counts and strategies are taken
+    as-is -- candidates that violate a hard builder constraint or name
+    an inadmissible strategy surface as infeasible results rather than
+    being silently dropped.
+    """
+    p = int(workload.p)
+    budget = int(workload.num_micro_batches)
+    out: list[Candidate] = []
+    for spec in _tunable_specs(schedules):
+        if micro_batch_counts is None:
+            d = spec.micro_batch_divisor(p)
+            counts: Iterable[int] = range(d, budget + 1, d)
+        else:
+            counts = micro_batch_counts
+        strategies = (
+            spec.recompute_choices if recomputes is None else recomputes
+        )
+        for m in counts:
+            for strat in strategies:
+                out.append(Candidate(spec.name, strat, int(m)))
+    return out
+
+
+# -- evaluation --------------------------------------------------------------
+
+
+def _workload_key(workload: Any) -> tuple:
+    # Key on the value-bearing dataclass reprs, not just names: two
+    # workloads may share a model/cluster *name* (a tweaked "7B" preset,
+    # a retuned "H20x8") and must not alias in a shared cache.
+    return (
+        repr(workload.model),
+        repr(workload.cluster),
+        int(workload.seq_len),
+        int(workload.micro_batch),
+    )
+
+
+def _candidate_key(workload: Any, cand: Candidate, memory_cap_bytes: float) -> tuple:
+    return (
+        _workload_key(workload),
+        float(memory_cap_bytes),
+        cand.schedule,
+        cand.recompute.value,
+        cand.num_micro_batches,
+        cand.options,
+    )
+
+
+def _cold_evaluate(
+    workload: Any, cand: Candidate, memory_cap_bytes: float
+) -> dict[str, Any]:
+    """Build + simulate one candidate; returns a cacheable record."""
+    spec = get_schedule(cand.schedule)
+    opts = dict(cand.options)
+    for name, value in workload_option_defaults(
+        spec, workload, memory_cap_bytes
+    ).items():
+        opts.setdefault(name, value)
+    try:
+        sched = spec.build(
+            (workload.p, cand.num_micro_batches),
+            workload.costs(cand.recompute),
+            **opts,
+        )
+        # spec.build just ran the full pass pipeline; skip the
+        # simulator's redundant executability re-check on the hot path.
+        result = simulate(
+            sched,
+            workload.cluster,
+            static_memory_bytes=workload.static_memory(),
+            verify=False,
+        )
+    except (ScheduleBuildError, DeadlockError, ValueError) as err:
+        return {"error": str(err)}
+    return {
+        "error": None,
+        "makespan": result.makespan,
+        "peak_memory_bytes": result.max_peak_memory_bytes,
+        "bubble_fraction": result.bubble_fraction,
+    }
+
+
+def _to_plan_result(
+    workload: Any,
+    cand: Candidate,
+    record: dict[str, Any],
+    memory_cap_bytes: float,
+) -> PlanResult:
+    if record["error"] is not None:
+        return PlanResult(
+            candidate=cand,
+            feasible=False,
+            reason=record["error"],
+            iteration_time=None,
+            tokens_per_s=0.0,
+            peak_memory_bytes=None,
+            bubble_fraction=None,
+        )
+    tokens = float(cand.num_micro_batches) * workload.micro_batch * workload.seq_len
+    makespan = record["makespan"]
+    peak = record["peak_memory_bytes"]
+    reason = None
+    if peak > memory_cap_bytes:
+        gib = float(1 << 30)
+        reason = (
+            f"OOM: peak {peak / gib:.1f} GiB > cap {memory_cap_bytes / gib:.1f} GiB"
+        )
+    return PlanResult(
+        candidate=cand,
+        feasible=reason is None,
+        reason=reason,
+        iteration_time=makespan,
+        tokens_per_s=tokens / makespan if makespan > 0 else 0.0,
+        peak_memory_bytes=peak,
+        bubble_fraction=record["bubble_fraction"],
+    )
+
+
+# -- the tuner ---------------------------------------------------------------
+
+
+def autotune(
+    workload: Any,
+    memory_cap_bytes: float | None = None,
+    *,
+    schedules: Sequence[str] | None = None,
+    recomputes: Sequence[RecomputeStrategy] | None = None,
+    micro_batch_counts: Sequence[int] | None = None,
+    cache: CostCache | None = None,
+    include_infeasible: bool = True,
+) -> list[PlanResult]:
+    """Search the schedule space for the fastest feasible plan.
+
+    Parameters
+    ----------
+    workload:
+        Workload shape + cost context (see module docstring).
+    memory_cap_bytes:
+        Per-GPU memory capacity; defaults to the cluster GPU's HBM size.
+        Plans whose simulated peak exceeds it are reported infeasible,
+        and schedules that plan under a cap themselves (AdaPipe) receive
+        it as their planning budget.
+    schedules, recomputes, micro_batch_counts:
+        Restrict the sweep grid; ``None`` means every tunable registered
+        schedule, each schedule's admissible strategies, and every
+        micro-batch count on the schedule's divisibility grid up to the
+        workload budget.
+    cache:
+        :class:`CostCache` to memoize evaluations in (default: the
+        process-wide shared cache).  Identical candidate tuples are
+        never re-simulated.
+    include_infeasible:
+        Keep infeasible candidates (with reasons) at the tail of the
+        returned list.
+
+    Returns
+    -------
+    list[PlanResult]
+        Feasible plans first, ranked by simulated tokens/s (ties broken
+        by lower peak memory), then -- unless disabled -- the infeasible
+        candidates in sweep order.
+    """
+    cache = DEFAULT_CACHE if cache is None else cache
+    if memory_cap_bytes is None:
+        memory_cap_bytes = float(workload.cluster.node.gpu.hbm_bytes)
+    results = []
+    for cand in enumerate_candidates(
+        workload, schedules, recomputes, micro_batch_counts
+    ):
+        if cand.recompute not in get_schedule(cand.schedule).recompute_choices:
+            # Explicitly requested strategy the schedule does not model
+            # faithfully: report it rather than evaluating nonsense.
+            results.append(
+                PlanResult(
+                    candidate=cand,
+                    feasible=False,
+                    reason=(
+                        f"recompute {cand.recompute.value!r} not admissible "
+                        f"for schedule {cand.schedule!r}"
+                    ),
+                    iteration_time=None,
+                    tokens_per_s=0.0,
+                    peak_memory_bytes=None,
+                    bubble_fraction=None,
+                )
+            )
+            continue
+        record = cache.get_or_eval(
+            _candidate_key(workload, cand, memory_cap_bytes),
+            lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes),
+        )
+        results.append(_to_plan_result(workload, cand, record, memory_cap_bytes))
+    feasible = [r for r in results if r.feasible]
+    feasible.sort(key=lambda r: (-r.tokens_per_s, r.peak_memory_bytes))
+    if not include_infeasible:
+        return feasible
+    return feasible + [r for r in results if not r.feasible]

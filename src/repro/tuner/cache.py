@@ -1,0 +1,72 @@
+"""Memoizing cost cache for auto-tuner candidate evaluations.
+
+Building and simulating a schedule is deterministic in the candidate
+tuple (workload shape x schedule x recompute strategy x micro-batch
+count x options x memory cap), so repeated sweeps -- the long-context
+planner re-ranking configurations, interactive what-if loops, nested
+tuner calls -- can reuse earlier evaluations instead of re-running the
+discrete-event simulator.
+
+The cache is a plain dict keyed on that tuple; entries are the raw
+evaluation records (simulated metrics or the build-failure reason), so a
+hit reproduces the cold result exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable
+
+__all__ = ["CacheStats", "CostCache", "DEFAULT_CACHE"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`CostCache`."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits / {self.misses} misses"
+
+
+@dataclass
+class CostCache:
+    """Dict-backed memoization of candidate evaluations."""
+
+    _data: dict[Hashable, Any] = field(default_factory=dict)
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def get_or_eval(self, key: Hashable, evaluate: Callable[[], Any]) -> Any:
+        """Return the cached value for ``key``, evaluating on first use."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.stats.misses += 1
+            value = self._data[key] = evaluate()
+            return value
+        self.stats.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+
+#: Shared process-wide cache used when callers do not supply their own.
+DEFAULT_CACHE = CostCache()

@@ -1,0 +1,140 @@
+"""Auto-tuner: candidate sweep, memory cap, memoizing cache, acceptance."""
+
+import pytest
+
+from repro.costmodel.memory import RecomputeStrategy
+from repro.experiments.common import METHODS, Workload, run_method
+from repro.tuner import CostCache, autotune, enumerate_candidates
+from repro.tuner.autotune import _candidate_key
+
+GIB = float(1 << 30)
+
+
+@pytest.fixture(scope="module")
+def wl():
+    """The paper's 7B / H20 / p=8 / 64k acceptance workload."""
+    return Workload.paper("7B", "H20", 8, 65536)
+
+
+@pytest.fixture(scope="module")
+def small_wl():
+    return Workload.paper("7B", "H20", 4, 32768)
+
+
+class TestEnumeration:
+    def test_micro_batch_counts_follow_schedule_divisors(self, small_wl):
+        cands = enumerate_candidates(small_wl)
+        helix = {c.num_micro_batches for c in cands if c.schedule == "helix"}
+        layerwise = {c.num_micro_batches for c in cands if c.schedule == "1f1b"}
+        assert helix == {8}  # multiples of 2p up to the budget of 2p
+        assert layerwise == {4, 8}  # multiples of p
+
+    def test_recompute_restricted_per_schedule(self, small_wl):
+        cands = enumerate_candidates(small_wl)
+        helix = {c.recompute for c in cands if c.schedule == "helix"}
+        assert helix == {RecomputeStrategy.NONE, RecomputeStrategy.WITHOUT_ATTENTION}
+        ada = {c.recompute for c in cands if c.schedule == "adapipe"}
+        assert ada == {RecomputeStrategy.NONE}
+
+    def test_aliases_not_swept(self, small_wl):
+        cands = enumerate_candidates(small_wl)
+        assert not any(c.schedule == "helix-no-recompute" for c in cands)
+
+    def test_explicit_inadmissible_strategy_surfaces_as_infeasible(self, small_wl):
+        """A requested strategy outside a schedule's choices is reported,
+        not silently dropped from the sweep."""
+        plans = autotune(
+            small_wl,
+            recomputes=[RecomputeStrategy.FULL],
+            cache=CostCache(),
+        )
+        helix = [p for p in plans if p.candidate.schedule == "helix"]
+        assert helix
+        assert all(not p.feasible for p in helix)
+        assert all("not admissible" in (p.reason or "") for p in helix)
+        # Layer-wise schedules model FULL faithfully and still evaluate.
+        assert any(p.feasible and p.candidate.schedule == "1f1b" for p in plans)
+
+
+class TestMemoryCap:
+    def test_feasible_plans_respect_cap(self, small_wl):
+        cap = 24 * GIB
+        plans = autotune(small_wl, memory_cap_bytes=cap, cache=CostCache())
+        feasible = [p for p in plans if p.feasible]
+        assert feasible
+        assert all(p.peak_memory_bytes <= cap for p in feasible)
+        over = [p for p in plans if not p.feasible and p.reason and "OOM" in p.reason]
+        assert over, "a 24 GiB cap must exclude the no-recompute plans"
+
+    def test_tiny_cap_reports_reasons_for_everything(self, small_wl):
+        plans = autotune(small_wl, memory_cap_bytes=1 * GIB, cache=CostCache())
+        assert all(not p.feasible for p in plans)
+        assert all(p.reason for p in plans)
+
+    def test_infeasible_can_be_dropped(self, small_wl):
+        plans = autotune(
+            small_wl,
+            memory_cap_bytes=24 * GIB,
+            cache=CostCache(),
+            include_infeasible=False,
+        )
+        assert plans and all(p.feasible for p in plans)
+
+
+class TestCache:
+    def test_cache_hits_reproduce_cold_results(self, small_wl):
+        shared = CostCache()
+        cold = autotune(small_wl, cache=shared)
+        assert shared.stats.hits == 0 and shared.stats.misses > 0
+        warm = autotune(small_wl, cache=shared)
+        assert warm == cold
+        assert shared.stats.hits == shared.stats.misses
+
+    def test_cache_matches_independent_cold_run(self, small_wl):
+        a = autotune(small_wl, cache=CostCache())
+        b = autotune(small_wl, cache=CostCache())
+        assert a == b
+
+    def test_cached_equality_with_build_error_candidates(self, small_wl):
+        """Build-error rows carry None metrics (not NaN), so a cached
+        sweep still compares equal to its cold run."""
+        shared = CostCache()
+        kw = dict(
+            schedules=["helix"],
+            micro_batch_counts=[6],  # not a multiple of 2p: build error
+            cache=shared,
+        )
+        cold = autotune(small_wl, **kw)
+        warm = autotune(small_wl, **kw)
+        assert cold and not cold[0].feasible
+        assert cold[0].iteration_time is None
+        assert "multiple" in cold[0].reason
+        assert warm == cold
+
+    def test_key_distinguishes_caps(self, small_wl):
+        c1 = enumerate_candidates(small_wl)[0]
+        assert _candidate_key(small_wl, c1, 1.0) != _candidate_key(small_wl, c1, 2.0)
+
+
+class TestAcceptance:
+    def test_paper_workload_ranked_and_beats_hardcoded_methods(self, wl):
+        """ISSUE acceptance: non-empty ranked list, top plan feasible
+        under the HBM cap and at least matching the best hardcoded
+        METHODS entry on simulated iteration time."""
+        cap = wl.cluster.node.gpu.hbm_bytes
+        plans = autotune(wl, cache=CostCache())
+        assert plans
+        top = plans[0]
+        assert top.feasible
+        assert top.peak_memory_bytes <= cap
+        assert top.iteration_time is not None
+
+        best_hardcoded = min(
+            run_method(wl, method).makespan for method in METHODS
+        )
+        assert top.iteration_time <= best_hardcoded * (1 + 1e-9)
+
+    def test_ranking_is_by_throughput(self, wl):
+        plans = [p for p in autotune(wl, cache=CostCache()) if p.feasible]
+        rates = [p.tokens_per_s for p in plans]
+        assert rates == sorted(rates, reverse=True)
