@@ -41,17 +41,34 @@ New schedules self-register with the decorator::
 Tuner quickstart
 ----------------
 :func:`repro.tuner.autotune` sweeps registered schedules x recompute
-strategies x feasible micro-batch counts, evaluates each candidate with
-the discrete-event simulator behind a memoizing cost cache, and returns
-ranked plans with per-candidate infeasibility reasons:
+strategies x feasible micro-batch counts x each schedule's option grid,
+evaluates each candidate with the discrete-event simulator behind a
+memoizing cost cache, and returns ranked plans with per-candidate
+infeasibility reasons.  Large grids evaluate in a process pool
+(``workers=N``) and the cache persists to disk:
 
 >>> from repro.experiments import Workload
->>> from repro.tuner import autotune
+>>> from repro.tuner import CostCache, autotune
 >>> from repro.analysis import format_plan_table
->>> plans = autotune(Workload.paper("7B", "H20", 8, 65536))
+>>> cache = CostCache()
+>>> plans = autotune(Workload.paper("7B", "H20", 8, 65536),
+...                  cache=cache, workers=4)
 >>> print(format_plan_table(plans[:5]))
+>>> cache.save("sweep-cache.json")   # later: CostCache.from_file(...)
 
 See ``examples/autotune_demo.py`` for a runnable walkthrough.
+
+Command line
+------------
+Everything above is also reachable without a script through the
+registry-driven CLI (:mod:`repro.cli`)::
+
+    python -m repro list
+    python -m repro describe helix -p 8
+    python -m repro build helix --model 7B --gpu H20 -p 8 --seq-len 64k
+    python -m repro simulate zb1p --model 7B --gpu H20 -p 8 --seq-len 64k
+    python -m repro tune --model 7B --gpu H20 -p 8 --seq-len 64k \\
+        --workers 4 --cache sweep-cache.json
 """
 
 __version__ = "0.1.0"

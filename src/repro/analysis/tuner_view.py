@@ -22,6 +22,8 @@ def plan_rows(results: Iterable) -> list[dict]:
                 "schedule": c.schedule,
                 "recompute": c.recompute.value,
                 "mb": c.num_micro_batches,
+                # Swept schedule options (empty = spec defaults).
+                "options": ",".join(f"{k}={v}" for k, v in c.options) or "-",
                 "status": "ok" if r.feasible else (r.reason or "infeasible")[:48],
                 # Metrics are None for candidates that never built.
                 "iter_s": "-" if r.iteration_time is None else r.iteration_time,

@@ -1,0 +1,479 @@
+"""Registry-driven command line for the HelixPipe reproduction.
+
+``python -m repro`` exposes the schedule registry, the discrete-event
+simulator and the auto-tuner without writing a script.  Workloads are
+resolved from the paper's presets (:data:`repro.model.config.MODEL_PRESETS`
+models x :data:`repro.experiments.common.GPU_CLUSTERS` clusters), so an
+experiment cell is four flags.
+
+Commands
+--------
+``list``
+    Every registered schedule with family, tunability and description::
+
+        python -m repro list
+
+``describe SCHEDULE``
+    One spec in full: option schema with defaults, the tuner's option
+    grid, admissible recompute strategies, micro-batch divisor::
+
+        python -m repro describe helix -p 8
+
+``build SCHEDULE``
+    Build (and verify) one schedule for a workload and report its
+    shape::
+
+        python -m repro build helix --model 7B --gpu H20 -p 8 --seq-len 64k
+
+``simulate SCHEDULE``
+    Build + simulate one schedule; prints iteration time, throughput,
+    peak memory and bubble fraction::
+
+        python -m repro simulate zb1p --model 7B --gpu H20 -p 8 --seq-len 64k
+
+``tune``
+    Run :func:`repro.tuner.autotune` over the full candidate grid and
+    print the ranked plan table.  ``--workers N`` evaluates cold
+    candidates in a process pool; ``--cache PATH`` loads a persisted
+    cost cache before the sweep and saves it after, so repeated sweeps
+    (and sweeps from other processes) reuse every evaluation::
+
+        python -m repro tune --model 7B --gpu H20 -p 8 --seq-len 64k \\
+            --workers 4 --cache sweep.json
+
+    ``--smoke`` shrinks the grid to a seconds-fast sanity sweep for CI.
+
+Sequence lengths accept a ``k`` suffix (``64k`` == 65536).  Schedule
+options are passed as repeated ``-o name=value`` flags with Python
+literal values (``-o fold=1``, ``-o include_head=False``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+import time
+from typing import Any, Sequence
+
+from repro.analysis.report import format_table
+from repro.analysis.tuner_view import format_plan_table
+from repro.costmodel.memory import RecomputeStrategy
+from repro.experiments.common import GPU_CLUSTERS, Workload, run_method
+from repro.model.config import MODEL_PRESETS
+from repro.schedules.registry import (
+    ScheduleBuildError,
+    available_schedules,
+    get_schedule,
+)
+from repro.tuner import CostCache, autotune
+
+__all__ = ["main"]
+
+_GIB = float(1 << 30)
+
+
+# -- argument helpers --------------------------------------------------------
+
+
+def _seq_len(text: str) -> int:
+    """Parse a sequence length, accepting a ``k``/``K`` suffix."""
+    text = text.strip()
+    try:
+        if text[-1:] in ("k", "K"):
+            return int(text[:-1]) * 1024
+        return int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"invalid sequence length {text!r} (try 65536 or 64k)"
+        ) from None
+
+
+def _option(text: str) -> tuple[str, Any]:
+    """Parse one ``name=value`` schedule option with a literal value."""
+    name, sep, raw = text.partition("=")
+    if not sep or not name:
+        raise argparse.ArgumentTypeError(
+            f"invalid option {text!r} (expected name=value)"
+        )
+    try:
+        value: Any = ast.literal_eval(raw)
+    except (ValueError, SyntaxError):
+        value = raw  # plain strings need no quoting
+    return name, value
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    g = parser.add_argument_group("workload (paper presets)")
+    g.add_argument(
+        "--model",
+        choices=sorted(MODEL_PRESETS),
+        default="7B",
+        help="model preset (default: %(default)s)",
+    )
+    g.add_argument(
+        "--gpu",
+        choices=sorted(GPU_CLUSTERS),
+        default="H20",
+        help="GPU/cluster preset (default: %(default)s)",
+    )
+    g.add_argument(
+        "-p",
+        "--pipeline-size",
+        type=int,
+        default=None,
+        metavar="P",
+        help="pipeline stages == nodes (default: 8; 4 with --smoke)",
+    )
+    g.add_argument(
+        "--seq-len",
+        type=_seq_len,
+        default=None,
+        metavar="S",
+        help="sequence length, k suffix ok (default: 64k; 32k with --smoke)",
+    )
+    g.add_argument(
+        "--micro-batch",
+        type=int,
+        default=1,
+        metavar="B",
+        help="micro-batch size (default: %(default)s)",
+    )
+    g.add_argument(
+        "-m",
+        "--num-micro-batches",
+        type=int,
+        default=None,
+        metavar="M",
+        help="micro-batch budget per iteration (default: 2 x pipeline size)",
+    )
+
+
+def _workload(args: argparse.Namespace, smoke: bool = False) -> Workload:
+    p = args.pipeline_size if args.pipeline_size is not None else (4 if smoke else 8)
+    seq = args.seq_len if args.seq_len is not None else (32768 if smoke else 65536)
+    return Workload.paper(
+        args.model,
+        args.gpu,
+        p,
+        seq,
+        micro_batch=args.micro_batch,
+        num_micro_batches=args.num_micro_batches,
+    )
+
+
+def _describe_workload(wl: Workload) -> str:
+    return (
+        f"{wl.model.name} on {wl.cluster.node.gpu.name} x {wl.p}, "
+        f"seq {wl.seq_len}, micro-batch {wl.micro_batch}, "
+        f"budget {wl.num_micro_batches} micro-batches, "
+        f"HBM {wl.cluster.node.gpu.hbm_bytes / _GIB:.0f} GiB"
+    )
+
+
+# -- commands ----------------------------------------------------------------
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_schedules():
+        spec = get_schedule(name)
+        rows.append(
+            {
+                "name": name,
+                "family": spec.family or "-",
+                "tunable": "yes" if spec.tunable else "no",
+                "recompute": spec.default_recompute.value,
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = get_schedule(args.schedule)
+    p = args.pipeline_size or 8
+    print(f"{spec.name}: {spec.description}")
+    print(f"  family:            {spec.family or '-'}")
+    print(f"  tunable:           {spec.tunable}")
+    print(f"  default recompute: {spec.default_recompute.value}")
+    print(
+        "  recompute choices: "
+        + ", ".join(s.value for s in spec.recompute_choices)
+    )
+    print(f"  micro-batch divisor (p={p}): {spec.micro_batch_divisor(p)}")
+    print("  options:")
+    for name, default in sorted(spec.options.items()):
+        print(f"    {name} = {default!r}")
+    grid = spec.option_grid(p)
+    if grid:
+        print(f"  tuner option grid (p={p}):")
+        for name, values in sorted(grid.items()):
+            print(f"    {name} in {list(values)!r}")
+    if spec.workload_options:
+        print(
+            "  workload-derived options: "
+            + ", ".join(spec.workload_options)
+        )
+    return 0
+
+
+def _resolve_build_kw(args: argparse.Namespace) -> dict[str, Any]:
+    kw: dict[str, Any] = dict(args.option or [])
+    if args.recompute is not None:
+        kw["recompute"] = RecomputeStrategy(args.recompute)
+    return kw
+
+
+def _schedule_workload(args: argparse.Namespace) -> Workload:
+    """Workload for build/simulate, budget rounded onto the spec's grid."""
+    wl = _workload(args)
+    spec = get_schedule(args.schedule)
+    if args.num_micro_batches is None:
+        # Round the default budget onto the schedule's own grid so
+        # `build helix -p 8` works out of the box.  -o overrides can
+        # change the divisor (helix fold), so they feed the rounding;
+        # when even one round exceeds the default budget, run the
+        # minimum feasible count instead of failing.
+        opts = {
+            k: v for k, v in (args.option or []) if k in spec.options
+        }
+        rounded = spec.round_micro_batches(wl.num_micro_batches, wl.p, **opts)
+        wl.num_micro_batches = rounded or spec.micro_batch_divisor(
+            wl.p, **opts
+        )
+    print(f"workload: {_describe_workload(wl)}")
+    return wl
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    wl = _schedule_workload(args)
+    sched = wl.build(args.schedule, **_resolve_build_kw(args))
+    n_instr = sum(len(prog) for prog in sched.programs)
+    print(
+        f"built {sched.name}: p={sched.num_stages}, "
+        f"m={sched.num_micro_batches}, {n_instr} instructions "
+        "(verification passes clean)"
+    )
+    if sched.meta:
+        meta = ", ".join(f"{k}={v}" for k, v in sorted(sched.meta.items()))
+        print(f"meta: {meta}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    wl = _schedule_workload(args)
+    result = run_method(wl, args.schedule, **_resolve_build_kw(args))
+    tokens = wl.tokens_per_iteration
+    print(f"simulated {result.schedule_name}:")
+    print(f"  iteration time: {result.makespan:.3f} s")
+    print(f"  throughput:     {tokens / result.makespan:.0f} tokens/s")
+    print(f"  peak memory:    {result.max_peak_memory_bytes / _GIB:.1f} GiB")
+    print(f"  bubble:         {100.0 * result.bubble_fraction:.1f} %")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    wl = _workload(args, smoke=args.smoke)
+    print(f"workload: {_describe_workload(wl)}")
+
+    schedules: Sequence[str] | None = None
+    if args.schedules:
+        schedules = [s.strip() for s in args.schedules.split(",") if s.strip()]
+    elif args.smoke:
+        schedules = ["1f1b", "helix"]
+
+    cache = CostCache()
+    if args.cache:
+        # Fail before the sweep, not at save time after minutes of work.
+        cache_dir = os.path.dirname(os.path.abspath(args.cache))
+        if not os.path.isdir(cache_dir):
+            print(
+                f"error: cache directory {cache_dir!r} does not exist",
+                file=sys.stderr,
+            )
+            return 1
+        if os.path.exists(args.cache):
+            loaded = cache.load(args.cache)
+            print(f"cache: loaded {loaded} entries from {args.cache}")
+
+    kwargs: dict[str, Any] = {}
+    if args.no_options or args.smoke:
+        kwargs["option_grids"] = {}  # disable the option axis
+    cap = (
+        args.memory_cap_gib * _GIB
+        if args.memory_cap_gib is not None  # 0 is a real (tiny) cap
+        else None
+    )
+
+    t0 = time.perf_counter()
+    plans = autotune(
+        wl,
+        cap,
+        schedules=schedules,
+        cache=cache,
+        workers=args.workers,
+        **kwargs,
+    )
+    elapsed = time.perf_counter() - t0
+
+    # Filter for display only, so the sweep count stays honest.
+    rows = [r for r in plans if r.feasible] if args.no_infeasible else plans
+    shown = rows if args.top is None else rows[: args.top]
+    print(format_plan_table(shown))
+    dropped = len(rows) - len(shown)
+    if dropped > 0:
+        print(f"... {dropped} more row(s); raise --top to see them")
+
+    feasible = [r for r in plans if r.feasible]
+    if feasible:
+        best = feasible[0]
+        print(
+            f"\nbest plan: {best.label} -- {best.iteration_time:.2f} s/iter, "
+            f"{best.tokens_per_s:.0f} tokens/s, "
+            f"peak {best.peak_memory_bytes / _GIB:.1f} GiB"
+        )
+    else:
+        print("\nno feasible plan under the memory cap")
+    print(
+        f"swept {len(plans)} candidates in {elapsed:.2f} s "
+        f"({cache.stats}, hit rate {cache.stats.hit_rate:.0%})"
+    )
+
+    if args.cache:
+        saved = cache.save(args.cache)
+        print(f"cache: saved {saved} entries to {args.cache}")
+    return 0 if feasible else 1
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Schedule registry, simulator and auto-tuner CLI "
+        "for the HelixPipe reproduction.",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="let exceptions propagate with a full traceback instead of "
+        "the one-line 'error: ...' summary",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered schedules")
+    p_list.set_defaults(fn=_cmd_list)
+
+    p_desc = sub.add_parser("describe", help="show one schedule spec in full")
+    p_desc.add_argument("schedule", help="registered schedule name")
+    p_desc.add_argument(
+        "-p",
+        "--pipeline-size",
+        type=int,
+        default=None,
+        metavar="P",
+        help="pipeline size to resolve grids/divisors against (default: 8)",
+    )
+    p_desc.set_defaults(fn=_cmd_describe)
+
+    for name, fn, help_ in (
+        ("build", _cmd_build, "build + verify one schedule for a workload"),
+        ("simulate", _cmd_simulate, "build + simulate one schedule"),
+    ):
+        p_cmd = sub.add_parser(name, help=help_)
+        p_cmd.add_argument("schedule", help="registered schedule name")
+        _add_workload_args(p_cmd)
+        p_cmd.add_argument(
+            "--recompute",
+            choices=[s.value for s in RecomputeStrategy],
+            default=None,
+            help="recompute strategy (default: the spec's own)",
+        )
+        p_cmd.add_argument(
+            "-o",
+            "--option",
+            type=_option,
+            action="append",
+            metavar="NAME=VALUE",
+            help="schedule option override (repeatable)",
+        )
+        p_cmd.set_defaults(fn=fn)
+
+    p_tune = sub.add_parser("tune", help="auto-tune the schedule for a workload")
+    _add_workload_args(p_tune)
+    p_tune.add_argument(
+        "--schedules",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated schedule names (default: every tunable one)",
+    )
+    p_tune.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate cold candidates in a process pool of N workers",
+    )
+    p_tune.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="persistent cost cache: loaded before the sweep, saved after",
+    )
+    p_tune.add_argument(
+        "--memory-cap-gib",
+        type=float,
+        default=None,
+        metavar="G",
+        help="per-GPU memory cap in GiB (default: the GPU's HBM size)",
+    )
+    p_tune.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        metavar="K",
+        help="show only the first K rows of the ranked table",
+    )
+    p_tune.add_argument(
+        "--no-options",
+        action="store_true",
+        help="skip the schedule-option grid axis",
+    )
+    p_tune.add_argument(
+        "--no-infeasible",
+        action="store_true",
+        help="drop infeasible candidates from the table",
+    )
+    p_tune.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-fast CI sweep: p=4 / 32k defaults, 1f1b + helix, "
+        "no option axis",
+    )
+    p_tune.set_defaults(fn=_cmd_tune)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.debug:
+        return args.fn(args)
+    try:
+        return args.fn(args)
+    # TypeError included: a mistyped -o value (e.g. max_outstanding=none,
+    # which parses as the string 'none') surfaces from deep inside a
+    # builder and should exit cleanly, not with a traceback.
+    except (ScheduleBuildError, KeyError, ValueError, TypeError, OSError) as err:
+        # str(KeyError) is the repr of its argument -- unwrap so the
+        # registry's "unknown schedule ..." message prints unquoted.
+        msg = err.args[0] if isinstance(err, KeyError) and err.args else err
+        print(f"error: {msg}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

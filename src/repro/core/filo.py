@@ -480,6 +480,9 @@ class HelixFiloBuilder:
         RecomputeStrategy.WITHOUT_ATTENTION,
     ),
     divisor=_helix_divisor,
+    # Fold 1 is the naive FILO (no transfer hiding); sweeping it lets
+    # the tuner quantify what two-fold buys on a given workload.
+    tune_options={"fold": (1, 2)},
 )
 @register_schedule(
     "helix-naive",
@@ -491,6 +494,9 @@ class HelixFiloBuilder:
         RecomputeStrategy.NONE,
         RecomputeStrategy.WITHOUT_ATTENTION,
     ),
+    # Alias of helix x fold=1 kept for the experiment method names; the
+    # tuner sweeps that combination via the "helix" fold grid.
+    tunable=False,
     divisor=_helix_divisor,
 )
 @register_schedule(

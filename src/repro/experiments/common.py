@@ -24,13 +24,24 @@ from repro.schedules.registry import (
 )
 from repro.sim import SimResult, simulate
 
-__all__ = ["Workload", "METHODS", "SEQ_LENS", "run_method", "run_all_methods"]
+__all__ = [
+    "Workload",
+    "METHODS",
+    "SEQ_LENS",
+    "GPU_CLUSTERS",
+    "run_method",
+    "run_all_methods",
+]
 
 #: Sequence lengths of the evaluation (Section 5.1).
 SEQ_LENS: tuple[int, ...] = (32768, 65536, 98304, 131072)
 
 #: Methods compared in Figure 8 / Figure 10.
 METHODS: tuple[str, ...] = ("1f1b", "zb1p", "adapipe", "helix")
+
+#: GPU preset name -> cluster factory, shared by :meth:`Workload.paper`
+#: and the ``python -m repro`` CLI so the two resolve identically.
+GPU_CLUSTERS = {"H20": h20_cluster, "A800": a800_cluster}
 
 
 @dataclass
@@ -49,10 +60,22 @@ class Workload:
 
     @classmethod
     def paper(
-        cls, model_name: str, gpu: str, num_stages: int, seq_len: int
+        cls,
+        model_name: str,
+        gpu: str,
+        num_stages: int,
+        seq_len: int,
+        micro_batch: int = 1,
+        num_micro_batches: int | None = None,
     ) -> "Workload":
-        cluster = {"H20": h20_cluster, "A800": a800_cluster}[gpu](num_stages)
-        return cls(model=MODEL_PRESETS[model_name], cluster=cluster, seq_len=seq_len)
+        cluster = GPU_CLUSTERS[gpu](num_stages)
+        return cls(
+            model=MODEL_PRESETS[model_name],
+            cluster=cluster,
+            seq_len=seq_len,
+            micro_batch=micro_batch,
+            num_micro_batches=num_micro_batches,
+        )
 
     @property
     def p(self) -> int:

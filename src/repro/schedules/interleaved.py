@@ -44,6 +44,9 @@ __all__ = ["build_interleaved_1f1b"]
         "include_head": True,
     },
     divisor=lambda p, opts: p,
+    # Deeper virtual pipelines shrink the warm-up bubble at the price of
+    # more p2p; layer-divisibility violations surface as infeasible rows.
+    tune_options={"num_chunks_per_stage": (2, 4)},
 )
 def build_interleaved_1f1b(
     num_stages: int,

@@ -26,9 +26,12 @@ auto-tuner reports as a candidate's infeasibility.
 
 from __future__ import annotations
 
+import dataclasses
 import importlib
+import re
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from enum import Enum
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.costmodel.memory import RecomputeStrategy
 from repro.schedules.costs import CostProvider
@@ -44,6 +47,8 @@ __all__ = [
     "build_schedule",
     "as_shape",
     "workload_option_defaults",
+    "stable_value_key",
+    "workload_cache_key",
 ]
 
 
@@ -125,6 +130,13 @@ class ScheduleSpec:
         Options a workload can supply from its own context when the
         caller leaves them unset (e.g. ``memory_cap_bytes`` from the
         cluster's HBM size for AdaPipe).
+    tune_options:
+        Option values the auto-tuner sweeps as a third grid axis, keyed
+        by option name (which must appear in ``options``).  Each value
+        is either a sequence of candidate values or a callable
+        ``num_stages -> sequence`` for grids that depend on the pipeline
+        size (ZB1P's ``max_outstanding``).  Resolved through
+        :meth:`option_grid`.
     tunable:
         Whether :func:`repro.tuner.autotune` includes this spec in its
         default sweep.  Pure aliases of another (spec, strategy) pair
@@ -140,7 +152,33 @@ class ScheduleSpec:
     recompute_choices: tuple[RecomputeStrategy, ...] = tuple(RecomputeStrategy)
     divisor_fn: Callable[[int, Mapping[str, Any]], int] = _divisor_one
     workload_options: tuple[str, ...] = ()
+    tune_options: Mapping[str, Any] = field(default_factory=dict)
     tunable: bool = True
+
+    def __post_init__(self) -> None:
+        unknown = sorted(set(self.tune_options) - set(self.options))
+        if unknown:
+            raise ValueError(
+                f"{self.name}: tune_options {unknown} not in the option "
+                f"schema {sorted(self.options)}"
+            )
+
+    def option_grid(self, num_stages: int) -> dict[str, tuple[Any, ...]]:
+        """Tunable option values for a pipeline of ``num_stages`` stages.
+
+        Callable grid entries are resolved against ``num_stages``; the
+        result maps option name -> tuple of candidate values (always
+        containing the schema default so the sweep includes the
+        spec's own configuration).
+        """
+        out: dict[str, tuple[Any, ...]] = {}
+        for name, values in self.tune_options.items():
+            resolved = tuple(values(num_stages) if callable(values) else values)
+            default = self.options[name]
+            if default not in resolved:
+                resolved = (default,) + resolved
+            out[name] = resolved
+        return out
 
     # -- constraints ---------------------------------------------------------
 
@@ -181,6 +219,11 @@ class ScheduleSpec:
         merged = {**self.options, **options}
         try:
             sched = self.builder(p, m, costs, **merged)
+        except ScheduleBuildError:
+            # Already carries a schedule name and reason (a nested
+            # registry build, or a builder raising it directly); wrapping
+            # again would double the prefix: "name: name: reason".
+            raise
         except (ValueError, RuntimeError) as err:
             raise ScheduleBuildError(self.name, str(err)) from err
         if verify:
@@ -225,6 +268,7 @@ def register_schedule(
     recompute_choices: tuple[RecomputeStrategy, ...] | None = None,
     divisor: Callable[[int, Mapping[str, Any]], int] | None = None,
     workload_options: tuple[str, ...] = (),
+    tune_options: Mapping[str, Any] | None = None,
     tunable: bool = True,
 ) -> Callable[[Callable[..., Schedule]], Callable[..., Schedule]]:
     """Decorator registering a builder under ``name``.
@@ -251,6 +295,7 @@ def register_schedule(
             ),
             divisor_fn=divisor or _divisor_one,
             workload_options=tuple(workload_options),
+            tune_options=dict(tune_options or {}),
             tunable=tunable,
         )
         return fn
@@ -308,3 +353,87 @@ def workload_option_defaults(
                 f"{spec.name}: no workload resolver for option {name!r}"
             )
     return out
+
+
+# -- canonical workload identity ---------------------------------------------
+
+_ADDRESS_REPR = re.compile(r" at 0x[0-9a-fA-F]+>")
+
+
+def stable_value_key(obj: Any) -> Any:
+    """A process-stable, hashable, JSON-friendly identity for ``obj``.
+
+    Dataclasses key on their type name plus recursively-keyed field
+    values, so two instances with equal fields share a key across
+    processes and interpreter restarts.  Objects may opt in explicitly
+    with a ``cache_key()`` method.  Anything else falls back to
+    ``repr`` -- *except* the default ``object.__repr__``, whose
+    ``0x...`` memory address differs per process and would poison a
+    shared or persisted cache with keys that never hit; those are
+    rejected loudly.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    cache_key = getattr(obj, "cache_key", None)
+    if callable(cache_key):
+        return stable_value_key(cache_key())
+    if isinstance(obj, Enum):
+        return (type(obj).__qualname__, obj.value)
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return (type(obj).__qualname__,) + tuple(
+            (f.name, stable_value_key(getattr(obj, f.name)))
+            for f in dataclasses.fields(obj)
+        )
+    if isinstance(obj, (tuple, list)):
+        return tuple(stable_value_key(v) for v in obj)
+    if isinstance(obj, (set, frozenset)):
+        # Set repr order is hash-randomised per process; sort the
+        # element keys so equal sets share a key across interpreters.
+        return ("set",) + tuple(
+            sorted((stable_value_key(v) for v in obj), key=repr)
+        )
+    if isinstance(obj, Mapping):
+        # Key the keys too ({1: x} must not alias {"1": x}) and sort by
+        # repr so mixed-type keys order deterministically, as the set
+        # branch above does.
+        return ("map",) + tuple(
+            sorted(
+                (
+                    (stable_value_key(k), stable_value_key(v))
+                    for k, v in obj.items()
+                ),
+                key=repr,
+            )
+        )
+    r = repr(obj)
+    if _ADDRESS_REPR.search(r):
+        raise TypeError(
+            f"cannot derive a stable cache key for {type(obj).__qualname__}: "
+            f"its repr embeds a memory address ({r!r}), which differs per "
+            "process and would never hit in a shared or persisted cache; "
+            "make it a dataclass or give it a cache_key() method"
+        )
+    return r
+
+
+def workload_cache_key(workload: Any) -> tuple:
+    """Canonical cache identity of a workload's shape and hardware.
+
+    The single source of truth for how the tuner, its process-pool
+    workers and the persistent cost cache identify a workload: equal
+    keys mean the same model x cluster x sequence length x micro-batch
+    size, regardless of which process computed them.  Duck-typed
+    workloads can override the whole key with ``cache_key()``.
+    """
+    cache_key = getattr(workload, "cache_key", None)
+    if callable(cache_key):
+        key = stable_value_key(cache_key())
+        # Scalars (a string name, a precomputed hash) are legal hook
+        # returns; wrap rather than iterate so '7B' stays one component.
+        return key if isinstance(key, tuple) else (key,)
+    return (
+        stable_value_key(workload.model),
+        stable_value_key(workload.cluster),
+        int(workload.seq_len),
+        int(workload.micro_batch),
+    )

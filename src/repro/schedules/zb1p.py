@@ -81,6 +81,9 @@ def zb1p_order(
         "max_outstanding": None,
     },
     divisor=lambda p, opts: p,
+    # None = unbounded W deferral (fastest, highest stash); capping at p
+    # trades bubble for peak memory, which matters under tight HBM caps.
+    tune_options={"max_outstanding": lambda p: (None, p)},
 )
 def build_zb1p(
     num_stages: int,

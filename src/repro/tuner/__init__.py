@@ -1,13 +1,17 @@
 """Auto-tuning planner subsystem.
 
-Searches the registered schedule space (schedule x fold x recomputation
-strategy x micro-batch count) for the fastest plan that fits a memory
-cap, using the discrete-event simulator as the evaluator behind a
-memoizing cost cache.
+Searches the registered schedule space (schedule x recomputation
+strategy x micro-batch count x schedule-option grid) for the fastest
+plan that fits a memory cap, using the discrete-event simulator as the
+evaluator behind a memoizing cost cache.  Sweeps scale out
+(``autotune(..., workers=N)`` evaluates cold candidates in a process
+pool) and persist (:meth:`CostCache.save` / :meth:`CostCache.from_file`
+round-trip every evaluation through a JSON store), and the whole
+subsystem is scriptable from the shell via ``python -m repro tune``.
 
 >>> from repro.experiments import Workload
 >>> from repro.tuner import autotune
->>> plans = autotune(Workload.paper("7B", "H20", 8, 65536))
+>>> plans = autotune(Workload.paper("7B", "H20", 8, 65536), workers=4)
 >>> plans[0].candidate.schedule, plans[0].iteration_time
 """
 

@@ -6,22 +6,38 @@ FILO, zero-bubble or an adaptively-recomputing baseline wins (paper
 Sections 4.2-4.5, Figure 8).  :func:`autotune` makes that decision by
 search instead of enumeration: it sweeps every tunable registered
 schedule x its admissible :class:`RecomputeStrategy` choices x the
-feasible micro-batch counts under the workload's token budget, evaluates
-each candidate with the discrete-event simulator behind a memoizing
+feasible micro-batch counts under the workload's token budget x the
+schedule's registered option grid (interleaved chunk counts, ZB1P
+outstanding-W caps, HelixPipe fold), evaluates each candidate with the
+discrete-event simulator behind a memoizing
 :class:`~repro.tuner.cache.CostCache`, and returns ranked
 :class:`PlanResult` rows -- feasible plans ordered by simulated
 throughput, infeasible candidates kept with their reasons.
 
+Large grids parallelise: ``autotune(..., workers=N)`` evaluates cold
+candidates in a ``concurrent.futures`` process pool
+(:mod:`repro.tuner.worker`), merging each worker's cache into the
+caller's on join.  Results are deterministic and identical to the
+serial sweep -- evaluation is a pure function of the candidate key, and
+rows are assembled in sweep order regardless of completion order.
+
 The workload argument is duck-typed to
 :class:`repro.experiments.common.Workload`: anything exposing ``p``,
 ``num_micro_batches``, ``micro_batch``, ``seq_len``, ``cluster``,
-``model``, ``costs(recompute)`` and ``static_memory()`` works.
+``model``, ``costs(recompute)`` and ``static_memory()`` works.  Cache
+keys must be stable across processes, so a workload whose ``model`` or
+``cluster`` is not a dataclass (and has no value-bearing ``repr``) must
+provide a ``cache_key()`` method -- see
+:func:`repro.schedules.registry.workload_cache_key`.
 """
 
 from __future__ import annotations
 
+import functools
+import itertools
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from repro.costmodel.memory import RecomputeStrategy
 from repro.schedules.registry import (
@@ -29,11 +45,13 @@ from repro.schedules.registry import (
     ScheduleSpec,
     available_schedules,
     get_schedule,
+    workload_cache_key,
     workload_option_defaults,
 )
 from repro.sim import simulate
 from repro.sim.engine import DeadlockError
 from repro.tuner.cache import DEFAULT_CACHE, CostCache
+from repro.tuner.worker import evaluate_chunk
 
 __all__ = ["Candidate", "PlanResult", "enumerate_candidates", "autotune"]
 
@@ -62,7 +80,8 @@ class PlanResult:
 
     ``reason`` is ``None`` for feasible plans; otherwise it explains the
     infeasibility (builder constraint violation, planner failure under
-    the cap, simulated peak memory above the cap, executor deadlock).
+    the cap, simulated peak memory above the cap, executor deadlock, or
+    a grid preclusion such as a micro-batch divisor beyond the budget).
     Simulated metrics are ``None`` when the candidate never built (not
     NaN: NaN compares unequal to itself, which would break comparing a
     cached sweep against a cold one).
@@ -94,60 +113,160 @@ def _tunable_specs(schedules: Sequence[str] | None) -> list[ScheduleSpec]:
     return [get_schedule(n) for n in schedules]
 
 
+def _option_combos(
+    spec: ScheduleSpec,
+    num_stages: int,
+    option_grids: Mapping[str, Mapping[str, Sequence[Any]]] | None,
+) -> list[tuple[tuple[str, Any], ...]]:
+    """Option combinations for one spec, canonicalised against defaults.
+
+    Pairs whose value equals the schema default are dropped, so the
+    all-defaults combination is always the empty tuple -- one canonical
+    key per configuration, however the grid spelled it.
+    """
+    if option_grids is None:
+        grid = spec.option_grid(num_stages)
+    else:
+        grid = {
+            name: tuple(values)
+            for name, values in option_grids.get(spec.name, {}).items()
+        }
+        unknown = sorted(set(grid) - set(spec.options))
+        if unknown:
+            raise ValueError(
+                f"{spec.name}: option grid names {unknown} not in the "
+                f"option schema {sorted(spec.options)}"
+            )
+    empty = sorted(name for name, values in grid.items() if not values)
+    if empty:
+        # An empty axis would itertools.product to zero combos and
+        # silently drop the schedule -- the silent-exclusion class this
+        # module otherwise reports as infeasible rows.
+        raise ValueError(
+            f"{spec.name}: empty value sequence for option grid {empty}"
+        )
+    if not grid:
+        return [()]
+    names = sorted(grid)
+    combos: list[tuple[tuple[str, Any], ...]] = []
+    seen: set[tuple[tuple[str, Any], ...]] = set()
+    for values in itertools.product(*(grid[n] for n in names)):
+        combo = tuple(
+            (n, v) for n, v in zip(names, values) if v != spec.options[n]
+        )
+        if combo not in seen:
+            seen.add(combo)
+            combos.append(combo)
+    return combos
+
+
+def _iter_grid(
+    workload: Any,
+    schedules: Sequence[str] | None,
+    recomputes: Sequence[RecomputeStrategy] | None,
+    micro_batch_counts: Sequence[int] | None,
+    option_grids: Mapping[str, Mapping[str, Sequence[Any]]] | None,
+) -> Iterator[tuple[Candidate, str | None]]:
+    """Yield ``(candidate, precluded_reason)`` over the full sweep grid.
+
+    ``precluded_reason`` is ``None`` for real grid points.  A schedule
+    whose micro-batch divisor exceeds the workload budget has no grid
+    point at all; it yields one synthetic candidate (at the divisor,
+    the smallest count it could run) with the reason, so sweeps report
+    the exclusion instead of silently dropping the schedule.
+    """
+    p = int(workload.p)
+    budget = int(workload.num_micro_batches)
+    specs = _tunable_specs(schedules)
+    if option_grids is not None:
+        # A grid keyed by a schedule outside the sweep is a typo, and a
+        # worse one than an unknown option name: the override also
+        # disables every registered grid, so the sweep would silently
+        # run all-defaults while looking successful.
+        unknown = sorted(set(option_grids) - {s.name for s in specs})
+        if unknown:
+            raise ValueError(
+                f"option grid(s) for {unknown} name no swept schedule; "
+                f"sweeping: {sorted(s.name for s in specs)}"
+            )
+    for spec in specs:
+        strategies = (
+            spec.recompute_choices if recomputes is None else recomputes
+        )
+        for combo in _option_combos(spec, p, option_grids):
+            if micro_batch_counts is None:
+                d = spec.micro_batch_divisor(p, **dict(combo))
+                if d > budget:
+                    yield (
+                        Candidate(spec.name, spec.default_recompute, d, combo),
+                        f"micro-batch divisor {d} exceeds budget {budget}",
+                    )
+                    continue
+                counts: Iterable[int] = range(d, budget + 1, d)
+            else:
+                counts = micro_batch_counts
+            for m in counts:
+                for strat in strategies:
+                    yield Candidate(spec.name, strat, int(m), combo), None
+
+
 def enumerate_candidates(
     workload: Any,
     schedules: Sequence[str] | None = None,
     recomputes: Sequence[RecomputeStrategy] | None = None,
     micro_batch_counts: Sequence[int] | None = None,
+    option_grids: Mapping[str, Mapping[str, Sequence[Any]]] | None = None,
 ) -> list[Candidate]:
-    """The sweep grid: schedules x recompute choices x micro-batch counts.
+    """The sweep grid: schedules x recompute x micro-batch counts x options.
 
     With ``micro_batch_counts=None`` each schedule sweeps every multiple
     of its own divisibility constraint up to the workload's micro-batch
     budget (``workload.num_micro_batches``), so a layer-wise baseline
     that only needs multiples of ``p`` is not restricted to HelixPipe's
     ``2p`` grid.  With ``recomputes=None`` each schedule sweeps its own
-    admissible strategies.  Explicit counts and strategies are taken
+    admissible strategies.  With ``option_grids=None`` each schedule
+    sweeps its registered :attr:`~ScheduleSpec.tune_options` grid
+    (resolved for the workload's pipeline size).  An explicit
+    ``{schedule: {option: values}}`` mapping *replaces* the registered
+    grids entirely -- schedules it does not name sweep defaults only,
+    and ``{}`` disables the option axis altogether; to extend one
+    schedule's grid while keeping the others, include theirs in the
+    mapping too.  Explicit counts and strategies are taken
     as-is -- candidates that violate a hard builder constraint or name
     an inadmissible strategy surface as infeasible results rather than
     being silently dropped.
     """
-    p = int(workload.p)
-    budget = int(workload.num_micro_batches)
-    out: list[Candidate] = []
-    for spec in _tunable_specs(schedules):
-        if micro_batch_counts is None:
-            d = spec.micro_batch_divisor(p)
-            counts: Iterable[int] = range(d, budget + 1, d)
-        else:
-            counts = micro_batch_counts
-        strategies = (
-            spec.recompute_choices if recomputes is None else recomputes
+    return [
+        cand
+        for cand, precluded in _iter_grid(
+            workload, schedules, recomputes, micro_batch_counts, option_grids
         )
-        for m in counts:
-            for strat in strategies:
-                out.append(Candidate(spec.name, strat, int(m)))
-    return out
+        if precluded is None
+    ]
 
 
 # -- evaluation --------------------------------------------------------------
 
 
 def _workload_key(workload: Any) -> tuple:
-    # Key on the value-bearing dataclass reprs, not just names: two
-    # workloads may share a model/cluster *name* (a tweaked "7B" preset,
-    # a retuned "H20x8") and must not alias in a shared cache.
-    return (
-        repr(workload.model),
-        repr(workload.cluster),
-        int(workload.seq_len),
-        int(workload.micro_batch),
-    )
+    # Canonical, process-stable identity (dataclass fields or an opt-in
+    # cache_key() hook -- never a memory-address repr): two workloads
+    # may share a model/cluster *name* (a tweaked "7B" preset, a retuned
+    # "H20x8") and must not alias in a shared or persisted cache, and a
+    # key computed in a pool worker must equal the parent's.
+    return workload_cache_key(workload)
 
 
-def _candidate_key(workload: Any, cand: Candidate, memory_cap_bytes: float) -> tuple:
+def _candidate_key(
+    workload: Any,
+    cand: Candidate,
+    memory_cap_bytes: float,
+    workload_key: tuple | None = None,
+) -> tuple:
+    # Sweep loops pass the precomputed workload_key: the recursive
+    # dataclass traversal is identical for every candidate.
     return (
-        _workload_key(workload),
+        _workload_key(workload) if workload_key is None else workload_key,
         float(memory_cap_bytes),
         cand.schedule,
         cand.recompute.value,
@@ -190,6 +309,18 @@ def _cold_evaluate(
     }
 
 
+def _infeasible(cand: Candidate, reason: str) -> PlanResult:
+    return PlanResult(
+        candidate=cand,
+        feasible=False,
+        reason=reason,
+        iteration_time=None,
+        tokens_per_s=0.0,
+        peak_memory_bytes=None,
+        bubble_fraction=None,
+    )
+
+
 def _to_plan_result(
     workload: Any,
     cand: Candidate,
@@ -197,15 +328,7 @@ def _to_plan_result(
     memory_cap_bytes: float,
 ) -> PlanResult:
     if record["error"] is not None:
-        return PlanResult(
-            candidate=cand,
-            feasible=False,
-            reason=record["error"],
-            iteration_time=None,
-            tokens_per_s=0.0,
-            peak_memory_bytes=None,
-            bubble_fraction=None,
-        )
+        return _infeasible(cand, record["error"])
     tokens = float(cand.num_micro_batches) * workload.micro_batch * workload.seq_len
     makespan = record["makespan"]
     peak = record["peak_memory_bytes"]
@@ -236,8 +359,10 @@ def autotune(
     schedules: Sequence[str] | None = None,
     recomputes: Sequence[RecomputeStrategy] | None = None,
     micro_batch_counts: Sequence[int] | None = None,
+    option_grids: Mapping[str, Mapping[str, Sequence[Any]]] | None = None,
     cache: CostCache | None = None,
     include_infeasible: bool = True,
+    workers: int | None = None,
 ) -> list[PlanResult]:
     """Search the schedule space for the fastest feasible plan.
 
@@ -250,18 +375,28 @@ def autotune(
         Plans whose simulated peak exceeds it are reported infeasible,
         and schedules that plan under a cap themselves (AdaPipe) receive
         it as their planning budget.
-    schedules, recomputes, micro_batch_counts:
+    schedules, recomputes, micro_batch_counts, option_grids:
         Restrict the sweep grid; ``None`` means every tunable registered
-        schedule, each schedule's admissible strategies, and every
+        schedule, each schedule's admissible strategies, every
         micro-batch count on the schedule's divisibility grid up to the
-        workload budget.
+        workload budget, and each schedule's registered option grid.
+        An explicit ``option_grids`` mapping replaces the registered
+        grids entirely (unnamed schedules sweep defaults only; ``{}``
+        disables the option axis).
     cache:
         :class:`CostCache` to memoize evaluations in (default: the
         process-wide shared cache).  Identical candidate tuples are
-        never re-simulated.
+        never re-simulated; pre-load a persisted store with
+        :meth:`CostCache.load` to reuse evaluations across runs.
     include_infeasible:
         Keep infeasible candidates (with reasons) at the tail of the
         returned list.
+    workers:
+        Evaluate cold candidates in a process pool of this size
+        (``None``/``0``/``1``: serially in-process).  Each worker
+        evaluates a chunk into its own cache; the chunks are merged into
+        ``cache`` on join, and results are identical to the serial sweep
+        in content, order and cache-stats accounting.
 
     Returns
     -------
@@ -273,33 +408,67 @@ def autotune(
     cache = DEFAULT_CACHE if cache is None else cache
     if memory_cap_bytes is None:
         memory_cap_bytes = float(workload.cluster.node.gpu.hbm_bytes)
-    results = []
-    for cand in enumerate_candidates(
-        workload, schedules, recomputes, micro_batch_counts
+
+    wkey = _workload_key(workload)
+    rows: list[PlanResult | None] = []
+    pending: list[tuple[int, Candidate, tuple]] = []
+    for cand, precluded in _iter_grid(
+        workload, schedules, recomputes, micro_batch_counts, option_grids
     ):
-        if cand.recompute not in get_schedule(cand.schedule).recompute_choices:
+        if (
+            precluded is None
+            and cand.recompute
+            not in get_schedule(cand.schedule).recompute_choices
+        ):
             # Explicitly requested strategy the schedule does not model
             # faithfully: report it rather than evaluating nonsense.
-            results.append(
-                PlanResult(
-                    candidate=cand,
-                    feasible=False,
-                    reason=(
-                        f"recompute {cand.recompute.value!r} not admissible "
-                        f"for schedule {cand.schedule!r}"
-                    ),
-                    iteration_time=None,
-                    tokens_per_s=0.0,
-                    peak_memory_bytes=None,
-                    bubble_fraction=None,
-                )
+            precluded = (
+                f"recompute {cand.recompute.value!r} not admissible "
+                f"for schedule {cand.schedule!r}"
             )
+        if precluded is not None:
+            rows.append(_infeasible(cand, precluded))
             continue
-        record = cache.get_or_eval(
-            _candidate_key(workload, cand, memory_cap_bytes),
-            lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes),
+        pending.append(
+            (
+                len(rows),
+                cand,
+                _candidate_key(workload, cand, memory_cap_bytes, wkey),
+            )
         )
-        results.append(_to_plan_result(workload, cand, record, memory_cap_bytes))
+        rows.append(None)
+
+    # Fan the cold candidates out to a process pool.  Each worker fills
+    # a private CostCache; the merged records feed the same get_or_eval
+    # path the serial sweep uses, so hit/miss accounting is identical.
+    remote: dict[tuple, dict[str, Any]] = {}
+    if workers and workers > 1:
+        missing: list[Candidate] = []
+        seen: set[tuple] = set()
+        for _, cand, key in pending:
+            if key not in cache and key not in seen:
+                seen.add(key)
+                missing.append(cand)
+        if missing:
+            n_workers = min(int(workers), len(missing))
+            # Strided chunks spread expensive neighbours (large m, MILP
+            # schedules) across workers instead of stacking one worker.
+            chunks = [missing[i::n_workers] for i in range(n_workers)]
+            run = functools.partial(evaluate_chunk, workload, memory_cap_bytes)
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                for worker_cache in pool.map(run, chunks):
+                    remote.update(worker_cache.entries())
+
+    for idx, cand, key in pending:
+        if key in remote:
+            record = cache.get_or_eval(key, lambda k=key: remote[k])
+        else:
+            record = cache.get_or_eval(
+                key, lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes)
+            )
+        rows[idx] = _to_plan_result(workload, cand, record, memory_cap_bytes)
+
+    results: list[PlanResult] = rows  # type: ignore[assignment]
     feasible = [r for r in results if r.feasible]
     feasible.sort(key=lambda r: (-r.tokens_per_s, r.peak_memory_bytes))
     if not include_infeasible:

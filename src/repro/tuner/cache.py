@@ -9,34 +9,76 @@ discrete-event simulator.
 
 The cache is a plain dict keyed on that tuple; entries are the raw
 evaluation records (simulated metrics or the build-failure reason), so a
-hit reproduces the cold result exactly.
+hit reproduces the cold result exactly.  Two extensions make it a
+subsystem rather than a dict:
+
+- **Persistence** (:meth:`CostCache.save` / :meth:`CostCache.load` /
+  :meth:`CostCache.from_file`): the cache serialises to a JSON file so
+  sweeps survive process restarts.  Candidate keys are stable nested
+  tuples of primitives (see
+  :func:`repro.schedules.registry.workload_cache_key`), which round-trip
+  through JSON lists losslessly.
+- **Merging** (:meth:`CostCache.merge`): adopt another cache's entries,
+  which is how :func:`repro.tuner.autotune` folds its process-pool
+  workers' per-worker caches back into the caller's cache on join.
+
+:class:`CacheStats` distinguishes *memory* hits (entries evaluated or
+merged in this process) from *disk* hits (entries loaded from a
+persisted store), so a sweep can assert "zero cold evaluations" after a
+reload.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterator
 
 __all__ = ["CacheStats", "CostCache", "DEFAULT_CACHE"]
+
+#: On-disk format marker; bump the version on incompatible changes.
+_FORMAT = "repro-costcache"
+_VERSION = 1
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`CostCache`."""
+    """Hit/miss counters of one :class:`CostCache`.
+
+    ``hits`` counts lookups served from entries created in-process
+    (evaluated, adopted or merged); ``disk_hits`` counts lookups served
+    from entries loaded off a persisted store.  ``misses`` counts cold
+    evaluations.
+    """
 
     hits: int = 0
+    disk_hits: int = 0
     misses: int = 0
 
     @property
+    def total_hits(self) -> int:
+        return self.hits + self.disk_hits
+
+    @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.total_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        return self.total_hits / self.lookups if self.lookups else 0.0
 
     def __str__(self) -> str:
-        return f"{self.hits} hits / {self.misses} misses"
+        disk = f" ({self.disk_hits} from disk)" if self.disk_hits else ""
+        return f"{self.total_hits} hits{disk} / {self.misses} misses"
+
+
+def _freeze(value: Any) -> Any:
+    """Recursively turn JSON lists back into the tuples keys are made of."""
+    if isinstance(value, list):
+        return tuple(_freeze(v) for v in value)
+    return value
 
 
 @dataclass
@@ -45,6 +87,8 @@ class CostCache:
 
     _data: dict[Hashable, Any] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Keys whose entries came off a persisted store (for stats only).
+    _disk_keys: set[Hashable] = field(default_factory=set)
 
     def get_or_eval(self, key: Hashable, evaluate: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, evaluating on first use."""
@@ -54,11 +98,112 @@ class CostCache:
             self.stats.misses += 1
             value = self._data[key] = evaluate()
             return value
-        self.stats.hits += 1
+        if key in self._disk_keys:
+            self.stats.disk_hits += 1
+        else:
+            self.stats.hits += 1
         return value
+
+    def peek(self, key: Hashable) -> Any:
+        """Return the cached value without touching the hit counters."""
+        return self._data[key]
+
+    def adopt(self, key: Hashable, value: Any) -> None:
+        """Insert an externally-evaluated entry (no stats recorded)."""
+        self._data[key] = value
+
+    def merge(self, other: "CostCache") -> int:
+        """Adopt ``other``'s entries this cache lacks; returns the count.
+
+        Existing entries win (both caches evaluated the same
+        deterministic function, so the records agree; keeping ours
+        preserves this cache's disk-origin bookkeeping).
+        """
+        added = 0
+        for key, value in other.entries():
+            if key not in self._data:
+                self._data[key] = value
+                added += 1
+        return added
+
+    def entries(self) -> Iterator[tuple[Hashable, Any]]:
+        """Iterate ``(key, record)`` pairs (no stats recorded)."""
+        return iter(self._data.items())
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | os.PathLike) -> int:
+        """Write every entry to ``path`` as JSON; returns the entry count.
+
+        Keys are stored as (nested) lists and restored to tuples on
+        :meth:`load`.  The write goes through a uniquely-named temp file
+        + rename, so a crash mid-save never truncates an existing store
+        and concurrent writers to the same path cannot interleave -- the
+        last complete save wins atomically.
+        """
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "entries": [[key, value] for key, value in self._data.items()],
+        }
+        path = os.fspath(path)
+        fd, tmp = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", dir=os.path.dirname(path) or "."
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            # mkstemp creates 0600; a shared store should follow the
+            # umask like any ordinary file the process writes.
+            umask = os.umask(0)
+            os.umask(umask)
+            os.chmod(tmp, 0o666 & ~umask)
+            os.replace(tmp, path)
+        except BaseException:
+            os.unlink(tmp)
+            raise
+        return len(self._data)
+
+    def load(self, path: str | os.PathLike) -> int:
+        """Merge the entries persisted at ``path``; returns the count added.
+
+        Entries already present in memory are kept (and stay counted as
+        memory hits); newly-loaded ones count as disk hits when looked
+        up.  Raises :class:`ValueError` on a file that is not a cost
+        cache store, so a typo'd path fails loudly instead of silently
+        starting cold.
+        """
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _FORMAT
+        ):
+            raise ValueError(f"{os.fspath(path)!r} is not a cost cache store")
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"{os.fspath(path)!r}: unsupported cost cache version "
+                f"{payload.get('version')!r} (expected {_VERSION})"
+            )
+        added = 0
+        for raw_key, value in payload["entries"]:
+            key = _freeze(raw_key)
+            if key not in self._data:
+                self._data[key] = value
+                self._disk_keys.add(key)
+                added += 1
+        return added
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "CostCache":
+        """A fresh cache pre-populated from a persisted store."""
+        cache = cls()
+        cache.load(path)
+        return cache
 
     def clear(self) -> None:
         self._data.clear()
+        self._disk_keys.clear()
         self.stats = CacheStats()
 
     def __len__(self) -> int:

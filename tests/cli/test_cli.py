@@ -1,0 +1,177 @@
+"""``python -m repro`` CLI: list/describe/build/simulate/tune smoke tests."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.schedules.registry import available_schedules
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+class TestList:
+    def test_lists_every_registered_schedule(self, capsys):
+        code, out, _ = run(capsys, "list")
+        assert code == 0
+        for name in available_schedules():
+            assert name in out
+
+    def test_module_entry_point(self):
+        """`python -m repro list` must keep working (CI runs it)."""
+        # The subprocess needs the src layout on its path even when the
+        # suite runs un-installed via pyproject's pythonpath setting.
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "helix" in proc.stdout
+
+
+class TestDescribe:
+    def test_describe_shows_schema_and_grid(self, capsys):
+        code, out, _ = run(capsys, "describe", "helix", "-p", "8")
+        assert code == 0
+        assert "fold = 2" in out
+        assert "fold in [1, 2]" in out
+        assert "micro-batch divisor (p=8): 16" in out
+
+    def test_unknown_schedule_fails_cleanly(self, capsys):
+        code, _, err = run(capsys, "describe", "pipedream")
+        assert code == 1
+        assert "unknown schedule" in err
+
+    def test_debug_flag_propagates_exceptions(self, capsys):
+        with pytest.raises(KeyError, match="unknown schedule"):
+            main(["--debug", "describe", "pipedream"])
+
+
+class TestBuildSimulate:
+    def test_build_reports_shape(self, capsys):
+        code, out, _ = run(
+            capsys, "build", "helix", "--model", "7B", "--gpu", "H20",
+            "-p", "4", "--seq-len", "32k",
+        )
+        assert code == 0
+        assert "p=4, m=8" in out
+        assert "verification passes clean" in out
+
+    def test_build_with_option_override(self, capsys):
+        code, out, _ = run(
+            capsys, "build", "helix", "-p", "4", "--seq-len", "32k",
+            "-o", "fold=1",
+        )
+        assert code == 0
+        assert "fold=1" in out
+
+    def test_build_rounds_budget_with_option_overrides(self, capsys):
+        """-o fold=4 raises the divisor past the default budget; the
+        default budget must follow the override instead of failing."""
+        code, out, _ = run(
+            capsys, "build", "helix", "-p", "4", "--seq-len", "32k",
+            "-o", "fold=4",
+        )
+        assert code == 0
+        assert "m=16" in out  # fold * p, the minimum feasible count
+
+    def test_unknown_schedule_error_is_unquoted(self, capsys):
+        code, _, err = run(capsys, "build", "bogus", "-p", "4", "--seq-len", "32k")
+        assert code == 1
+        assert 'error: "' not in err
+
+    def test_build_infeasible_shape_fails_cleanly(self, capsys):
+        code, _, err = run(
+            capsys, "build", "helix", "-p", "4", "--seq-len", "32k",
+            "-m", "6",  # not a multiple of fold * p
+        )
+        assert code == 1
+        assert "error:" in err
+
+    def test_simulate_prints_metrics(self, capsys):
+        code, out, _ = run(
+            capsys, "simulate", "zb1p", "-p", "4", "--seq-len", "32k",
+        )
+        assert code == 0
+        assert "iteration time" in out
+        assert "tokens/s" in out
+        assert "peak memory" in out
+
+    def test_seq_len_suffix_matches_plain(self, capsys):
+        code_k, out_k, _ = run(capsys, "simulate", "1f1b", "-p", "4", "--seq-len", "32k")
+        code_n, out_n, _ = run(capsys, "simulate", "1f1b", "-p", "4", "--seq-len", "32768")
+        assert code_k == code_n == 0
+        assert out_k == out_n
+
+
+class TestTune:
+    def test_smoke_sweep(self, capsys):
+        code, out, _ = run(capsys, "tune", "--smoke")
+        assert code == 0
+        assert "best plan:" in out
+        assert "rank" in out and "tokens_per_s" in out
+
+    def test_persistent_cache_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "cache.json")
+        code, out, _ = run(capsys, "tune", "--smoke", "--cache", path)
+        assert code == 0
+        assert "saved" in out
+        code, out, _ = run(capsys, "tune", "--smoke", "--cache", path)
+        assert code == 0
+        assert "loaded" in out
+        assert "0 misses" in out, "second sweep must be fully warm"
+
+    def test_missing_cache_directory_fails_before_sweep(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "tune", "--smoke",
+            "--cache", str(tmp_path / "no-such-dir" / "sweep.json"),
+        )
+        assert code == 1
+        assert "does not exist" in err
+
+    def test_workers_flag(self, capsys):
+        code, out, _ = run(capsys, "tune", "--smoke", "--workers", "2")
+        assert code == 0
+        assert "best plan:" in out
+
+    def test_top_limits_table(self, capsys):
+        code, out, _ = run(capsys, "tune", "--smoke", "--top", "1")
+        assert code == 0
+        assert "more row(s)" in out
+
+    def test_impossible_cap_exits_nonzero(self, capsys):
+        code, out, _ = run(
+            capsys, "tune", "--smoke", "--memory-cap-gib", "0.001",
+        )
+        assert code == 1
+        assert "no feasible plan" in out
+
+    def test_zero_cap_is_a_real_cap(self, capsys):
+        """--memory-cap-gib 0 must not fall back to the full HBM size."""
+        code, out, _ = run(capsys, "tune", "--smoke", "--memory-cap-gib", "0")
+        assert code == 1
+        assert "no feasible plan" in out
+
+    def test_mistyped_option_value_fails_cleanly(self, capsys):
+        """-o max_outstanding=none parses as the string 'none'; the
+        resulting builder TypeError must exit cleanly, not traceback."""
+        code, _, err = run(
+            capsys, "build", "zb1p", "-p", "4", "--seq-len", "32k",
+            "-o", "max_outstanding=none",
+        )
+        assert code == 1
+        assert "error:" in err

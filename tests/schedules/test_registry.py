@@ -70,6 +70,25 @@ class TestRegistry:
             assert err.schedule == "helix"
             assert "multiple" in err.reason
 
+    def test_builder_raised_build_error_not_double_wrapped(self):
+        """A builder that raises ScheduleBuildError itself (nested
+        registry build, explicit constraint check) must keep its message
+        as-is -- regression: it used to re-wrap into "name: name: reason"
+        because ScheduleBuildError is a ValueError."""
+        from repro.schedules.registry import ScheduleSpec
+
+        def bad_builder(p, m, costs, **opts):
+            raise ScheduleBuildError("inner-sched", "the real reason")
+
+        spec = ScheduleSpec(name="outer-sched", builder=bad_builder)
+        with pytest.raises(ScheduleBuildError) as exc_info:
+            spec.build((2, 4), _costs())
+        err = exc_info.value
+        assert str(err) == "inner-sched: the real reason"
+        assert err.schedule == "inner-sched"
+        assert "outer-sched" not in str(err)
+        assert str(err).count("inner-sched") == 1
+
     def test_options_override_bound_defaults(self):
         """The helix spec binds fold=2; fold=1 rebuilds the naive schedule."""
         naive = build_schedule("helix", (4, 8), _costs(L=4), fold=1)
@@ -149,3 +168,44 @@ class TestSpecMetadata:
         spec = get_schedule("adapipe")
         assert "memory_cap_bytes" in spec.workload_options
         assert "static_memory_bytes" in spec.workload_options
+
+    def test_helix_naive_is_untunable_alias_of_fold_grid(self):
+        assert not get_schedule("helix-naive").tunable
+
+
+class TestTuneOptionGrids:
+    def test_static_grid_resolved(self):
+        grid = get_schedule("interleaved").option_grid(8)
+        assert grid == {"num_chunks_per_stage": (2, 4)}
+
+    def test_callable_grid_receives_pipeline_size(self):
+        grid = get_schedule("zb1p").option_grid(8)
+        assert grid == {"max_outstanding": (None, 8)}
+        assert get_schedule("zb1p").option_grid(4) == {
+            "max_outstanding": (None, 4)
+        }
+
+    def test_grid_always_contains_schema_default(self):
+        from repro.schedules.registry import ScheduleSpec
+
+        spec = ScheduleSpec(
+            name="grid-sched",
+            builder=lambda *a, **k: None,
+            options={"knob": 1},
+            tune_options={"knob": (2, 3)},
+        )
+        assert spec.option_grid(4) == {"knob": (1, 2, 3)}
+
+    def test_grid_for_unknown_option_rejected_at_registration(self):
+        from repro.schedules.registry import ScheduleSpec
+
+        with pytest.raises(ValueError, match="not in the option schema"):
+            ScheduleSpec(
+                name="bad-grid",
+                builder=lambda *a, **k: None,
+                options={"knob": 1},
+                tune_options={"other": (2,)},
+            )
+
+    def test_specs_without_grids_have_empty_grid(self):
+        assert get_schedule("1f1b").option_grid(8) == {}

@@ -4,8 +4,9 @@ import pytest
 
 from repro.costmodel.memory import RecomputeStrategy
 from repro.experiments.common import METHODS, Workload, run_method
+from repro.schedules.registry import workload_cache_key
 from repro.tuner import CostCache, autotune, enumerate_candidates
-from repro.tuner.autotune import _candidate_key
+from repro.tuner.autotune import _candidate_key, _workload_key
 
 GIB = float(1 << 30)
 
@@ -24,9 +25,21 @@ def small_wl():
 class TestEnumeration:
     def test_micro_batch_counts_follow_schedule_divisors(self, small_wl):
         cands = enumerate_candidates(small_wl)
-        helix = {c.num_micro_batches for c in cands if c.schedule == "helix"}
+        # The divisor tracks the swept fold: 2p for the bound fold=2,
+        # p for the fold=1 grid point.
+        helix2 = {
+            c.num_micro_batches
+            for c in cands
+            if c.schedule == "helix" and c.options == ()
+        }
+        helix1 = {
+            c.num_micro_batches
+            for c in cands
+            if c.schedule == "helix" and c.options == (("fold", 1),)
+        }
         layerwise = {c.num_micro_batches for c in cands if c.schedule == "1f1b"}
-        assert helix == {8}  # multiples of 2p up to the budget of 2p
+        assert helix2 == {8}  # multiples of 2p up to the budget of 2p
+        assert helix1 == {4, 8}  # fold 1 runs on the p grid
         assert layerwise == {4, 8}  # multiples of p
 
     def test_recompute_restricted_per_schedule(self, small_wl):
@@ -39,6 +52,11 @@ class TestEnumeration:
     def test_aliases_not_swept(self, small_wl):
         cands = enumerate_candidates(small_wl)
         assert not any(c.schedule == "helix-no-recompute" for c in cands)
+        # helix-naive is helix x fold=1, which the fold grid now covers.
+        assert not any(c.schedule == "helix-naive" for c in cands)
+        assert any(
+            c.schedule == "helix" and c.options == (("fold", 1),) for c in cands
+        )
 
     def test_explicit_inadmissible_strategy_surfaces_as_infeasible(self, small_wl):
         """A requested strategy outside a schedule's choices is reported,
@@ -54,6 +72,162 @@ class TestEnumeration:
         assert all("not admissible" in (p.reason or "") for p in helix)
         # Layer-wise schedules model FULL faithfully and still evaluate.
         assert any(p.feasible and p.candidate.schedule == "1f1b" for p in plans)
+
+
+class TestOptionAxis:
+    def test_interleaved_chunk_grid_swept(self, small_wl):
+        cands = enumerate_candidates(small_wl)
+        combos = {c.options for c in cands if c.schedule == "interleaved"}
+        assert combos == {(), (("num_chunks_per_stage", 4),)}
+
+    def test_zb1p_grid_depends_on_pipeline_size(self, small_wl):
+        cands = enumerate_candidates(small_wl)
+        combos = {c.options for c in cands if c.schedule == "zb1p"}
+        # None (the schema default) canonicalises to the empty combo.
+        assert combos == {(), (("max_outstanding", small_wl.p),)}
+
+    def test_default_combo_is_canonical_empty_tuple(self, small_wl):
+        """A grid value equal to the schema default must not produce a
+        second, distinct cache key for the same configuration."""
+        cands = enumerate_candidates(small_wl, schedules=["helix"])
+        fold_combos = {c.options for c in cands}
+        assert () in fold_combos  # fold=2, the bound default
+        assert (("fold", 2),) not in fold_combos
+
+    def test_option_grids_override_and_disable(self, small_wl):
+        none = enumerate_candidates(small_wl, option_grids={})
+        assert all(c.options == () for c in none)
+        custom = enumerate_candidates(
+            small_wl,
+            schedules=["interleaved"],
+            option_grids={"interleaved": {"num_chunks_per_stage": (2, 4, 8)}},
+        )
+        combos = {c.options for c in custom}
+        assert (("num_chunks_per_stage", 8),) in combos
+
+    def test_unknown_option_grid_name_rejected(self, small_wl):
+        with pytest.raises(ValueError, match="not in the option schema"):
+            enumerate_candidates(
+                small_wl,
+                schedules=["1f1b"],
+                option_grids={"1f1b": {"bogus": (1, 2)}},
+            )
+
+    def test_empty_option_grid_values_rejected(self, small_wl):
+        """An empty value sequence would product to zero combos and
+        silently drop the schedule; it must fail loudly instead."""
+        with pytest.raises(ValueError, match="empty value sequence"):
+            enumerate_candidates(
+                small_wl,
+                schedules=["interleaved"],
+                option_grids={"interleaved": {"num_chunks_per_stage": []}},
+            )
+
+    def test_grid_for_unswept_schedule_rejected(self, small_wl):
+        """A typo'd schedule key must fail loudly, not silently run an
+        all-defaults sweep with every registered grid disabled."""
+        with pytest.raises(ValueError, match="name no swept schedule"):
+            enumerate_candidates(
+                small_wl,
+                option_grids={"interleavd": {"num_chunks_per_stage": (2, 4)}},
+            )
+
+    def test_option_candidates_evaluate(self, small_wl):
+        """fold=1 grid points build and rank like any other candidate."""
+        plans = autotune(small_wl, schedules=["helix"], cache=CostCache())
+        fold1 = [p for p in plans if p.candidate.options == (("fold", 1),)]
+        assert fold1
+        assert any(p.feasible for p in fold1)
+
+
+class TestDivisorBudgetPreclusion:
+    def test_schedule_beyond_budget_reported_not_dropped(self):
+        """p=4 with a budget of 4 micro-batches cannot run two-fold
+        helix (divisor 8); the sweep must say so instead of silently
+        omitting the schedule."""
+        wl = Workload.paper("7B", "H20", 4, 32768, num_micro_batches=4)
+        plans = autotune(wl, schedules=["helix"], cache=CostCache())
+        precluded = [
+            p
+            for p in plans
+            if p.reason and "micro-batch divisor 8 exceeds budget 4" in p.reason
+        ]
+        assert len(precluded) == 1
+        assert not precluded[0].feasible
+        assert precluded[0].candidate.num_micro_batches == 8
+        assert precluded[0].iteration_time is None
+        # The fold-1 grid points still fit the budget and evaluate.
+        assert any(p.feasible and p.candidate.options == (("fold", 1),) for p in plans)
+
+    def test_enumerate_candidates_excludes_synthetic_rows(self):
+        wl = Workload.paper("7B", "H20", 4, 32768, num_micro_batches=4)
+        cands = enumerate_candidates(wl, schedules=["helix"])
+        assert all(c.num_micro_batches <= 4 for c in cands)
+
+
+class TestWorkloadKey:
+    def test_key_is_value_based_and_stable(self, small_wl):
+        other = Workload.paper("7B", "H20", 4, 32768)
+        assert _workload_key(small_wl) == _workload_key(other)
+        assert _workload_key(small_wl) != _workload_key(
+            Workload.paper("7B", "H20", 4, 65536)
+        )
+
+    def test_key_contains_no_memory_addresses(self, small_wl):
+        assert " at 0x" not in repr(_workload_key(small_wl))
+
+    def test_duck_typed_default_repr_rejected_loudly(self, small_wl):
+        class Opaque:
+            pass
+
+        class DuckWorkload:
+            model = Opaque()
+            cluster = small_wl.cluster
+            seq_len = 1024
+            micro_batch = 1
+
+        with pytest.raises(TypeError, match="memory address"):
+            _workload_key(DuckWorkload())
+
+    def test_cache_key_hook_opts_in(self):
+        class DuckWorkload:
+            def cache_key(self):
+                return ("my-workload", 42)
+
+        assert workload_cache_key(DuckWorkload()) == ("my-workload", 42)
+
+    def test_cache_key_hook_accepts_scalars(self):
+        """A scalar hook return is one key component, not an iterable
+        to splat -- '7B-H20' must not become a tuple of characters."""
+
+        class StringKey:
+            def cache_key(self):
+                return "7B-H20-p8-64k"
+
+        class IntKey:
+            def cache_key(self):
+                return 1234
+
+        assert workload_cache_key(StringKey()) == ("7B-H20-p8-64k",)
+        assert workload_cache_key(IntKey()) == (1234,)
+
+    def test_set_fields_key_order_independently(self):
+        """Set repr order is hash-randomised per process; the key must
+        not depend on it or pool workers would never hit the cache."""
+        from repro.schedules.registry import stable_value_key
+
+        a = stable_value_key(frozenset({"alpha", "beta", "gamma"}))
+        b = stable_value_key(frozenset({"gamma", "alpha", "beta"}))
+        assert a == b
+        assert a[0] == "set"
+
+    def test_mapping_keys_do_not_alias_across_types(self):
+        from repro.schedules.registry import stable_value_key
+
+        assert stable_value_key({1: "x"}) != stable_value_key({"1": "x"})
+        # Mixed-type keys must derive a key, not crash in sorted().
+        mixed = stable_value_key({1: "a", "b": 2})
+        assert mixed[0] == "map"
 
 
 class TestMemoryCap:

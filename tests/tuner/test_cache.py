@@ -1,0 +1,130 @@
+"""CostCache persistence, merging and disk-vs-memory hit accounting."""
+
+import json
+
+import pytest
+
+from repro.tuner import CacheStats, CostCache
+
+
+def _key(i):
+    return (("model", "7B"), 1.0, "helix", "none", i, ())
+
+
+def _record(i):
+    return {"error": None, "makespan": float(i), "peak_memory_bytes": 2.0 * i,
+            "bubble_fraction": 0.1}
+
+
+class TestPersistence:
+    def test_round_trip_preserves_entries_and_keys(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        for i in range(5):
+            cache.get_or_eval(_key(i), lambda i=i: _record(i))
+        assert cache.save(path) == 5
+
+        loaded = CostCache.from_file(path)
+        assert len(loaded) == 5
+        for i in range(5):
+            # Keys must round trip as tuples, not JSON lists.
+            assert _key(i) in loaded
+            assert loaded.peek(_key(i)) == _record(i)
+
+    def test_loaded_entries_count_as_disk_hits(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.get_or_eval(_key(0), lambda: _record(0))
+        cache.save(path)
+
+        loaded = CostCache.from_file(path)
+        assert loaded.stats.lookups == 0
+        loaded.get_or_eval(_key(0), lambda: pytest.fail("must not re-evaluate"))
+        assert loaded.stats.disk_hits == 1
+        assert loaded.stats.hits == 0
+        assert loaded.stats.misses == 0
+        # An entry evaluated after the load is a plain memory hit.
+        loaded.get_or_eval(_key(1), lambda: _record(1))
+        loaded.get_or_eval(_key(1), lambda: pytest.fail("must not re-evaluate"))
+        assert loaded.stats.hits == 1
+        assert loaded.stats.misses == 1
+
+    def test_load_merges_and_keeps_memory_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        disk = CostCache()
+        disk.adopt(_key(0), _record(0))
+        disk.adopt(_key(1), _record(1))
+        disk.save(path)
+
+        cache = CostCache()
+        cache.get_or_eval(_key(0), lambda: _record(0))
+        assert cache.load(path) == 1  # key 0 already in memory
+        cache.get_or_eval(_key(0), lambda: pytest.fail("cached"))
+        cache.get_or_eval(_key(1), lambda: pytest.fail("cached"))
+        assert cache.stats.hits == 1 and cache.stats.disk_hits == 1
+
+    def test_non_store_file_rejected(self, tmp_path):
+        path = tmp_path / "notacache.json"
+        path.write_text(json.dumps({"something": "else"}))
+        with pytest.raises(ValueError, match="not a cost cache store"):
+            CostCache().load(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps({"format": "repro-costcache", "version": 99, "entries": []})
+        )
+        with pytest.raises(ValueError, match="unsupported cost cache version"):
+            CostCache().load(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CostCache().load(tmp_path / "nope.json")
+
+    def test_save_leaves_no_temp_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        cache.save(path)
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+
+class TestMerge:
+    def test_merge_adopts_missing_entries_only(self):
+        a, b = CostCache(), CostCache()
+        a.adopt(_key(0), _record(0))
+        b.adopt(_key(0), {"error": "worker disagrees"})
+        b.adopt(_key(1), _record(1))
+        assert a.merge(b) == 1
+        # Existing entries win on conflict.
+        assert a.peek(_key(0)) == _record(0)
+        assert a.peek(_key(1)) == _record(1)
+
+    def test_merge_records_no_stats(self):
+        a, b = CostCache(), CostCache()
+        b.get_or_eval(_key(0), lambda: _record(0))
+        a.merge(b)
+        assert a.stats.lookups == 0
+
+
+class TestStats:
+    def test_totals_and_rate(self):
+        s = CacheStats(hits=2, disk_hits=3, misses=5)
+        assert s.total_hits == 5
+        assert s.lookups == 10
+        assert s.hit_rate == 0.5
+
+    def test_str_mentions_disk_only_when_present(self):
+        assert "disk" not in str(CacheStats(hits=1, misses=1))
+        assert "2 from disk" in str(CacheStats(hits=1, disk_hits=2, misses=1))
+
+    def test_clear_resets_disk_bookkeeping(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        cache.save(path)
+        loaded = CostCache.from_file(path)
+        loaded.clear()
+        assert len(loaded) == 0
+        loaded.get_or_eval(_key(0), lambda: _record(0))
+        assert loaded.stats.misses == 1 and loaded.stats.disk_hits == 0
