@@ -4,18 +4,24 @@ Subpackages
 -----------
 cluster / costmodel / model / comm
     Simulated hardware and analytic cost substrates.
+workloads
+    Workload presets and shape parsing (one resolution path for the
+    CLI, tuner and experiments) plus token-budget ``WorkloadGrid``
+    planning axes.
 schedules / core
     Schedule IR, verification passes, the schedule registry, baselines
     (1F1B, GPipe, ZB1P, AdaPipe) and the paper's contribution
     (attention parallel partition + FILO schedules).
 tuner
     Auto-tuning planner: searches the registered schedule space for the
-    fastest plan under a memory cap.
+    fastest plan under a memory cap; ``tune_grid`` adds the workload
+    grid itself as a search axis.
 sim / runtime / memsim
     The three executors: discrete-event timing, functional numpy math,
     caching-allocator memory.
 analysis / experiments
-    Closed-form formulas, reporting, and one module per paper figure.
+    Closed-form formulas, reporting, and the experiment registry with
+    one registered spec per paper figure/table.
 
 Registry quickstart
 -------------------
@@ -69,6 +75,8 @@ registry-driven CLI (:mod:`repro.cli`)::
     python -m repro simulate zb1p --model 7B --gpu H20 -p 8 --seq-len 64k
     python -m repro tune --model 7B --gpu H20 -p 8 --seq-len 64k \\
         --workers 4 --cache sweep-cache.json
+    python -m repro tune --budget-tokens 1M --seq-lens 16k,32k,64k -p 4,8
+    python -m repro experiment run fig8_throughput --smoke --json --out out/
 """
 
 __version__ = "0.1.0"
@@ -78,6 +86,7 @@ __all__ = [
     "comm",
     "costmodel",
     "model",
+    "workloads",
     "schedules",
     "core",
     "tuner",

@@ -8,7 +8,12 @@ from repro.analysis.bubble import (
 )
 from repro.analysis.report import format_table, normalize
 from repro.analysis.timeline import render_timeline
-from repro.analysis.tuner_view import format_plan_table, plan_rows
+from repro.analysis.tuner_view import (
+    format_grid_table,
+    format_plan_table,
+    grid_plan_rows,
+    plan_rows,
+)
 
 __all__ = [
     "bubble_time_1f1b",
@@ -20,4 +25,6 @@ __all__ = [
     "render_timeline",
     "format_plan_table",
     "plan_rows",
+    "format_grid_table",
+    "grid_plan_rows",
 ]

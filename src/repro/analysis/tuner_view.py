@@ -5,8 +5,9 @@ from __future__ import annotations
 from typing import Iterable
 
 from repro.analysis.report import format_table
+from repro.workloads import format_seq_len
 
-__all__ = ["plan_rows", "format_plan_table"]
+__all__ = ["plan_rows", "format_plan_table", "grid_plan_rows", "format_grid_table"]
 
 _GIB = float(1 << 30)
 
@@ -46,3 +47,56 @@ def plan_rows(results: Iterable) -> list[dict]:
 def format_plan_table(results: Iterable, floatfmt: str = ".2f") -> str:
     """Render ranked tuner results as an aligned text table."""
     return format_table(plan_rows(results), floatfmt=floatfmt)
+
+
+def grid_plan_rows(results: Iterable) -> list[dict]:
+    """Flatten :class:`~repro.tuner.grid.GridPlan` rows for ``format_table``.
+
+    Prefixes each candidate's columns with its workload point
+    (``seq_len``/``pp``/``mb``); rows whose *point* never ran (token
+    budget below one micro batch) show the point's reason with ``-``
+    candidate columns.
+    """
+    rows = []
+    for rank, r in enumerate(results, start=1):
+        cell = {
+            "rank": rank if r.feasible else "-",
+            "seq_len": format_seq_len(r.point.seq_len),
+            "pp": r.point.p,
+        }
+        if r.plan is None:
+            cell.update(
+                mb="-",
+                schedule="-",
+                recompute="-",
+                options="-",
+                status=(r.reason or "infeasible point")[:48],
+                iter_s="-",
+                tokens_per_s=0.0,
+                peak_gib="-",
+            )
+        else:
+            c = r.plan.candidate
+            cell.update(
+                mb=c.num_micro_batches,
+                schedule=c.schedule,
+                recompute=c.recompute.value,
+                options=",".join(f"{k}={v}" for k, v in c.options) or "-",
+                status="ok" if r.feasible else (r.reason or "infeasible")[:48],
+                iter_s=(
+                    "-" if r.plan.iteration_time is None else r.plan.iteration_time
+                ),
+                tokens_per_s=r.plan.tokens_per_s,
+                peak_gib=(
+                    "-"
+                    if r.plan.peak_memory_bytes is None
+                    else r.plan.peak_memory_bytes / _GIB
+                ),
+            )
+        rows.append(cell)
+    return rows
+
+
+def format_grid_table(results: Iterable, floatfmt: str = ".2f") -> str:
+    """Render ranked workload-grid tuner results as an aligned text table."""
+    return format_table(grid_plan_rows(results), floatfmt=floatfmt)

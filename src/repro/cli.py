@@ -41,9 +41,31 @@ Commands
         python -m repro tune --model 7B --gpu H20 -p 8 --seq-len 64k \\
             --workers 4 --cache sweep.json
 
+    Passing several sequence lengths or pipeline sizes -- or a token
+    budget -- turns the sweep into workload-grid planning
+    (:func:`repro.tuner.grid.tune_grid`): every ``seq_len x p`` point
+    runs the schedule grid at the micro-batch count its token budget
+    allows, and one ranking across all points answers "which shape
+    *and* schedule should this run use"::
+
+        python -m repro tune --budget-tokens 1M --seq-lens 16k,32k,64k -p 4,8
+
     ``--smoke`` shrinks the grid to a seconds-fast sanity sweep for CI.
 
-Sequence lengths accept a ``k`` suffix (``64k`` == 65536).  Schedule
+``experiment list|describe|run``
+    The registered paper experiments (every figure/table module) behind
+    one driver: ``list`` the registry, ``describe`` one spec's
+    parameter schema, ``run`` an experiment and print its rows as a
+    table -- or emit machine-readable artifacts::
+
+        python -m repro experiment run fig8_throughput --smoke --json
+        python -m repro experiment run table2 -P p=8 --csv --out results/
+
+    ``--smoke`` applies the spec's fast parameter set; ``-P name=value``
+    overrides individual parameters (Python literals).
+
+Sequence lengths accept a ``k`` suffix (``64k`` == 65536); token
+budgets accept ``k``/``M``/``G`` (``1M`` == 1048576 tokens).  Schedule
 options are passed as repeated ``-o name=value`` flags with Python
 literal values (``-o fold=1``, ``-o include_head=False``).
 """
@@ -58,16 +80,27 @@ import time
 from typing import Any, Sequence
 
 from repro.analysis.report import format_table
-from repro.analysis.tuner_view import format_plan_table
+from repro.analysis.tuner_view import format_grid_table, format_plan_table
 from repro.costmodel.memory import RecomputeStrategy
-from repro.experiments.common import GPU_CLUSTERS, Workload, run_method
+from repro.experiments.common import run_method
+from repro.experiments.registry import available_experiments, get_experiment
 from repro.model.config import MODEL_PRESETS
 from repro.schedules.registry import (
     ScheduleBuildError,
     available_schedules,
     get_schedule,
 )
-from repro.tuner import CostCache, autotune
+from repro.tuner import CostCache, autotune, tune_grid
+from repro.workloads import (
+    GPU_CLUSTERS,
+    Workload,
+    WorkloadGrid,
+    format_seq_len,
+    parse_int_list,
+    parse_seq_len,
+    parse_seq_lens,
+    parse_token_budget,
+)
 
 __all__ = ["main"]
 
@@ -77,17 +110,23 @@ _GIB = float(1 << 30)
 # -- argument helpers --------------------------------------------------------
 
 
-def _seq_len(text: str) -> int:
-    """Parse a sequence length, accepting a ``k``/``K`` suffix."""
-    text = text.strip()
-    try:
-        if text[-1:] in ("k", "K"):
-            return int(text[:-1]) * 1024
-        return int(text)
-    except ValueError:
-        raise argparse.ArgumentTypeError(
-            f"invalid sequence length {text!r} (try 65536 or 64k)"
-        ) from None
+def _argtype(parse):
+    """Wrap a ``repro.workloads`` parser into an argparse type."""
+
+    def typed(text: str):
+        try:
+            return parse(text)
+        except ValueError as err:
+            raise argparse.ArgumentTypeError(str(err)) from None
+
+    typed.__name__ = parse.__name__
+    return typed
+
+
+_seq_len = _argtype(parse_seq_len)
+_seq_lens = _argtype(parse_seq_lens)
+_int_list = _argtype(parse_int_list)
+_token_budget = _argtype(parse_token_budget)
 
 
 def _option(text: str) -> tuple[str, Any]:
@@ -104,7 +143,7 @@ def _option(text: str) -> tuple[str, Any]:
     return name, value
 
 
-def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+def _add_workload_args(parser: argparse.ArgumentParser, grid: bool = False) -> None:
     g = parser.add_argument_group("workload (paper presets)")
     g.add_argument(
         "--model",
@@ -118,21 +157,52 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         default="H20",
         help="GPU/cluster preset (default: %(default)s)",
     )
-    g.add_argument(
-        "-p",
-        "--pipeline-size",
-        type=int,
-        default=None,
-        metavar="P",
-        help="pipeline stages == nodes (default: 8; 4 with --smoke)",
-    )
-    g.add_argument(
-        "--seq-len",
-        type=_seq_len,
-        default=None,
-        metavar="S",
-        help="sequence length, k suffix ok (default: 64k; 32k with --smoke)",
-    )
+    if grid:
+        g.add_argument(
+            "-p",
+            "--pipeline-size",
+            "--pipeline-sizes",
+            type=_int_list,
+            default=None,
+            metavar="P[,P...]",
+            help="pipeline size(s); several turn the sweep into a "
+            "workload grid (default: 8; 4 with --smoke)",
+        )
+        g.add_argument(
+            "--seq-len",
+            "--seq-lens",
+            dest="seq_len",
+            type=_seq_lens,
+            default=None,
+            metavar="S[,S...]",
+            help="sequence length(s), k suffix ok; several turn the "
+            "sweep into a workload grid (default: 64k; 32k with --smoke)",
+        )
+        g.add_argument(
+            "--budget-tokens",
+            type=_token_budget,
+            default=None,
+            metavar="N",
+            help="fixed tokens per iteration (k/M/G suffix ok); each grid "
+            "point runs as many micro batches as the budget allows "
+            "(default: the 2p-micro-batch protocol)",
+        )
+    else:
+        g.add_argument(
+            "-p",
+            "--pipeline-size",
+            type=int,
+            default=None,
+            metavar="P",
+            help="pipeline stages == nodes (default: 8; 4 with --smoke)",
+        )
+        g.add_argument(
+            "--seq-len",
+            type=_seq_len,
+            default=None,
+            metavar="S",
+            help="sequence length, k suffix ok (default: 64k; 32k with --smoke)",
+        )
     g.add_argument(
         "--micro-batch",
         type=int,
@@ -146,7 +216,8 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         metavar="M",
-        help="micro-batch budget per iteration (default: 2 x pipeline size)",
+        help="micro-batch budget per iteration (default: 2 x pipeline size"
+        + ("; incompatible with a workload grid)" if grid else ")"),
     )
 
 
@@ -275,9 +346,73 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_cache(path: str | None) -> CostCache | None:
+    """A CostCache pre-loaded from ``path``; None when the dir is missing."""
+    cache = CostCache()
+    if path:
+        # Fail before the sweep, not at save time after minutes of work.
+        cache_dir = os.path.dirname(os.path.abspath(path))
+        if not os.path.isdir(cache_dir):
+            print(
+                f"error: cache directory {cache_dir!r} does not exist",
+                file=sys.stderr,
+            )
+            return None
+        if os.path.exists(path):
+            loaded = cache.load(path)
+            print(f"cache: loaded {loaded} entries from {path}")
+    return cache
+
+
+def _print_plan_report(
+    plans,
+    args: argparse.Namespace,
+    cache: CostCache,
+    *,
+    formatter,
+    best_summary,
+    none_message: str,
+    sweep_summary: str,
+) -> bool:
+    """Shared ranked-table + best-plan + sweep-stats output of ``tune``.
+
+    Filters for display only (``--no-infeasible``/``--top``), so the
+    sweep count in ``sweep_summary`` stays honest.  Returns whether any
+    feasible plan exists (the command's exit status).
+    """
+    rows = [r for r in plans if r.feasible] if args.no_infeasible else plans
+    shown = rows if args.top is None else rows[: args.top]
+    print(formatter(shown))
+    dropped = len(rows) - len(shown)
+    if dropped > 0:
+        print(f"... {dropped} more row(s); raise --top to see them")
+
+    feasible = [r for r in plans if r.feasible]
+    if feasible:
+        print(f"\nbest plan: {best_summary(feasible[0])}")
+    else:
+        print(f"\n{none_message}")
+    print(
+        f"{sweep_summary} "
+        f"({cache.stats}, hit rate {cache.stats.hit_rate:.0%})"
+    )
+    return bool(feasible)
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
-    wl = _workload(args, smoke=args.smoke)
-    print(f"workload: {_describe_workload(wl)}")
+    pp_sizes = (
+        args.pipeline_size
+        if args.pipeline_size is not None
+        else ((4,) if args.smoke else (8,))
+    )
+    seq_lens = (
+        args.seq_len
+        if args.seq_len is not None
+        else ((32768,) if args.smoke else (65536,))
+    )
+    grid_mode = (
+        args.budget_tokens is not None or len(pp_sizes) > 1 or len(seq_lens) > 1
+    )
 
     schedules: Sequence[str] | None = None
     if args.schedules:
@@ -285,19 +420,9 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     elif args.smoke:
         schedules = ["1f1b", "helix"]
 
-    cache = CostCache()
-    if args.cache:
-        # Fail before the sweep, not at save time after minutes of work.
-        cache_dir = os.path.dirname(os.path.abspath(args.cache))
-        if not os.path.isdir(cache_dir):
-            print(
-                f"error: cache directory {cache_dir!r} does not exist",
-                file=sys.stderr,
-            )
-            return 1
-        if os.path.exists(args.cache):
-            loaded = cache.load(args.cache)
-            print(f"cache: loaded {loaded} entries from {args.cache}")
+    cache = _load_cache(args.cache)
+    if cache is None:
+        return 1
 
     kwargs: dict[str, Any] = {}
     if args.no_options or args.smoke:
@@ -308,44 +433,179 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         else None
     )
 
-    t0 = time.perf_counter()
-    plans = autotune(
-        wl,
-        cap,
-        schedules=schedules,
-        cache=cache,
-        workers=args.workers,
-        **kwargs,
-    )
-    elapsed = time.perf_counter() - t0
-
-    # Filter for display only, so the sweep count stays honest.
-    rows = [r for r in plans if r.feasible] if args.no_infeasible else plans
-    shown = rows if args.top is None else rows[: args.top]
-    print(format_plan_table(shown))
-    dropped = len(rows) - len(shown)
-    if dropped > 0:
-        print(f"... {dropped} more row(s); raise --top to see them")
-
-    feasible = [r for r in plans if r.feasible]
-    if feasible:
-        best = feasible[0]
-        print(
-            f"\nbest plan: {best.label} -- {best.iteration_time:.2f} s/iter, "
-            f"{best.tokens_per_s:.0f} tokens/s, "
-            f"peak {best.peak_memory_bytes / _GIB:.1f} GiB"
+    if grid_mode:
+        if args.num_micro_batches is not None:
+            print(
+                "error: -m/--num-micro-batches is incompatible with a "
+                "workload grid (the token budget sets the count per point)",
+                file=sys.stderr,
+            )
+            return 1
+        grid = WorkloadGrid(
+            model=args.model,
+            gpu=args.gpu,
+            seq_lens=tuple(seq_lens),
+            pipeline_sizes=tuple(pp_sizes),
+            micro_batch=args.micro_batch,
+            budget_tokens=args.budget_tokens,
+        )
+        print(f"workload grid: {grid.label}")
+        t0 = time.perf_counter()
+        plans = tune_grid(
+            grid,
+            cap,
+            schedules=schedules,
+            cache=cache,
+            workers=args.workers,
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - t0
+        found = _print_plan_report(
+            plans,
+            args,
+            cache,
+            formatter=format_grid_table,
+            best_summary=lambda best: (
+                f"{best.label} -- {best.plan.iteration_time:.2f} s/iter, "
+                f"{best.tokens_per_s:.0f} tokens/s, "
+                f"peak {best.plan.peak_memory_bytes / _GIB:.1f} GiB"
+            ),
+            none_message="no feasible plan across the workload grid",
+            sweep_summary=f"swept {len(plans)} candidates over {len(grid)} "
+            f"workload points in {elapsed:.2f} s",
         )
     else:
-        print("\nno feasible plan under the memory cap")
-    print(
-        f"swept {len(plans)} candidates in {elapsed:.2f} s "
-        f"({cache.stats}, hit rate {cache.stats.hit_rate:.0%})"
-    )
+        wl = Workload.paper(
+            args.model,
+            args.gpu,
+            pp_sizes[0],
+            seq_lens[0],
+            micro_batch=args.micro_batch,
+            num_micro_batches=args.num_micro_batches,
+        )
+        print(f"workload: {_describe_workload(wl)}")
+        t0 = time.perf_counter()
+        plans = autotune(
+            wl,
+            cap,
+            schedules=schedules,
+            cache=cache,
+            workers=args.workers,
+            **kwargs,
+        )
+        elapsed = time.perf_counter() - t0
+        found = _print_plan_report(
+            plans,
+            args,
+            cache,
+            formatter=format_plan_table,
+            best_summary=lambda best: (
+                f"{best.label} -- {best.iteration_time:.2f} s/iter, "
+                f"{best.tokens_per_s:.0f} tokens/s, "
+                f"peak {best.peak_memory_bytes / _GIB:.1f} GiB"
+            ),
+            none_message="no feasible plan under the memory cap",
+            sweep_summary=f"swept {len(plans)} candidates in {elapsed:.2f} s",
+        )
 
     if args.cache:
         saved = cache.save(args.cache)
         print(f"cache: saved {saved} entries to {args.cache}")
-    return 0 if feasible else 1
+    return 0 if found else 1
+
+
+# -- experiment commands -----------------------------------------------------
+
+
+def _cmd_experiment_list(args: argparse.Namespace) -> int:
+    rows = []
+    for name in available_experiments():
+        spec = get_experiment(name)
+        rows.append(
+            {
+                "name": name,
+                "params": len(spec.params),
+                "smoke": "yes" if spec.smoke_params else "-",
+                "render": "yes" if spec.renderer is not None else "-",
+                "description": spec.description,
+            }
+        )
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_experiment_describe(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    print(f"{spec.name}: {spec.description}")
+    print("  parameters (paper-protocol defaults):")
+    for name, default in spec.params.items():
+        print(f"    {name} = {default!r}")
+    if spec.smoke_params:
+        print("  smoke overrides (--smoke):")
+        for name, value in spec.smoke_params.items():
+            print(f"    {name} = {value!r}")
+    print(f"  renderer: {'yes (--render)' if spec.renderer else 'no'}")
+    return 0
+
+
+def _cmd_experiment_run(args: argparse.Namespace) -> int:
+    spec = get_experiment(args.experiment)
+    if args.render and spec.renderer is None:
+        print(
+            f"error: experiment {spec.name!r} has no renderer",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.out:
+        # Without --out, exactly one stream goes to stdout; mixing two
+        # formats (or a rendering after a payload) would corrupt it for
+        # any consumer parsing the output.
+        if args.json and args.csv:
+            print(
+                "error: --json and --csv both print to stdout; pick one "
+                "or write files with --out DIR",
+                file=sys.stderr,
+            )
+            return 1
+        if args.render and (args.json or args.csv):
+            print(
+                "error: --render would corrupt the --json/--csv stream; "
+                "use --out DIR to write the payload to files instead",
+                file=sys.stderr,
+            )
+            return 1
+    overrides = dict(args.param or [])
+
+    t0 = time.perf_counter()
+    result = spec.run(smoke=args.smoke, **overrides)
+    elapsed = time.perf_counter() - t0
+
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        # Explicit format flags select the artifacts; bare --out writes
+        # both, as documented.
+        want_json = args.json or not args.csv
+        want_csv = args.csv or not args.json
+        artifacts = []
+        if want_json:
+            artifacts.append(("json", result.to_json() + "\n"))
+        if want_csv:
+            artifacts.append(("csv", result.to_csv()))
+        for ext, payload in artifacts:
+            path = os.path.join(args.out, f"{spec.name}.{ext}")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            print(f"wrote {len(result.rows)} rows to {path}")
+    elif args.json:
+        print(result.to_json())
+    elif args.csv:
+        print(result.to_csv(), end="")
+    else:
+        print(f"experiment {spec.name}: {len(result.rows)} rows in {elapsed:.2f} s")
+        print(format_table(result.rows))
+    if args.render:
+        print(spec.render())
+    return 0
 
 
 # -- entry point -------------------------------------------------------------
@@ -403,8 +663,11 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         p_cmd.set_defaults(fn=fn)
 
-    p_tune = sub.add_parser("tune", help="auto-tune the schedule for a workload")
-    _add_workload_args(p_tune)
+    p_tune = sub.add_parser(
+        "tune",
+        help="auto-tune the schedule for a workload (or a workload grid)",
+    )
+    _add_workload_args(p_tune, grid=True)
     p_tune.add_argument(
         "--schedules",
         default=None,
@@ -455,6 +718,64 @@ def _build_parser() -> argparse.ArgumentParser:
         "no option axis",
     )
     p_tune.set_defaults(fn=_cmd_tune)
+
+    p_exp = sub.add_parser(
+        "experiment", help="run the registered paper experiments"
+    )
+    exp_sub = p_exp.add_subparsers(dest="exp_command", required=True)
+
+    pe_list = exp_sub.add_parser("list", help="list registered experiments")
+    pe_list.set_defaults(fn=_cmd_experiment_list)
+
+    pe_desc = exp_sub.add_parser(
+        "describe", help="show one experiment's parameter schema"
+    )
+    pe_desc.add_argument("experiment", help="registered experiment name")
+    pe_desc.set_defaults(fn=_cmd_experiment_describe)
+
+    pe_run = exp_sub.add_parser(
+        "run", help="run one experiment and print/serialise its rows"
+    )
+    pe_run.add_argument("experiment", help="registered experiment name")
+    pe_run.add_argument(
+        "--smoke",
+        action="store_true",
+        help="apply the spec's fast (CI) parameter overrides",
+    )
+    pe_run.add_argument(
+        "-P",
+        "--param",
+        type=_option,
+        action="append",
+        metavar="NAME=VALUE",
+        help="parameter override with a Python literal value (repeatable)",
+    )
+    pe_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit JSON (params + rows) instead of an aligned table "
+        "(with --out: write only the .json artifact)",
+    )
+    pe_run.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit CSV rows instead of an aligned table "
+        "(with --out: write only the .csv artifact)",
+    )
+    pe_run.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write <experiment>.json and .csv artifact files into DIR "
+        "(created if missing) instead of printing; --json/--csv "
+        "restrict which of the two are written",
+    )
+    pe_run.add_argument(
+        "--render",
+        action="store_true",
+        help="also print the experiment's ASCII rendering, if it has one",
+    )
+    pe_run.set_defaults(fn=_cmd_experiment_run)
     return parser
 
 

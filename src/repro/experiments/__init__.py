@@ -1,4 +1,14 @@
-"""Per-figure / per-table reproduction experiments (see DESIGN.md index)."""
+"""Per-figure / per-table reproduction experiments.
+
+Every module registers itself with the experiment registry
+(:mod:`repro.experiments.registry`), so the canonical entry point is
+
+>>> from repro.experiments import run_experiment
+>>> run_experiment("fig8_throughput", smoke=True).rows
+
+or ``python -m repro experiment run fig8_throughput`` from the shell.
+The per-module ``run()`` functions remain importable as before.
+"""
 
 from repro.experiments import (
     chunked_mlp,
@@ -14,7 +24,22 @@ from repro.experiments import (
     table1,
     table2,
 )
-from repro.experiments.common import METHODS, SEQ_LENS, Workload, run_all_methods, run_method
+from repro.experiments.common import (
+    METHODS,
+    SEQ_LENS,
+    Workload,
+    iter_cells,
+    run_all_methods,
+    run_method,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
 
 __all__ = [
     "Workload",
@@ -22,6 +47,13 @@ __all__ = [
     "SEQ_LENS",
     "run_method",
     "run_all_methods",
+    "iter_cells",
+    "ExperimentResult",
+    "ExperimentSpec",
+    "available_experiments",
+    "get_experiment",
+    "register_experiment",
+    "run_experiment",
     "table1",
     "table2",
     "fig2_fig7_schedules",

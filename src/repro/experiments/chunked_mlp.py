@@ -8,6 +8,7 @@ fragmentation, with and without expandable segments.
 
 from __future__ import annotations
 
+from repro.experiments.registry import register_experiment
 from repro.memsim.allocator import CachingAllocator
 from repro.memsim.trace import chunked_mlp_trace, mlp_phase_trace, replay
 
@@ -16,6 +17,12 @@ __all__ = ["run"]
 _GIB = float(1 << 30)
 
 
+@register_experiment(
+    "chunked_mlp",
+    description="Chunked vs unchunked MLP allocation behaviour through "
+    "the caching-allocator simulator (Section 4.4.2)",
+    smoke=dict(num_layers=2, num_micro_batches=2, s=8192),
+)
 def run(
     num_layers: int = 4,
     num_micro_batches: int = 8,

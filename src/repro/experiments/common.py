@@ -1,28 +1,25 @@
-"""Shared workload setup for the paper-reproduction experiments.
+"""Shared driving code for the paper-reproduction experiments.
 
-Encodes the evaluation protocol of Section 5.1: GPT-3 architecture
-(Table 3), sequence lengths {32k, 64k, 96k, 128k}, one pipeline stage per
-node, Megatron sequence parallelism of size 8 inside the node, micro
-batch size 1, global batch = 2 x pipeline size, synthesized full-length
-batches, and the Section 4.6 embedding/head optimisations applied to
-every method.
+Workload resolution itself lives in :mod:`repro.workloads` (shared with
+the CLI and the tuner); this module keeps the experiment-facing pieces:
+the method list of the comparison figures, one-call build+simulate
+helpers and the grid iterator that collapses the per-figure nested
+``model x gpu x seq_len x pipeline`` loops into a single place.
+
+The protocol encoded by the re-exported :class:`Workload` is Section
+5.1: GPT-3 architecture (Table 3), sequence lengths {32k, 64k, 96k,
+128k}, one pipeline stage per node, Megatron sequence parallelism of
+size 8 inside the node, micro batch size 1, global batch = 2 x pipeline
+size, synthesized full-length batches, and the Section 4.6
+embedding/head optimisations applied to every method.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Iterator
 
-from repro.cluster.topology import ClusterSpec, a800_cluster, h20_cluster
-from repro.costmodel.memory import RecomputeStrategy, model_state_bytes_per_stage
-from repro.model.config import MODEL_PRESETS, ModelConfig
-from repro.schedules.costs import PipelineCosts
-from repro.schedules.ir import Schedule
-from repro.schedules.registry import (
-    available_schedules,
-    get_schedule,
-    workload_option_defaults,
-)
 from repro.sim import SimResult, simulate
+from repro.workloads import GPU_CLUSTERS, SEQ_LENS, Workload
 
 __all__ = [
     "Workload",
@@ -31,99 +28,11 @@ __all__ = [
     "GPU_CLUSTERS",
     "run_method",
     "run_all_methods",
+    "iter_cells",
 ]
-
-#: Sequence lengths of the evaluation (Section 5.1).
-SEQ_LENS: tuple[int, ...] = (32768, 65536, 98304, 131072)
 
 #: Methods compared in Figure 8 / Figure 10.
 METHODS: tuple[str, ...] = ("1f1b", "zb1p", "adapipe", "helix")
-
-#: GPU preset name -> cluster factory, shared by :meth:`Workload.paper`
-#: and the ``python -m repro`` CLI so the two resolve identically.
-GPU_CLUSTERS = {"H20": h20_cluster, "A800": a800_cluster}
-
-
-@dataclass
-class Workload:
-    """One experiment cell: model x cluster x sequence length x pipeline size."""
-
-    model: ModelConfig
-    cluster: ClusterSpec
-    seq_len: int
-    micro_batch: int = 1
-    num_micro_batches: int | None = None  # default: 2 x pipeline size
-
-    def __post_init__(self) -> None:
-        if self.num_micro_batches is None:
-            self.num_micro_batches = 2 * self.cluster.num_stages
-
-    @classmethod
-    def paper(
-        cls,
-        model_name: str,
-        gpu: str,
-        num_stages: int,
-        seq_len: int,
-        micro_batch: int = 1,
-        num_micro_batches: int | None = None,
-    ) -> "Workload":
-        cluster = GPU_CLUSTERS[gpu](num_stages)
-        return cls(
-            model=MODEL_PRESETS[model_name],
-            cluster=cluster,
-            seq_len=seq_len,
-            micro_batch=micro_batch,
-            num_micro_batches=num_micro_batches,
-        )
-
-    @property
-    def p(self) -> int:
-        return self.cluster.num_stages
-
-    @property
-    def tokens_per_iteration(self) -> float:
-        return float(self.num_micro_batches) * self.micro_batch * self.seq_len
-
-    def costs(self, recompute: RecomputeStrategy, **kw) -> PipelineCosts:
-        return PipelineCosts(
-            model=self.model,
-            cluster=self.cluster,
-            micro_batch=self.micro_batch,
-            seq_len=self.seq_len,
-            recompute=recompute,
-            **kw,
-        )
-
-    def static_memory(self) -> float:
-        return model_state_bytes_per_stage(
-            self.model, self.p, sp=self.cluster.sequence_parallel_size
-        )
-
-    def build(self, method: str, **kw) -> Schedule:
-        """Build one method's schedule under the paper's settings.
-
-        ``method`` is resolved through the schedule registry
-        (:mod:`repro.schedules.registry`); the spec supplies the
-        recomputation strategy it is designed around (baselines run
-        without recomputation, Section 5.1; HelixPipe with
-        recomputation-without-attention) and any workload-derived
-        options it needs (AdaPipe plans under the GPU memory cap).
-        Pass ``recompute=...`` or any spec option to override.
-        """
-        try:
-            spec = get_schedule(method)
-        except KeyError:
-            raise ValueError(
-                f"unknown method {method!r}; registered: {available_schedules()}"
-            ) from None
-        recompute = kw.pop("recompute", spec.default_recompute)
-        opts = dict(kw)
-        for name, value in workload_option_defaults(spec, self).items():
-            opts.setdefault(name, value)
-        return spec.build(
-            (self.p, self.num_micro_batches), self.costs(recompute), **opts
-        )
 
 
 def run_method(wl: Workload, method: str, **kw) -> SimResult:
@@ -134,3 +43,25 @@ def run_method(wl: Workload, method: str, **kw) -> SimResult:
 
 def run_all_methods(wl: Workload, methods: tuple[str, ...] = METHODS) -> dict[str, SimResult]:
     return {m: run_method(wl, m) for m in methods}
+
+
+def iter_cells(
+    models: tuple[str, ...],
+    gpus: tuple[str, ...],
+    seq_lens: tuple[int, ...],
+    pp_sizes: tuple[int, ...],
+    micro_batch: int = 1,
+) -> Iterator[tuple[dict, Workload]]:
+    """Enumerate evaluation-grid cells as ``(cell_dict, workload)`` pairs.
+
+    The shared loop behind the figure modules' grids: the cell dict
+    carries the axis values (``model``/``gpu``/``seq_len``/``pp``) in
+    the figures' column naming, ready to seed result rows; axes a
+    figure fixes are simply single-element tuples.
+    """
+    for model in models:
+        for gpu in gpus:
+            for s in seq_lens:
+                for p in pp_sizes:
+                    cell = {"model": model, "gpu": gpu, "seq_len": s, "pp": p}
+                    yield cell, Workload.paper(model, gpu, p, s, micro_batch=micro_batch)

@@ -9,12 +9,19 @@ via recomputation; HelixPipe is the flattest and lowest.
 from __future__ import annotations
 
 from repro.experiments.common import METHODS, Workload, run_all_methods
+from repro.experiments.registry import register_experiment
 
 __all__ = ["run"]
 
 _GIB = float(1 << 30)
 
 
+@register_experiment(
+    "fig10_memory_footprint",
+    description="Per-stage peak allocated memory for every method on "
+    "one workload (Fig. 10)",
+    smoke=dict(p=2, seq_len=32768),
+)
 def run(
     model_name: str = "3B",
     gpu: str = "H20",

@@ -9,13 +9,20 @@ footprint ~4x (Section 4.5 / 5.5).
 
 from __future__ import annotations
 
-from repro.experiments.common import SEQ_LENS, Workload, run_method
+from repro.experiments.common import SEQ_LENS, iter_cells, run_method
+from repro.experiments.registry import register_experiment
 
 __all__ = ["run"]
 
 _GIB = float(1 << 30)
 
 
+@register_experiment(
+    "fig11_recompute",
+    description="HelixPipe recomputation-without-attention ablation: "
+    "throughput cost vs memory cut (Fig. 11)",
+    smoke=dict(gpus=("H20",), p=2, seq_lens=(32768,)),
+)
 def run(
     model_name: str = "3B",
     gpus: tuple[str, ...] = ("H20", "A800"),
@@ -24,26 +31,24 @@ def run(
 ) -> list[dict]:
     """One row per (gpu, seq_len) comparing the two variants."""
     rows = []
-    for gpu in gpus:
-        for s in seq_lens:
-            wl = Workload.paper(model_name, gpu, p, s)
-            with_rc = run_method(wl, "helix")
-            without = run_method(wl, "helix-no-recompute")
-            tput_rc = with_rc.throughput_tokens_per_s(wl.tokens_per_iteration)
-            tput_no = without.throughput_tokens_per_s(wl.tokens_per_iteration)
-            row = {
-                "gpu": gpu,
-                "seq_len": s,
-                "throughput_with_recompute": tput_rc,
-                "throughput_without": tput_no,
-                "throughput_ratio": tput_rc / tput_no,
-            }
-            for stage in range(p):
-                row[f"mem_rc_rank{stage}_gib"] = (
-                    with_rc.peak_memory_bytes[stage] / _GIB
-                )
-                row[f"mem_norc_rank{stage}_gib"] = (
-                    without.peak_memory_bytes[stage] / _GIB
-                )
-            rows.append(row)
+    for cell, wl in iter_cells((model_name,), gpus, seq_lens, (p,)):
+        with_rc = run_method(wl, "helix")
+        without = run_method(wl, "helix-no-recompute")
+        tput_rc = with_rc.throughput_tokens_per_s(wl.tokens_per_iteration)
+        tput_no = without.throughput_tokens_per_s(wl.tokens_per_iteration)
+        row = {
+            "gpu": cell["gpu"],
+            "seq_len": cell["seq_len"],
+            "throughput_with_recompute": tput_rc,
+            "throughput_without": tput_no,
+            "throughput_ratio": tput_rc / tput_no,
+        }
+        for stage in range(p):
+            row[f"mem_rc_rank{stage}_gib"] = (
+                with_rc.peak_memory_bytes[stage] / _GIB
+            )
+            row[f"mem_norc_rank{stage}_gib"] = (
+                without.peak_memory_bytes[stage] / _GIB
+            )
+        rows.append(row)
     return rows

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.analysis.timeline import render_timeline
 from repro.cluster.topology import abstract_cluster
 from repro.costmodel.memory import RecomputeStrategy
+from repro.experiments.registry import attach_renderer, register_experiment
 from repro.schedules.costs import UnitCosts
 from repro.schedules.registry import build_schedule
 from repro.sim import simulate
@@ -35,6 +36,11 @@ def _simulate(schedule_name: str, p: int, m: int, L: int):
     return sched, simulate(sched, abstract_cluster(p))
 
 
+@register_experiment(
+    "fig2_fig7_schedules",
+    description="1F1B vs naive/two-fold FILO timelines in the unit-time "
+    "world: makespans and bubbles (Figs. 2 and 7)",
+)
 def run() -> list[dict]:
     rows = []
     for name, kind, cfg in _cases():
@@ -51,6 +57,7 @@ def run() -> list[dict]:
     return rows
 
 
+@attach_renderer("fig2_fig7_schedules")
 def render(width: int = 110) -> str:
     """All four timelines as one printable block."""
     out = []

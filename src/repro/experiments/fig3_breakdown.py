@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.cluster.gpu import A800, GPUSpec
 from repro.costmodel.timing import TimingModel
+from repro.experiments.registry import register_experiment
 from repro.model.config import ModelConfig
 
 __all__ = ["run", "FIG3_SEQ_LENS"]
@@ -17,6 +18,12 @@ __all__ = ["run", "FIG3_SEQ_LENS"]
 FIG3_SEQ_LENS: tuple[int, ...] = (4096, 8192, 16384, 32768, 65536, 131072)
 
 
+@register_experiment(
+    "fig3_breakdown",
+    description="Per-component layer time share vs sequence length: "
+    "attention grows dominant (Fig. 3)",
+    smoke=dict(seq_lens=(4096, 32768)),
+)
 def run(
     gpu: GPUSpec = A800,
     hidden_size: int = 4096,

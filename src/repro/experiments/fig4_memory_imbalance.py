@@ -9,6 +9,7 @@ imbalance motivating HelixPipe.
 from __future__ import annotations
 
 from repro.costmodel.memory import stage_activation_bytes_1f1b
+from repro.experiments.registry import register_experiment
 from repro.model.config import GPT3_13B, ModelConfig
 
 __all__ = ["run", "FIG4_SEQ_LENS"]
@@ -17,6 +18,12 @@ FIG4_SEQ_LENS: tuple[int, ...] = (4096, 8192, 16384, 32768, 65536, 131072)
 _GIB = float(1 << 30)
 
 
+@register_experiment(
+    "fig4_memory_imbalance",
+    description="1F1B per-stage activation footprint: the memory "
+    "imbalance motivating HelixPipe (Fig. 4)",
+    smoke=dict(seq_lens=(131072,)),
+)
 def run(
     model: ModelConfig = GPT3_13B,
     p: int = 8,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.cluster.topology import abstract_cluster
 from repro.core.filo import build_helix_filo
 from repro.costmodel.memory import RecomputeStrategy
+from repro.experiments.registry import register_experiment
 from repro.schedules.costs import UnitCosts
 from repro.schedules.gpipe import build_gpipe
 from repro.sim import simulate
@@ -20,6 +21,11 @@ from repro.sim import simulate
 __all__ = ["run"]
 
 
+@register_experiment(
+    "fig5_partition",
+    description="Layer-wise vs attention parallel partition on the "
+    "smallest expressible workload (Fig. 5)",
+)
 def run(num_layers: int = 2, p: int = 2, m: int = 2) -> list[dict]:
     cluster = abstract_cluster(p)
     costs = UnitCosts(num_layers=num_layers, recompute=RecomputeStrategy.NONE)

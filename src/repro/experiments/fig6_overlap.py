@@ -11,12 +11,19 @@ from __future__ import annotations
 from repro.cluster.topology import abstract_cluster
 from repro.core.filo import build_helix_filo
 from repro.costmodel.memory import RecomputeStrategy
+from repro.experiments.registry import register_experiment
 from repro.schedules.costs import UnitCosts
 from repro.sim import simulate
 
 __all__ = ["run"]
 
 
+@register_experiment(
+    "fig6_overlap",
+    description="Naive vs two-fold FILO under growing communication "
+    "delay: the overlap effect (Fig. 6)",
+    smoke=dict(comm_times=(0.0, 1.0)),
+)
 def run(
     p: int = 2,
     num_layers: int = 4,

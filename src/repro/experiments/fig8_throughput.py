@@ -9,7 +9,8 @@ in the figure.
 
 from __future__ import annotations
 
-from repro.experiments.common import METHODS, Workload, run_all_methods
+from repro.experiments.common import METHODS, iter_cells, run_all_methods
+from repro.experiments.registry import register_experiment
 
 __all__ = ["run", "PP_SIZES", "FIG8_SEQ_LENS"]
 
@@ -17,6 +18,12 @@ PP_SIZES: tuple[int, ...] = (2, 4, 8)
 FIG8_SEQ_LENS: tuple[int, ...] = (32768, 65536, 98304, 131072)
 
 
+@register_experiment(
+    "fig8_throughput",
+    description="End-to-end throughput, all methods across the full "
+    "model x GPU x seq x pipeline grid (Fig. 8)",
+    smoke=dict(models=("1.3B",), gpus=("H20",), seq_lens=(32768,), pp_sizes=(2,)),
+)
 def run(
     models: tuple[str, ...] = ("1.3B", "3B", "7B"),
     gpus: tuple[str, ...] = ("H20", "A800"),
@@ -26,30 +33,23 @@ def run(
 ) -> list[dict]:
     """One row per grid cell with absolute and normalized throughput."""
     rows = []
-    for model in models:
-        for gpu in gpus:
-            for s in seq_lens:
-                for p in pp_sizes:
-                    wl = Workload.paper(model, gpu, p, s)
-                    results = run_all_methods(wl, methods)
-                    tput = {
-                        k: r.throughput_tokens_per_s(wl.tokens_per_iteration)
-                        for k, r in results.items()
-                    }
-                    best = max(tput.values())
-                    for k in methods:
-                        rows.append(
-                            {
-                                "model": model,
-                                "gpu": gpu,
-                                "seq_len": s,
-                                "pp": p,
-                                "method": k,
-                                "tokens_per_s": tput[k],
-                                "normalized": tput[k] / best,
-                                "iter_time_s": results[k].makespan,
-                            }
-                        )
+    for cell, wl in iter_cells(models, gpus, seq_lens, pp_sizes):
+        results = run_all_methods(wl, methods)
+        tput = {
+            k: r.throughput_tokens_per_s(wl.tokens_per_iteration)
+            for k, r in results.items()
+        }
+        best = max(tput.values())
+        for k in methods:
+            rows.append(
+                {
+                    **cell,
+                    "method": k,
+                    "tokens_per_s": tput[k],
+                    "normalized": tput[k] / best,
+                    "iter_time_s": results[k].makespan,
+                }
+            )
     return rows
 
 

@@ -13,37 +13,42 @@ from __future__ import annotations
 from repro.comm.cost import CommModel
 from repro.comm.volumes import boundary_volumes
 from repro.costmodel.memory import RecomputeStrategy
-from repro.experiments.common import SEQ_LENS, Workload
+from repro.experiments.common import SEQ_LENS, iter_cells
+from repro.experiments.registry import register_experiment
 
 __all__ = ["run"]
 
 
+@register_experiment(
+    "fig9_comm",
+    description="Per-layer computation vs p2p transfer time and the "
+    "two-fold overlap rule (Fig. 9)",
+    smoke=dict(seq_lens=(32768,)),
+)
 def run(
     model_name: str = "7B",
     gpus: tuple[str, ...] = ("H20", "A800"),
     seq_lens: tuple[int, ...] = SEQ_LENS,
 ) -> list[dict]:
     rows = []
-    for gpu in gpus:
-        for s in seq_lens:
-            wl = Workload.paper(model_name, gpu, 2, s)
-            pc = wl.costs(RecomputeStrategy.NONE)
-            lt = pc.layer
-            comm = CommModel(wl.cluster)
-            vols = boundary_volumes(
-                wl.micro_batch, s, wl.model.hidden_size, ship_qkv_weights=True
-            )
-            p2p = comm.p2p_time(
-                vols.bytes("attn_to_post", sp=wl.cluster.sequence_parallel_size)
-            )
-            rows.append(
-                {
-                    "gpu": gpu,
-                    "seq_len": s,
-                    "pre_post_fwd_ms": 1e3 * (lt.pre.fwd + lt.post.fwd),
-                    "attention_fwd_ms": 1e3 * lt.attn.fwd,
-                    "comm_ms": 1e3 * p2p,
-                    "overlappable": lt.attn.fwd >= p2p,
-                }
-            )
+    for cell, wl in iter_cells((model_name,), gpus, seq_lens, (2,)):
+        pc = wl.costs(RecomputeStrategy.NONE)
+        lt = pc.layer
+        comm = CommModel(wl.cluster)
+        vols = boundary_volumes(
+            wl.micro_batch, wl.seq_len, wl.model.hidden_size, ship_qkv_weights=True
+        )
+        p2p = comm.p2p_time(
+            vols.bytes("attn_to_post", sp=wl.cluster.sequence_parallel_size)
+        )
+        rows.append(
+            {
+                "gpu": cell["gpu"],
+                "seq_len": cell["seq_len"],
+                "pre_post_fwd_ms": 1e3 * (lt.pre.fwd + lt.post.fwd),
+                "attention_fwd_ms": 1e3 * lt.attn.fwd,
+                "comm_ms": 1e3 * p2p,
+                "overlappable": lt.attn.fwd >= p2p,
+            }
+        )
     return rows

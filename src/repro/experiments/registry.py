@@ -1,0 +1,289 @@
+"""Experiment registry: every paper figure/table as a registered spec.
+
+The reproduction's evidence is a battery of figures and tables, each
+previously a hand-rolled module with its own driving code.  This module
+gives them one uniform shape -- :class:`ExperimentSpec` -- and one entry
+point, mirroring :mod:`repro.schedules.registry` for schedules:
+
+>>> from repro.experiments.registry import get_experiment
+>>> result = get_experiment("fig8_throughput").run(smoke=True)
+>>> result.rows[0]["method"]
+'1f1b'
+
+A spec carries the experiment's name, description, parameter schema
+(introspected from the runner's keyword defaults) and a ``smoke``
+override set -- the seconds-fast configuration CI and the parity tests
+drive.  Running a spec returns an :class:`ExperimentResult`: the
+resolved parameters plus structured rows (list of flat dicts, one per
+figure data point) that serialise losslessly to JSON and CSV -- the
+figure suite as a programmable subsystem instead of a pile of scripts.
+
+Experiment modules self-register with :func:`register_experiment` on
+their ``run`` function (and optionally :func:`attach_renderer` on an
+ASCII renderer); the registry imports the built-in modules lazily on
+first lookup so import order never matters.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import importlib
+import inspect
+import io
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "register_experiment",
+    "attach_renderer",
+    "get_experiment",
+    "available_experiments",
+    "run_experiment",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Structured output of one experiment run.
+
+    ``rows`` is a list of flat dicts -- one per figure/table data point,
+    every value a JSON-serialisable scalar -- and ``params`` records the
+    exact parameters the run resolved, so a result file is reproducible
+    from its own header.
+    """
+
+    name: str
+    params: Mapping[str, Any]
+    rows: list[dict]
+
+    @property
+    def columns(self) -> list[str]:
+        """Union of row keys, first-seen order (rows may be ragged)."""
+        cols: dict[str, None] = {}
+        for row in self.rows:
+            for key in row:
+                cols.setdefault(key)
+        return list(cols)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        payload = {
+            "experiment": self.name,
+            "params": {k: _jsonable(v) for k, v in self.params.items()},
+            "rows": self.rows,
+        }
+        return json.dumps(payload, indent=indent)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.DictWriter(buf, fieldnames=self.columns, restval="")
+        writer.writeheader()
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort JSON form for a parameter value (tuples -> lists...)."""
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Description of one registered experiment.
+
+    Parameters
+    ----------
+    name:
+        Registry key (the figure/table identifier, e.g.
+        ``"fig8_throughput"``).
+    runner:
+        ``runner(**params) -> list[dict]``: the experiment's row
+        producer (the module's historical ``run`` entry point).
+    description:
+        One-line summary for listings.
+    params:
+        Parameter schema: every keyword the runner accepts with its
+        paper-protocol default, introspected from the runner signature.
+        Unknown overrides are rejected before the runner is called.
+    smoke_params:
+        Overrides for a seconds-fast run (small grids), used by CI and
+        the registry parity tests; empty when the defaults are already
+        fast.
+    renderer:
+        Optional ``renderer() -> str`` producing an ASCII figure
+        (timeline Gantt charts) alongside the structured rows.
+    """
+
+    name: str
+    runner: Callable[..., list[dict]]
+    description: str = ""
+    params: Mapping[str, Any] = field(default_factory=dict)
+    smoke_params: Mapping[str, Any] = field(default_factory=dict)
+    renderer: Callable[..., str] | None = None
+
+    def resolve_params(
+        self, smoke: bool = False, overrides: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Schema defaults, then smoke overrides, then explicit overrides."""
+        overrides = dict(overrides or {})
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            raise ValueError(
+                f"{self.name}: unknown parameter(s) {unknown}; "
+                f"schema: {sorted(self.params)}"
+            )
+        resolved = dict(self.params)
+        if smoke:
+            resolved.update(self.smoke_params)
+        resolved.update(overrides)
+        return resolved
+
+    def run(self, smoke: bool = False, **overrides: Any) -> ExperimentResult:
+        """Run the experiment and wrap its rows in an :class:`ExperimentResult`."""
+        params = self.resolve_params(smoke, overrides)
+        rows = self.runner(**params)
+        return ExperimentResult(name=self.name, params=params, rows=rows)
+
+    def render(self) -> str:
+        if self.renderer is None:
+            raise ValueError(f"experiment {self.name!r} has no renderer")
+        return self.renderer()
+
+
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+#: Modules whose import registers the built-in experiments.  Imported
+#: lazily on first lookup, exactly like the schedule registry's builder
+#: modules, so this module has no import-time dependency on them.
+_BUILTIN_MODULES = (
+    "repro.experiments.chunked_mlp",
+    "repro.experiments.fig2_fig7_schedules",
+    "repro.experiments.fig3_breakdown",
+    "repro.experiments.fig4_memory_imbalance",
+    "repro.experiments.fig5_partition",
+    "repro.experiments.fig6_overlap",
+    "repro.experiments.fig8_throughput",
+    "repro.experiments.fig9_comm",
+    "repro.experiments.fig10_memory_footprint",
+    "repro.experiments.fig11_recompute",
+    "repro.experiments.table1",
+    "repro.experiments.table2",
+)
+_builtin_loaded = False
+
+
+def _ensure_builtin() -> None:
+    global _builtin_loaded
+    if _builtin_loaded:
+        return
+    for mod in _BUILTIN_MODULES:
+        importlib.import_module(mod)
+    # Set only after every import succeeded: a failed module must fail
+    # again (loudly) on the next lookup, not leave a silently partial
+    # registry.  Re-imports of the successful modules are no-ops.
+    _builtin_loaded = True
+
+
+def _signature_params(fn: Callable[..., Any]) -> dict[str, Any]:
+    """The runner's keyword-with-default parameters, as the schema."""
+    schema: dict[str, Any] = {}
+    for name, param in inspect.signature(fn).parameters.items():
+        if param.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            raise ValueError(
+                f"experiment runner {fn.__qualname__} must not use *args/**kwargs"
+            )
+        if param.default is inspect.Parameter.empty:
+            raise ValueError(
+                f"experiment runner {fn.__qualname__}: parameter {name!r} "
+                "needs a default (the paper-protocol value)"
+            )
+        schema[name] = param.default
+    return schema
+
+
+def register_experiment(
+    name: str,
+    *,
+    description: str = "",
+    smoke: Mapping[str, Any] | None = None,
+) -> Callable[[Callable[..., list[dict]]], Callable[..., list[dict]]]:
+    """Decorator registering an experiment runner under ``name``.
+
+    The parameter schema is introspected from the runner's keyword
+    defaults; ``smoke`` overrides (which must name schema parameters)
+    define the fast configuration.  The decorated function is returned
+    unchanged, so the module's direct ``run(...)`` entry point keeps
+    working -- the registry parity tests assert both paths agree.
+    """
+
+    def deco(fn: Callable[..., list[dict]]) -> Callable[..., list[dict]]:
+        if name in _REGISTRY:
+            raise ValueError(f"experiment {name!r} already registered")
+        schema = _signature_params(fn)
+        smoke_params = dict(smoke or {})
+        unknown = sorted(set(smoke_params) - set(schema))
+        if unknown:
+            raise ValueError(
+                f"{name}: smoke parameter(s) {unknown} not in the "
+                f"schema {sorted(schema)}"
+            )
+        _REGISTRY[name] = ExperimentSpec(
+            name=name,
+            runner=fn,
+            description=description,
+            params=schema,
+            smoke_params=smoke_params,
+        )
+        return fn
+
+    return deco
+
+
+def attach_renderer(name: str) -> Callable[[Callable[..., str]], Callable[..., str]]:
+    """Decorator attaching an ASCII renderer to an already-registered spec."""
+
+    def deco(fn: Callable[..., str]) -> Callable[..., str]:
+        try:
+            spec = _REGISTRY[name]
+        except KeyError:
+            raise ValueError(
+                f"cannot attach renderer: experiment {name!r} not registered"
+            ) from None
+        if spec.renderer is not None:
+            raise ValueError(f"experiment {name!r} already has a renderer")
+        _REGISTRY[name] = dataclasses.replace(spec, renderer=fn)
+        return fn
+
+    return deco
+
+
+def get_experiment(name: str) -> ExperimentSpec:
+    """Look up a registered experiment by name."""
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: {available_experiments()}"
+        ) from None
+
+
+def available_experiments() -> list[str]:
+    """Sorted names of every registered experiment."""
+    _ensure_builtin()
+    return sorted(_REGISTRY)
+
+
+def run_experiment(name: str, smoke: bool = False, **overrides: Any) -> ExperimentResult:
+    """One-shot convenience: ``get_experiment(name).run(...)``."""
+    return get_experiment(name).run(smoke=smoke, **overrides)

@@ -3,10 +3,16 @@
 from __future__ import annotations
 
 from repro.costmodel.table1 import LAYER_OPS, layer_totals, op_costs
+from repro.experiments.registry import register_experiment
 
 __all__ = ["run"]
 
 
+@register_experiment(
+    "table1",
+    description="Per-op computation and memory overhead of one "
+    "transformer layer (Table 1)",
+)
 def run(b: int = 1, s: int = 4096, h: int = 4096) -> list[dict]:
     """Rows of Table 1 plus the closed-form totals row."""
     ops = op_costs(b, s, h)

@@ -17,6 +17,7 @@ from repro.cluster.topology import abstract_cluster
 from repro.core.filo import build_helix_filo
 from repro.costmodel.memory import RecomputeStrategy
 from repro.costmodel.timing import unit_layer_times
+from repro.experiments.registry import register_experiment
 from repro.schedules.costs import UnitCosts
 from repro.schedules.one_f_one_b import build_1f1b
 from repro.schedules.zb1p import build_zb1p
@@ -25,6 +26,12 @@ from repro.sim import simulate
 __all__ = ["run"]
 
 
+@register_experiment(
+    "table2",
+    description="Bubble time and activation stash: closed-form formulas "
+    "vs the simulator (Table 2)",
+    smoke=dict(p=2, num_layers=4),
+)
 def run(p: int = 4, num_layers: int = 8, m: int | None = None) -> list[dict]:
     if m is None:
         m = 2 * p

@@ -11,7 +11,7 @@ through one uniform entry point:
 
 ``workload_like`` is anything that can say how many stages and micro
 batches to schedule: a ``(p, m)`` tuple, an
-:class:`~repro.experiments.common.Workload`, or any object exposing
+:class:`~repro.workloads.Workload`, or any object exposing
 ``num_stages``/``p`` and ``num_micro_batches``.  Builders register
 themselves with the :func:`register_schedule` decorator; the registry
 imports the built-in builder modules lazily on first lookup, so import
@@ -253,9 +253,12 @@ def _ensure_builtin() -> None:
     global _builtin_loaded
     if _builtin_loaded:
         return
-    _builtin_loaded = True
     for mod in _BUILTIN_MODULES:
         importlib.import_module(mod)
+    # Set only after every import succeeded: a failed builder module
+    # must fail again (loudly) on the next lookup, not leave a silently
+    # partial registry.  Re-imports of the successful modules are no-ops.
+    _builtin_loaded = True
 
 
 def register_schedule(
@@ -333,7 +336,7 @@ def workload_option_defaults(
     """Resolve a spec's ``workload_options`` from a workload's context.
 
     The single source of truth for how workload-derived option names map
-    to workload attributes, shared by :class:`repro.experiments.common.Workload`
+    to workload attributes, shared by :class:`repro.workloads.Workload`
     and the auto-tuner so the two can never diverge.  ``workload`` is
     duck-typed: it needs ``cluster`` (for the HBM cap fallback) and
     ``static_memory()``.

@@ -6,13 +6,27 @@ plan that fits a memory cap, using the discrete-event simulator as the
 evaluator behind a memoizing cost cache.  Sweeps scale out
 (``autotune(..., workers=N)`` evaluates cold candidates in a process
 pool) and persist (:meth:`CostCache.save` / :meth:`CostCache.from_file`
-round-trip every evaluation through a JSON store), and the whole
-subsystem is scriptable from the shell via ``python -m repro tune``.
+round-trip every evaluation through a JSON store stamped with a
+cost-model fingerprint, so editing the cost model invalidates stale
+stores), and the whole subsystem is scriptable from the shell via
+``python -m repro tune``.
 
->>> from repro.experiments import Workload
+>>> from repro.workloads import Workload
 >>> from repro.tuner import autotune
 >>> plans = autotune(Workload.paper("7B", "H20", 8, 65536), workers=4)
 >>> plans[0].candidate.schedule, plans[0].iteration_time
+
+:func:`tune_grid` adds the workload axis itself to the search: a
+:class:`repro.workloads.WorkloadGrid` of ``seq_len x pipeline_size``
+points under a fixed token budget is swept point by point (each at the
+micro-batch count its budget allows) and ranked across the whole grid
+-- the paper's Section 3.1 planning question as one call.
+
+>>> from repro.workloads import WorkloadGrid
+>>> from repro.tuner import tune_grid
+>>> plans = tune_grid(WorkloadGrid(seq_lens=(32768, 65536),
+...                                pipeline_sizes=(4, 8),
+...                                budget_tokens=4 << 20))
 """
 
 from repro.tuner.autotune import (
@@ -21,7 +35,13 @@ from repro.tuner.autotune import (
     autotune,
     enumerate_candidates,
 )
-from repro.tuner.cache import DEFAULT_CACHE, CacheStats, CostCache
+from repro.tuner.cache import (
+    DEFAULT_CACHE,
+    CacheStats,
+    CostCache,
+    costmodel_fingerprint,
+)
+from repro.tuner.grid import GridPlan, tune_grid
 
 __all__ = [
     "Candidate",
@@ -31,4 +51,7 @@ __all__ = [
     "CostCache",
     "CacheStats",
     "DEFAULT_CACHE",
+    "costmodel_fingerprint",
+    "GridPlan",
+    "tune_grid",
 ]

@@ -22,7 +22,7 @@ serial sweep -- evaluation is a pure function of the candidate key, and
 rows are assembled in sweep order regardless of completion order.
 
 The workload argument is duck-typed to
-:class:`repro.experiments.common.Workload`: anything exposing ``p``,
+:class:`repro.workloads.Workload`: anything exposing ``p``,
 ``num_micro_batches``, ``micro_batch``, ``seq_len``, ``cluster``,
 ``model``, ``costs(recompute)`` and ``static_memory()`` works.  Cache
 keys must be stable across processes, so a workload whose ``model`` or
@@ -163,9 +163,10 @@ def _option_combos(
 def _iter_grid(
     workload: Any,
     schedules: Sequence[str] | None,
-    recomputes: Sequence[RecomputeStrategy] | None,
+    recomputes: Sequence[RecomputeStrategy] | str | None,
     micro_batch_counts: Sequence[int] | None,
     option_grids: Mapping[str, Mapping[str, Sequence[Any]]] | None,
+    fill_budget: bool = False,
 ) -> Iterator[tuple[Candidate, str | None]]:
     """Yield ``(candidate, precluded_reason)`` over the full sweep grid.
 
@@ -174,6 +175,12 @@ def _iter_grid(
     point at all; it yields one synthetic candidate (at the divisor,
     the smallest count it could run) with the reason, so sweeps report
     the exclusion instead of silently dropping the schedule.
+
+    ``fill_budget`` switches the micro-batch axis from *sweep every
+    multiple of the divisor* to *run the largest multiple <= budget* --
+    the fixed-tokens-per-iteration semantics of token-budget planning,
+    where the micro-batch count is determined by the workload, not
+    searched.
     """
     p = int(workload.p)
     budget = int(workload.num_micro_batches)
@@ -189,10 +196,22 @@ def _iter_grid(
                 f"option grid(s) for {unknown} name no swept schedule; "
                 f"sweeping: {sorted(s.name for s in specs)}"
             )
-    for spec in specs:
-        strategies = (
-            spec.recompute_choices if recomputes is None else recomputes
+    if isinstance(recomputes, str) and recomputes != "defaults":
+        # Any other string would be iterated character-by-character and
+        # crash far from here with an opaque AttributeError.
+        raise ValueError(
+            f"recomputes={recomputes!r}: the only string mode is "
+            "'defaults' (pass a sequence of RecomputeStrategy otherwise)"
         )
+    for spec in specs:
+        if recomputes is None:
+            strategies: Sequence[RecomputeStrategy] = spec.recompute_choices
+        elif recomputes == "defaults":
+            # Each schedule in its paper-default configuration only --
+            # the comparison-figure semantics (one row per method).
+            strategies = (spec.default_recompute,)
+        else:
+            strategies = recomputes
         for combo in _option_combos(spec, p, option_grids):
             if micro_batch_counts is None:
                 d = spec.micro_batch_divisor(p, **dict(combo))
@@ -202,7 +221,10 @@ def _iter_grid(
                         f"micro-batch divisor {d} exceeds budget {budget}",
                     )
                     continue
-                counts: Iterable[int] = range(d, budget + 1, d)
+                if fill_budget:
+                    counts: Iterable[int] = ((budget // d) * d,)
+                else:
+                    counts = range(d, budget + 1, d)
             else:
                 counts = micro_batch_counts
             for m in counts:
@@ -213,9 +235,10 @@ def _iter_grid(
 def enumerate_candidates(
     workload: Any,
     schedules: Sequence[str] | None = None,
-    recomputes: Sequence[RecomputeStrategy] | None = None,
+    recomputes: Sequence[RecomputeStrategy] | str | None = None,
     micro_batch_counts: Sequence[int] | None = None,
     option_grids: Mapping[str, Mapping[str, Sequence[Any]]] | None = None,
+    fill_budget: bool = False,
 ) -> list[Candidate]:
     """The sweep grid: schedules x recompute x micro-batch counts x options.
 
@@ -224,7 +247,8 @@ def enumerate_candidates(
     budget (``workload.num_micro_batches``), so a layer-wise baseline
     that only needs multiples of ``p`` is not restricted to HelixPipe's
     ``2p`` grid.  With ``recomputes=None`` each schedule sweeps its own
-    admissible strategies.  With ``option_grids=None`` each schedule
+    admissible strategies; the string ``"defaults"`` restricts each
+    schedule to its single paper-default strategy instead.  With ``option_grids=None`` each schedule
     sweeps its registered :attr:`~ScheduleSpec.tune_options` grid
     (resolved for the workload's pipeline size).  An explicit
     ``{schedule: {option: values}}`` mapping *replaces* the registered
@@ -234,12 +258,19 @@ def enumerate_candidates(
     mapping too.  Explicit counts and strategies are taken
     as-is -- candidates that violate a hard builder constraint or name
     an inadmissible strategy surface as infeasible results rather than
-    being silently dropped.
+    being silently dropped.  ``fill_budget=True`` replaces the
+    micro-batch sweep with the single largest feasible count per
+    schedule/option combination (token-budget planning semantics).
     """
     return [
         cand
         for cand, precluded in _iter_grid(
-            workload, schedules, recomputes, micro_batch_counts, option_grids
+            workload,
+            schedules,
+            recomputes,
+            micro_batch_counts,
+            option_grids,
+            fill_budget,
         )
         if precluded is None
     ]
@@ -357,9 +388,10 @@ def autotune(
     memory_cap_bytes: float | None = None,
     *,
     schedules: Sequence[str] | None = None,
-    recomputes: Sequence[RecomputeStrategy] | None = None,
+    recomputes: Sequence[RecomputeStrategy] | str | None = None,
     micro_batch_counts: Sequence[int] | None = None,
     option_grids: Mapping[str, Mapping[str, Sequence[Any]]] | None = None,
+    fill_budget: bool = False,
     cache: CostCache | None = None,
     include_infeasible: bool = True,
     workers: int | None = None,
@@ -377,12 +409,19 @@ def autotune(
         it as their planning budget.
     schedules, recomputes, micro_batch_counts, option_grids:
         Restrict the sweep grid; ``None`` means every tunable registered
-        schedule, each schedule's admissible strategies, every
+        schedule, each schedule's admissible strategies (the string
+        ``"defaults"``: only each schedule's default strategy), every
         micro-batch count on the schedule's divisibility grid up to the
         workload budget, and each schedule's registered option grid.
         An explicit ``option_grids`` mapping replaces the registered
         grids entirely (unnamed schedules sweep defaults only; ``{}``
         disables the option axis).
+    fill_budget:
+        Run each schedule/option combination at the single largest
+        micro-batch count on its divisor grid under the workload budget
+        instead of sweeping every multiple -- the fixed
+        tokens-per-iteration semantics workload-grid planning uses
+        (:func:`repro.tuner.grid.tune_grid`).
     cache:
         :class:`CostCache` to memoize evaluations in (default: the
         process-wide shared cache).  Identical candidate tuples are
@@ -413,7 +452,8 @@ def autotune(
     rows: list[PlanResult | None] = []
     pending: list[tuple[int, Candidate, tuple]] = []
     for cand, precluded in _iter_grid(
-        workload, schedules, recomputes, micro_batch_counts, option_grids
+        workload, schedules, recomputes, micro_batch_counts, option_grids,
+        fill_budget,
     ):
         if (
             precluded is None

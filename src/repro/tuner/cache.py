@@ -17,7 +17,10 @@ subsystem rather than a dict:
   sweeps survive process restarts.  Candidate keys are stable nested
   tuples of primitives (see
   :func:`repro.schedules.registry.workload_cache_key`), which round-trip
-  through JSON lists losslessly.
+  through JSON lists losslessly.  Stores are stamped with a
+  cost-model source fingerprint (:func:`costmodel_fingerprint`);
+  loading a store written by a different cost model warns and discards
+  it instead of serving stale records.
 - **Merging** (:meth:`CostCache.merge`): adopt another cache's entries,
   which is how :func:`repro.tuner.autotune` folds its process-pool
   workers' per-worker caches back into the caller's cache on join.
@@ -30,17 +33,85 @@ reload.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterator
 
-__all__ = ["CacheStats", "CostCache", "DEFAULT_CACHE"]
+__all__ = ["CacheStats", "CostCache", "DEFAULT_CACHE", "costmodel_fingerprint"]
 
 #: On-disk format marker; bump the version on incompatible changes.
 _FORMAT = "repro-costcache"
 _VERSION = 1
+
+_fingerprint: str | None = None
+
+
+def costmodel_fingerprint() -> str:
+    """Content hash of the cost-model source the cached records depend on.
+
+    Candidate keys capture the *workload* exactly, but a cached record
+    also bakes in the code that computed it: the analytic cost models
+    (:mod:`repro.costmodel`), the schedule builders and cost providers
+    (:mod:`repro.schedules`, :mod:`repro.core`), the hardware and
+    network models (:mod:`repro.cluster`, :mod:`repro.comm`), the model
+    presets (:mod:`repro.model`) and the discrete-event simulator
+    (:mod:`repro.sim`).  Persisted stores are stamped with this
+    fingerprint so that editing any of those packages invalidates old
+    stores -- a changed cost model triggers re-evaluation instead of
+    silently serving stale disk hits (ROADMAP "cross-run cache
+    invalidation").
+
+    The hash is over the source files' bytes, so it is identical across
+    processes and hosts running the same code, and memoized per process
+    (the sources cannot change under a running interpreter in a way the
+    interpreter would see anyway).
+    """
+    global _fingerprint
+    if _fingerprint is not None:
+        return _fingerprint
+    # Every package whose code feeds a candidate evaluation -- including
+    # this one (the evaluation/record logic lives in repro.tuner): an
+    # edit anywhere in build-or-simulate must flip the stamp, or a
+    # persisted store would keep serving records the edit invalidated.
+    import repro.cluster
+    import repro.comm
+    import repro.core
+    import repro.costmodel
+    import repro.model
+    import repro.schedules
+    import repro.sim
+    import repro.tuner
+
+    packages = (
+        repro.cluster,
+        repro.comm,
+        repro.core,
+        repro.costmodel,
+        repro.model,
+        repro.schedules,
+        repro.sim,
+        repro.tuner,
+    )
+    digest = hashlib.sha256()
+    for pkg in packages:
+        pkg_root = os.path.dirname(pkg.__file__)
+        for root, dirs, files in os.walk(pkg_root):
+            dirs.sort()  # deterministic walk order across filesystems
+            dirs[:] = [d for d in dirs if d != "__pycache__"]
+            for name in sorted(files):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                rel = os.path.relpath(path, pkg_root)
+                digest.update(f"{pkg.__name__}/{rel}".encode())
+                with open(path, "rb") as fh:
+                    digest.update(fh.read())
+    _fingerprint = digest.hexdigest()[:16]
+    return _fingerprint
 
 
 @dataclass
@@ -144,6 +215,7 @@ class CostCache:
         payload = {
             "format": _FORMAT,
             "version": _VERSION,
+            "costmodel": costmodel_fingerprint(),
             "entries": [[key, value] for key, value in self._data.items()],
         }
         path = os.fspath(path)
@@ -172,6 +244,14 @@ class CostCache:
         up.  Raises :class:`ValueError` on a file that is not a cost
         cache store, so a typo'd path fails loudly instead of silently
         starting cold.
+
+        A store whose cost-model fingerprint (see
+        :func:`costmodel_fingerprint`) does not match the running code
+        -- including stores from before stamping existed -- is *stale*:
+        its records were computed by a different cost model, so serving
+        them would silently skew every sweep.  Loading one warns and
+        discards it (returns 0); the next :meth:`save` re-stamps the
+        path with freshly-evaluated entries.
         """
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
@@ -185,6 +265,17 @@ class CostCache:
                 f"{os.fspath(path)!r}: unsupported cost cache version "
                 f"{payload.get('version')!r} (expected {_VERSION})"
             )
+        stamped = payload.get("costmodel")
+        current = costmodel_fingerprint()
+        if stamped != current:
+            warnings.warn(
+                f"{os.fspath(path)!r}: cost cache stamped with cost-model "
+                f"fingerprint {stamped!r} but the running code is {current!r};"
+                " discarding the store (its records were computed by a"
+                " different cost model and will be re-evaluated)",
+                stacklevel=2,
+            )
+            return 0
         added = 0
         for raw_key, value in payload["entries"]:
             key = _freeze(raw_key)

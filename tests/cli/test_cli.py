@@ -175,3 +175,171 @@ class TestTune:
         )
         assert code == 1
         assert "error:" in err
+
+
+class TestTuneGrid:
+    GRID = (
+        "tune", "--model", "1.3B", "--budget-tokens", "512k",
+        "--seq-lens", "16k,32k", "-p", "2", "--schedules", "1f1b,helix",
+        "--no-options",
+    )
+
+    def test_grid_sweep_ranks_across_points(self, capsys):
+        code, out, _ = run(capsys, *self.GRID)
+        assert code == 0
+        assert "workload grid:" in out
+        assert "best plan:" in out
+        assert "workload points" in out
+        # Both sequence lengths appear in the ranked table.
+        assert "16k" in out and "32k" in out
+
+    def test_multiple_pipeline_sizes_trigger_grid_mode(self, capsys):
+        code, out, _ = run(
+            capsys, "tune", "--model", "1.3B", "--seq-len", "16k",
+            "-p", "2,4", "--schedules", "1f1b", "--no-options",
+        )
+        assert code == 0
+        assert "workload grid:" in out
+
+    def test_single_point_keeps_classic_mode(self, capsys):
+        code, out, _ = run(capsys, "tune", "--smoke")
+        assert code == 0
+        assert "workload grid:" not in out
+        assert "workload:" in out
+
+    def test_micro_batch_budget_flag_rejected_in_grid_mode(self, capsys):
+        code, _, err = run(capsys, *self.GRID, "-m", "8")
+        assert code == 1
+        assert "incompatible with a workload grid" in err
+
+    def test_grid_cache_round_trip(self, capsys, tmp_path):
+        path = str(tmp_path / "grid-cache.json")
+        code, out, _ = run(capsys, *self.GRID, "--cache", path)
+        assert code == 0
+        assert "saved" in out
+        code, out, _ = run(capsys, *self.GRID, "--cache", path)
+        assert code == 0
+        assert "0 misses" in out, "second grid sweep must be fully warm"
+
+
+class TestExperiment:
+    def test_list_names_every_registered_experiment(self, capsys):
+        from repro.experiments.registry import available_experiments
+
+        code, out, _ = run(capsys, "experiment", "list")
+        assert code == 0
+        for name in available_experiments():
+            assert name in out
+
+    def test_describe_shows_schema_and_smoke(self, capsys):
+        code, out, _ = run(capsys, "experiment", "describe", "fig8_throughput")
+        assert code == 0
+        assert "pp_sizes = (2, 4, 8)" in out
+        assert "smoke overrides" in out
+
+    def test_run_prints_table(self, capsys):
+        code, out, _ = run(capsys, "experiment", "run", "table2", "--smoke")
+        assert code == 0
+        assert "3 rows" in out
+        assert "HelixPipe" in out
+
+    def test_run_every_registered_experiment_smoke(self, capsys):
+        """Acceptance: `experiment run <name>` works for every spec."""
+        from repro.experiments.registry import available_experiments
+
+        for name in available_experiments():
+            code, out, _ = run(capsys, "experiment", "run", name, "--smoke")
+            assert code == 0, name
+            assert "rows" in out, name
+
+    def test_run_json_is_parseable(self, capsys):
+        import json
+
+        code, out, _ = run(
+            capsys, "experiment", "run", "table1", "--json",
+        )
+        assert code == 0
+        payload = json.loads(out)
+        assert payload["experiment"] == "table1"
+        assert payload["rows"]
+
+    def test_run_writes_artifacts(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "artifacts")
+        code, out, _ = run(
+            capsys, "experiment", "run", "fig8_throughput", "--smoke",
+            "--json", "--csv", "--out", out_dir,
+        )
+        assert code == 0
+        import json
+        import os
+
+        files = sorted(os.listdir(out_dir))
+        assert files == ["fig8_throughput.csv", "fig8_throughput.json"]
+        payload = json.loads(open(os.path.join(out_dir, files[1])).read())
+        assert payload["params"]["models"] == ["1.3B"]
+        csv_text = open(os.path.join(out_dir, files[0])).read()
+        assert csv_text.splitlines()[0].startswith("model,gpu,seq_len")
+
+    def test_bare_out_writes_both_artifacts(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "artifacts")
+        code, _, _ = run(
+            capsys, "experiment", "run", "table2", "--smoke", "--out", out_dir,
+        )
+        assert code == 0
+        import os
+
+        assert sorted(os.listdir(out_dir)) == ["table2.csv", "table2.json"]
+
+    def test_csv_flag_restricts_out_artifacts(self, capsys, tmp_path):
+        out_dir = str(tmp_path / "artifacts")
+        code, _, _ = run(
+            capsys, "experiment", "run", "table2", "--smoke", "--csv",
+            "--out", out_dir,
+        )
+        assert code == 0
+        import os
+
+        assert os.listdir(out_dir) == ["table2.csv"]
+
+    def test_json_and_csv_to_stdout_rejected(self, capsys):
+        code, _, err = run(
+            capsys, "experiment", "run", "table2", "--smoke", "--json", "--csv",
+        )
+        assert code == 1
+        assert "--out" in err
+
+    def test_render_rejected_alongside_stdout_payload(self, capsys):
+        code, _, err = run(
+            capsys, "experiment", "run", "fig2_fig7_schedules",
+            "--json", "--render",
+        )
+        assert code == 1
+        assert "corrupt" in err
+
+    def test_param_override(self, capsys):
+        code, out, _ = run(
+            capsys, "experiment", "run", "table2", "--smoke", "-P", "p=4",
+        )
+        assert code == 0
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        code, _, err = run(capsys, "experiment", "run", "fig99")
+        assert code == 1
+        assert "unknown experiment" in err
+
+    def test_unknown_param_fails_cleanly(self, capsys):
+        code, _, err = run(
+            capsys, "experiment", "run", "table2", "-P", "banana=1",
+        )
+        assert code == 1
+        assert "unknown parameter" in err
+
+    def test_render_only_where_supported(self, capsys):
+        code, out, _ = run(
+            capsys, "experiment", "run", "fig2_fig7_schedules", "--render",
+        )
+        assert code == 0
+        assert "P0 |" in out
+        code, _, err = run(capsys, "experiment", "run", "table1", "--render")
+        assert code == 1
+        assert "no renderer" in err

@@ -1,0 +1,121 @@
+"""Experiment registry: spec lookup, parity with legacy entry points."""
+
+import importlib
+import json
+
+import pytest
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+
+EXPECTED = {
+    "chunked_mlp",
+    "fig2_fig7_schedules",
+    "fig3_breakdown",
+    "fig4_memory_imbalance",
+    "fig5_partition",
+    "fig6_overlap",
+    "fig8_throughput",
+    "fig9_comm",
+    "fig10_memory_footprint",
+    "fig11_recompute",
+    "table1",
+    "table2",
+}
+
+
+class TestRegistryContents:
+    def test_every_figure_and_table_registered(self):
+        assert set(available_experiments()) == EXPECTED
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            get_experiment("fig99")
+
+    def test_specs_carry_schema_and_description(self):
+        for name in available_experiments():
+            spec = get_experiment(name)
+            assert spec.description, name
+            # Schema defaults are the runner's own keyword defaults.
+            for pname, default in spec.params.items():
+                assert pname in spec.runner.__code__.co_varnames
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_experiment("table1")(lambda: [])
+
+    def test_runner_without_defaults_rejected(self):
+        def runner(x):  # no default
+            return []
+
+        with pytest.raises(ValueError, match="needs a default"):
+            register_experiment("bad-experiment")(runner)
+
+    def test_smoke_params_must_name_schema_params(self):
+        def runner(a=1):
+            return []
+
+        with pytest.raises(ValueError, match="smoke parameter"):
+            register_experiment("bad-smoke", smoke={"b": 2})(runner)
+
+
+class TestParityWithLegacyModules:
+    """Each spec must reproduce its module ``run()`` on the smoke workload."""
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_registry_rows_match_module_entry_point(self, name):
+        spec = get_experiment(name)
+        module = importlib.import_module(f"repro.experiments.{name}")
+        params = spec.resolve_params(smoke=True)
+        expected_rows = module.run(**params)
+        result = spec.run(smoke=True)
+        assert result.name == name
+        assert result.params == params
+        assert result.rows == expected_rows
+        assert result.rows, f"{name} produced no rows"
+
+
+class TestRunOverrides:
+    def test_override_applies_on_top_of_smoke(self):
+        result = run_experiment("table2", smoke=True, num_layers=8)
+        assert result.params["p"] == 2  # smoke
+        assert result.params["num_layers"] == 8  # override wins
+
+    def test_unknown_override_rejected_before_running(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            run_experiment("table2", banana=1)
+
+    def test_renderer_attached_only_where_registered(self):
+        spec = get_experiment("fig2_fig7_schedules")
+        assert "P0 |" in spec.render()
+        with pytest.raises(ValueError, match="no renderer"):
+            get_experiment("table1").render()
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            name="demo",
+            params={"seq_lens": (1, 2), "gpu": "H20"},
+            rows=[{"a": 1, "b": 2.5}, {"a": 3, "c": "x"}],
+        )
+
+    def test_columns_union_in_first_seen_order(self):
+        assert self._result().columns == ["a", "b", "c"]
+
+    def test_json_round_trip(self):
+        payload = json.loads(self._result().to_json())
+        assert payload["experiment"] == "demo"
+        assert payload["params"]["seq_lens"] == [1, 2]
+        assert payload["rows"][1]["c"] == "x"
+
+    def test_csv_has_header_and_ragged_rows(self):
+        lines = self._result().to_csv().strip().splitlines()
+        assert lines[0] == "a,b,c"
+        assert lines[1] == "1,2.5,"
+        assert lines[2] == "3,,x"

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.tuner import CacheStats, CostCache
+from repro.tuner import CacheStats, CostCache, costmodel_fingerprint
 
 
 def _key(i):
@@ -87,6 +87,55 @@ class TestPersistence:
         cache.adopt(_key(0), _record(0))
         cache.save(path)
         assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
+
+class TestCostModelFingerprint:
+    def test_deterministic_within_process(self):
+        fp = costmodel_fingerprint()
+        assert fp == costmodel_fingerprint()
+        assert len(fp) == 16
+        int(fp, 16)  # hex digest prefix
+
+    def test_store_is_stamped(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        assert payload["costmodel"] == costmodel_fingerprint()
+
+    def test_mismatched_fingerprint_warns_and_discards(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        payload["costmodel"] = "0123456789abcdef"
+        path.write_text(json.dumps(payload))
+
+        fresh = CostCache()
+        with pytest.warns(UserWarning, match="fingerprint"):
+            assert fresh.load(path) == 0
+        assert len(fresh) == 0  # stale records are not served
+
+    def test_unstamped_legacy_store_is_stale(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        del payload["costmodel"]
+        path.write_text(json.dumps(payload))
+
+        with pytest.warns(UserWarning, match="fingerprint"):
+            assert CostCache().load(path) == 0
+
+    def test_matching_fingerprint_round_trips(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        cache.save(path)
+        assert CostCache.from_file(path).peek(_key(0)) == _record(0)
 
 
 class TestMerge:
