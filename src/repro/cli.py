@@ -64,6 +64,19 @@ Commands
     ``--smoke`` applies the spec's fast parameter set; ``-P name=value``
     overrides individual parameters (Python literals).
 
+``experiment diff|verify``
+    The golden-baseline regression harness
+    (:mod:`repro.experiments.diffing`): ``diff`` compares two artifact
+    files row-by-row under numeric tolerances, ``verify`` runs every
+    registered spec against the goldens committed under
+    ``tests/golden/`` and fails with a per-cell delta report on drift.
+    ``verify --update`` regenerates the goldens after an intentional
+    cost-model change::
+
+        python -m repro experiment diff before.json after.json --rtol 0.01
+        python -m repro experiment verify --smoke
+        python -m repro experiment verify --smoke --update
+
 Sequence lengths accept a ``k`` suffix (``64k`` == 65536); token
 budgets accept ``k``/``M``/``G`` (``1M`` == 1048576 tokens).  Schedule
 options are passed as repeated ``-o name=value`` flags with Python
@@ -83,6 +96,13 @@ from repro.analysis.report import format_table
 from repro.analysis.tuner_view import format_grid_table, format_plan_table
 from repro.costmodel.memory import RecomputeStrategy
 from repro.experiments.common import run_method
+from repro.experiments.diffing import (
+    DEFAULT_GOLDEN_DIR,
+    Tolerance,
+    diff_files,
+    format_verify_report,
+    verify_experiments,
+)
 from repro.experiments.registry import available_experiments, get_experiment
 from repro.model.config import MODEL_PRESETS
 from repro.schedules.registry import (
@@ -608,6 +628,62 @@ def _cmd_experiment_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_experiment_diff(args: argparse.Namespace) -> int:
+    keys = None
+    if args.key:
+        keys = [k.strip() for k in args.key.split(",") if k.strip()]
+    report = diff_files(
+        args.baseline,
+        args.candidate,
+        tolerance=Tolerance(atol=args.atol, rtol=args.rtol),
+        key_columns=keys,
+    )
+    print(report.to_json() if args.json else report.format())
+    return 0 if report.clean else 1
+
+
+def _cmd_experiment_verify(args: argparse.Namespace) -> int:
+    names = None
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+    if args.golden == DEFAULT_GOLDEN_DIR and not os.path.isdir(
+        os.path.dirname(args.golden)
+    ):
+        # The default dir is repo-relative.  With no tests/ directory
+        # here at all this is almost certainly the wrong cwd -- and in
+        # update mode, proceeding would create a stray golden tree that
+        # silently bypasses the committed baselines.
+        print(
+            "error: no tests/ directory here; run from the repository "
+            "root (the committed baselines live in tests/golden/) or "
+            "point --golden at them",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.update and not os.path.isdir(args.golden):
+        print(
+            f"error: golden directory {args.golden!r} does not exist; "
+            "generate baselines first with: python -m repro experiment "
+            f"verify --smoke --update --golden {args.golden}",
+            file=sys.stderr,
+        )
+        return 1
+    outcomes = verify_experiments(
+        args.golden,
+        names,
+        smoke=args.smoke,
+        update=args.update,
+        tolerance=Tolerance(atol=args.atol, rtol=args.rtol),
+    )
+    text = format_verify_report(outcomes, args.golden)
+    print(text)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.report}")
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
 # -- entry point -------------------------------------------------------------
 
 
@@ -776,6 +852,84 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also print the experiment's ASCII rendering, if it has one",
     )
     pe_run.set_defaults(fn=_cmd_experiment_run)
+
+    default_tol = Tolerance()  # the library defaults, single-sourced
+
+    def add_tolerance_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--atol",
+            type=float,
+            default=default_tol.atol,
+            metavar="F",
+            help="absolute tolerance for numeric cells (default: %(default)s)",
+        )
+        p.add_argument(
+            "--rtol",
+            type=float,
+            default=default_tol.rtol,
+            metavar="F",
+            help="relative tolerance for numeric cells, vs the baseline "
+            "(default: %(default)s)",
+        )
+
+    pe_diff = exp_sub.add_parser(
+        "diff",
+        help="compare two experiment artifacts with per-row deltas",
+    )
+    pe_diff.add_argument("baseline", help="baseline artifact (.json)")
+    pe_diff.add_argument("candidate", help="candidate artifact (.json)")
+    add_tolerance_args(pe_diff)
+    pe_diff.add_argument(
+        "--key",
+        default=None,
+        metavar="A,B,...",
+        help="row-matching key columns (default: inferred -- every "
+        "non-float column)",
+    )
+    pe_diff.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable DiffReport instead of the table",
+    )
+    pe_diff.set_defaults(fn=_cmd_experiment_diff)
+
+    pe_verify = exp_sub.add_parser(
+        "verify",
+        help="run every registered experiment against its golden baseline",
+    )
+    pe_verify.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the specs' fast (CI) parameter sets -- the mode the "
+        "committed goldens were generated with",
+    )
+    pe_verify.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the golden artifacts instead of comparing "
+        "(the reviewed workflow for intentional cost-model changes)",
+    )
+    pe_verify.add_argument(
+        "--golden",
+        default=DEFAULT_GOLDEN_DIR,
+        metavar="DIR",
+        help="golden artifact directory (default: %(default)s)",
+    )
+    pe_verify.add_argument(
+        "--only",
+        default=None,
+        metavar="A,B,...",
+        help="verify only these experiments (default: every registered one)",
+    )
+    add_tolerance_args(pe_verify)
+    pe_verify.add_argument(
+        "--report",
+        default=None,
+        metavar="PATH",
+        help="also write the rendered report to PATH (CI uploads it on "
+        "failure)",
+    )
+    pe_verify.set_defaults(fn=_cmd_experiment_verify)
     return parser
 
 

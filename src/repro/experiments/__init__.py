@@ -32,6 +32,14 @@ from repro.experiments.common import (
     run_all_methods,
     run_method,
 )
+from repro.experiments.diffing import (
+    DiffEntry,
+    DiffReport,
+    Tolerance,
+    diff_files,
+    diff_results,
+    verify_experiments,
+)
 from repro.experiments.registry import (
     ExperimentResult,
     ExperimentSpec,
@@ -42,6 +50,12 @@ from repro.experiments.registry import (
 )
 
 __all__ = [
+    "DiffEntry",
+    "DiffReport",
+    "Tolerance",
+    "diff_files",
+    "diff_results",
+    "verify_experiments",
     "Workload",
     "METHODS",
     "SEQ_LENS",

@@ -1,0 +1,687 @@
+"""Golden-baseline regression harness for experiment artifacts.
+
+The reproduction's evidence is the numbers in its
+:class:`~repro.experiments.registry.ExperimentResult` artifacts -- and
+nothing else in the test suite notices when a cost-model or schedule
+change silently shifts them.  This module closes that loop the way the
+tuner's :class:`~repro.tuner.cache.CostCache` closes its own (pinned
+fingerprints, loud invalidation):
+
+- :func:`diff_results` is a row-aligned diff engine.  Rows are matched
+  by *key columns* (inferred as the non-float columns -- model, gpu,
+  seq_len, method... -- or passed explicitly), numeric cells compare
+  under absolute + relative tolerances, and every divergence becomes a
+  typed :class:`DiffEntry`: per-cell numeric drift, non-finite (NaN or
+  infinity) mismatches, non-numeric (reason-string) mismatches,
+  added/removed rows and columns, parameter drift, and cost-model
+  fingerprint mismatch (a *warning*, not drift: refactors flip the
+  fingerprint without moving a single number).
+
+- :class:`DiffReport` aggregates the entries, serialises to JSON and
+  renders as an aligned ASCII table (the
+  :mod:`repro.analysis.tuner_view` house style), naming each drifted
+  cell with its row key, both values and the absolute/relative delta.
+
+- :func:`verify_experiments` runs every registered spec (smoke mode by
+  default) against golden artifacts committed under ``tests/golden/``,
+  reporting drift per spec; ``update=True`` regenerates the goldens --
+  the workflow for *intentional* cost-model changes.
+
+``python -m repro experiment diff A.json B.json`` and
+``python -m repro experiment verify --smoke [--update]`` drive the two
+halves from the command line.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.report import format_table
+from repro.experiments.registry import (
+    ExperimentResult,
+    _jsonable,
+    available_experiments,
+    get_experiment,
+)
+
+__all__ = [
+    "Tolerance",
+    "DiffEntry",
+    "DiffReport",
+    "diff_results",
+    "diff_files",
+    "infer_key_columns",
+    "VerifyOutcome",
+    "verify_experiments",
+    "format_verify_report",
+    "golden_path",
+    "DEFAULT_GOLDEN_DIR",
+]
+
+#: Where ``repro experiment verify`` looks for committed baselines,
+#: relative to the repository root (the CLI's working directory).
+DEFAULT_GOLDEN_DIR = os.path.join("tests", "golden")
+
+#: Entry kinds, one per divergence class.  ``fingerprint`` is the only
+#: warning kind: the stamp flips on any cost-model *source* change,
+#: including refactors that move no number, so it must not fail verify
+#: by itself.
+KIND_VALUE = "value"
+KIND_NON_FINITE = "non-finite"
+KIND_NON_NUMERIC = "non-numeric"
+KIND_ROW_ADDED = "row-added"
+KIND_ROW_REMOVED = "row-removed"
+KIND_COLUMN_ADDED = "column-added"
+KIND_COLUMN_REMOVED = "column-removed"
+KIND_PARAM = "param"
+KIND_FINGERPRINT = "fingerprint"
+
+_MISSING = "<missing>"
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Numeric cell tolerance: ``|cand - base| <= atol + rtol * |base|``.
+
+    The defaults are near-exact: canonical artifacts round floats to 12
+    significant digits, so a clean re-run on unchanged code matches
+    bit-for-bit; ``rtol=1e-9`` absorbs that rounding, and the tiny
+    ``atol`` absorbs absolute libm jitter against an exactly-zero
+    baseline, which no relative tolerance can (significant-digit
+    rounding never reaches 0, and ``rtol * |0|`` is 0).  Diffing across
+    an *intentional* model change wants looser bounds
+    (``repro experiment diff --rtol 0.01`` for "within a percent").
+    """
+
+    atol: float = 1e-12
+    rtol: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.atol < 0 or self.rtol < 0:
+            raise ValueError(
+                f"tolerances must be non-negative: atol={self.atol}, "
+                f"rtol={self.rtol}"
+            )
+
+    def matches(self, baseline: float, candidate: float) -> bool:
+        """Whether two finite numeric cells agree under the tolerance."""
+        return abs(candidate - baseline) <= self.atol + self.rtol * abs(baseline)
+
+
+@dataclass(frozen=True)
+class DiffEntry:
+    """One divergence between a baseline and a candidate artifact.
+
+    ``key`` identifies the row (values of the report's key columns,
+    empty for artifact-level entries such as parameter or fingerprint
+    drift); ``column`` the cell (``None`` for whole-row entries).
+    ``delta``/``rel`` are only set for numeric (``value``) drift:
+    candidate minus baseline, and its magnitude relative to the
+    baseline.
+    """
+
+    kind: str
+    key: tuple = ()
+    column: str | None = None
+    baseline: Any = None
+    candidate: Any = None
+    delta: float | None = None
+    rel: float | None = None
+
+    @property
+    def is_warning(self) -> bool:
+        return self.kind == KIND_FINGERPRINT
+
+
+@dataclass
+class DiffReport:
+    """Machine-readable outcome of one artifact comparison.
+
+    ``entries`` holds every divergence in a deterministic order
+    (artifact-level first, then per-row in key order).  ``clean`` means
+    no *drift* -- fingerprint warnings alone do not fail a comparison.
+    """
+
+    baseline_label: str
+    candidate_label: str
+    experiment: str
+    key_columns: tuple[str, ...]
+    tolerance: Tolerance
+    rows_compared: int
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def drift(self) -> list[DiffEntry]:
+        return [e for e in self.entries if not e.is_warning]
+
+    @property
+    def warnings(self) -> list[DiffEntry]:
+        return [e for e in self.entries if e.is_warning]
+
+    @property
+    def clean(self) -> bool:
+        return not self.drift
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Strict standard JSON (non-finite deltas/cells as strings)."""
+        payload = {
+            "experiment": self.experiment,
+            "baseline": self.baseline_label,
+            "candidate": self.candidate_label,
+            "key_columns": list(self.key_columns),
+            "atol": self.tolerance.atol,
+            "rtol": self.tolerance.rtol,
+            "rows_compared": self.rows_compared,
+            "clean": self.clean,
+            "entries": [
+                {k: _jsonable(v) for k, v in dataclasses.asdict(e).items()}
+                for e in self.entries
+            ],
+        }
+        return json.dumps(payload, indent=indent, allow_nan=False)
+
+    def format(self) -> str:
+        """Aligned ASCII rendering: header, warnings, one row per entry."""
+        lines = [
+            f"diff {self.experiment}: {self.baseline_label} "
+            f"(baseline) vs {self.candidate_label} (candidate)",
+            f"  keys: {', '.join(self.key_columns) or '(row position)'}; "
+            f"atol={self.tolerance.atol:g}, rtol={self.tolerance.rtol:g}; "
+            f"{self.rows_compared} row(s) compared",
+        ]
+        for w in self.warnings:
+            lines.append(
+                "  warning: cost-model fingerprint mismatch "
+                f"({_cell(w.baseline)} -> {_cell(w.candidate)}); the "
+                "artifacts were computed by different cost-model sources"
+            )
+        drift = self.drift
+        if not drift:
+            lines.append("  no drift: every compared cell within tolerance")
+            return "\n".join(lines)
+        lines.append(
+            f"  DRIFT: {len(drift)} divergence(s) beyond tolerance"
+        )
+        rows = []
+        for e in drift:
+            rows.append(
+                {
+                    "kind": e.kind,
+                    "row": _render_key(self.key_columns, e.key) or "-",
+                    "column": e.column or "-",
+                    "baseline": _cell(e.baseline),
+                    "candidate": _cell(e.candidate),
+                    "delta": "-" if e.delta is None else f"{e.delta:+.6g}",
+                    "rel_pct": "-" if e.rel is None else f"{100.0 * e.rel:.4g}",
+                }
+            )
+        lines.append(format_table(rows))
+        return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    """Short text form of one cell/row value for the rendered table."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, ".10g")
+    if isinstance(value, dict):
+        text = ",".join(f"{k}={_cell(v)}" for k, v in value.items())
+        return text if len(text) <= 60 else text[:57] + "..."
+    text = str(value)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _render_key(key_columns: tuple[str, ...], key: tuple) -> str:
+    """``(1.3B, H20, 32768)`` -> ``"model=1.3B gpu=H20 seq_len=32768"``."""
+    if not key:
+        return ""
+    parts = []
+    for i, value in enumerate(key):
+        if i < len(key_columns):
+            parts.append(f"{key_columns[i]}={value}")
+        else:  # occurrence disambiguator for duplicated keys
+            parts.append(f"#{value}")
+    return " ".join(parts)
+
+
+def _is_number(value: Any) -> bool:
+    """Numeric cell (bool excluded: True/False are categorical)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def infer_key_columns(
+    baseline: Sequence[Mapping[str, Any]],
+    candidate: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+) -> tuple[str, ...]:
+    """Key columns: those whose cells are never floats on either side.
+
+    Categorical columns (method names, presets, integer shapes) identify
+    a row; float columns are the measurements the diff compares, and so
+    are *boolean* columns -- a bool is a derived binary outcome (fig4's
+    ``exceeds_capacity``, fig9's ``overlappable``), and keying on it
+    would turn a threshold flip into row-removed/row-added noise
+    instead of a per-cell delta.  A column missing from some rows still
+    keys (absent cells key as ``None``).  When nothing qualifies -- an
+    all-float artifact like a swept-input study -- the *first* column
+    keys the rows: experiments emit their independent variable first
+    (the x axis), and keying on it keeps one drifted measurement from
+    cascading into spurious diffs on neighbouring rows, which
+    positional matching over value-sorted rows would produce.  With no
+    columns at all, rows align by position.
+    """
+    keys = []
+    for col in columns:
+        cells = [row[col] for row in [*baseline, *candidate] if col in row]
+        if cells and not any(isinstance(v, (bool, float)) for v in cells):
+            keys.append(col)
+    if not keys and columns:
+        return (columns[0],)
+    return tuple(keys)
+
+
+def _row_maps(
+    baseline: Sequence[Mapping[str, Any]],
+    candidate: Sequence[Mapping[str, Any]],
+    key_columns: tuple[str, ...],
+) -> tuple[dict[tuple, dict], dict[tuple, dict]]:
+    """Key -> row maps for both sides, disambiguating duplicate keys.
+
+    A base key that occurs more than once on either side gets an
+    occurrence index appended for all its rows, so duplicated-key
+    artifacts still diff row-for-row instead of collapsing.  Within a
+    duplicated group, rows that are *exactly equal* across the two
+    sides pair first, and only the leftovers pair in order -- pairing
+    by raw (value-sorted) position instead would misattribute one
+    changed row's drift to its unchanged neighbours, because the change
+    itself re-sorts the group.
+    """
+
+    def key_cell(value: Any) -> Any:
+        # Float key cells (the x-axis fallback, or an explicit --key on
+        # a float column) must not demand bitwise equality: sub-tolerance
+        # jitter in the key would turn one row into spurious
+        # row-removed + row-added drift.  Match on 6 significant digits
+        # -- far coarser than canonical rounding, far finer than any
+        # real grid of swept inputs.  NaN keys by its string spelling
+        # (nan != nan would make identical rows never match); neither
+        # token can collide with a real string cell of the same text
+        # unless a column mixes floats and their decimal strings.
+        if isinstance(value, float):
+            if math.isnan(value):
+                return "NaN"
+            if math.isfinite(value):
+                return format(value, ".6g")
+        return value
+
+    def group(rows: Sequence[Mapping[str, Any]]) -> dict[tuple, list[dict]]:
+        out: dict[tuple, list[dict]] = {}
+        for i, row in enumerate(rows):
+            key = (
+                tuple(key_cell(row.get(c)) for c in key_columns)
+                if key_columns
+                else (i,)
+            )
+            out.setdefault(key, []).append(dict(row))
+        return out
+
+    bgroups, cgroups = group(baseline), group(candidate)
+    base_map: dict[tuple, dict] = {}
+    cand_map: dict[tuple, dict] = {}
+    for key in {**bgroups, **cgroups}:
+        brows = bgroups.get(key, [])
+        crows = cgroups.get(key, [])
+        if len(brows) <= 1 and len(crows) <= 1:
+            if brows:
+                base_map[key] = brows[0]
+            if crows:
+                cand_map[key] = crows[0]
+            continue
+        taken = [False] * len(crows)
+        pairs: list[tuple[dict | None, dict | None]] = []
+        spare_b: list[dict] = []
+        for brow in brows:
+            for j, crow in enumerate(crows):
+                if not taken[j] and crow == brow:
+                    taken[j] = True
+                    pairs.append((brow, crow))
+                    break
+            else:
+                spare_b.append(brow)
+        spare_c = [crow for j, crow in enumerate(crows) if not taken[j]]
+        for i in range(max(len(spare_b), len(spare_c))):
+            pairs.append(
+                (
+                    spare_b[i] if i < len(spare_b) else None,
+                    spare_c[i] if i < len(spare_c) else None,
+                )
+            )
+        for n, (brow, crow) in enumerate(pairs):
+            indexed = key + (n,)
+            if brow is not None:
+                base_map[indexed] = brow
+            if crow is not None:
+                cand_map[indexed] = crow
+    return base_map, cand_map
+
+
+def _param_entries(
+    base_params: Mapping[str, Any], cand_params: Mapping[str, Any]
+) -> list[DiffEntry]:
+    """Param-drift entries between two parameter dicts (JSON-normalised,
+    so tuples/lists and non-finite spellings compare equal)."""
+    base = {k: _jsonable(v) for k, v in base_params.items()}
+    cand = {k: _jsonable(v) for k, v in cand_params.items()}
+    return [
+        DiffEntry(KIND_PARAM, (), name, base.get(name, _MISSING),
+                  cand.get(name, _MISSING))
+        for name in sorted({*base, *cand})
+        if base.get(name, _MISSING) != cand.get(name, _MISSING)
+    ]
+
+
+def _compare_cell(
+    key: tuple,
+    column: str,
+    base: Any,
+    cand: Any,
+    tolerance: Tolerance,
+    entries: list[DiffEntry],
+) -> None:
+    """Append at most one typed entry for a cell pair."""
+    if base is _MISSING or cand is _MISSING:
+        if base is not cand:
+            entries.append(
+                DiffEntry(KIND_NON_NUMERIC, key, column, base, cand)
+            )
+        return
+    if _is_number(base) and _is_number(cand):
+        b, c = float(base), float(cand)
+        if math.isnan(b) and math.isnan(c):
+            return
+        if not (math.isfinite(b) and math.isfinite(c)):
+            if b == c:  # same signed infinity
+                return
+            entries.append(
+                DiffEntry(KIND_NON_FINITE, key, column, base, cand)
+            )
+            return
+        if tolerance.matches(b, c):
+            return
+        delta = c - b
+        rel = abs(delta) / abs(b) if b != 0.0 else math.inf
+        entries.append(
+            DiffEntry(KIND_VALUE, key, column, base, cand, delta, rel)
+        )
+        return
+    if base != cand or type(base) is not type(cand):
+        entries.append(DiffEntry(KIND_NON_NUMERIC, key, column, base, cand))
+
+
+def diff_results(
+    baseline: ExperimentResult,
+    candidate: ExperimentResult,
+    *,
+    tolerance: Tolerance | None = None,
+    key_columns: Sequence[str] | None = None,
+    baseline_label: str = "baseline",
+    candidate_label: str = "candidate",
+) -> DiffReport:
+    """Row-aligned comparison of two artifacts of the same experiment.
+
+    Both sides are canonicalised first
+    (:meth:`ExperimentResult.canonical_rows`), so production order and
+    float noise below 12 significant digits never register.  Comparing
+    artifacts of *different* experiments is a usage error and raises.
+    """
+    if baseline.name != candidate.name:
+        raise ValueError(
+            f"cannot diff different experiments: {baseline.name!r} "
+            f"(baseline) vs {candidate.name!r} (candidate)"
+        )
+    tolerance = Tolerance() if tolerance is None else tolerance
+    base_rows = baseline.canonical_rows()
+    cand_rows = candidate.canonical_rows()
+    base_cols = list(baseline.columns)
+    cand_cols = list(candidate.columns)
+    shared_cols = [c for c in base_cols if c in set(cand_cols)]
+    if key_columns is None:
+        keys = infer_key_columns(base_rows, cand_rows, shared_cols)
+    else:
+        keys = tuple(key_columns)
+        unknown = sorted(set(keys) - set(shared_cols))
+        if unknown:
+            raise ValueError(
+                f"key column(s) {unknown} not shared by both artifacts; "
+                f"shared columns: {shared_cols}"
+            )
+
+    entries: list[DiffEntry] = []
+    if baseline.costmodel != candidate.costmodel:
+        entries.append(
+            DiffEntry(
+                KIND_FINGERPRINT,
+                baseline=baseline.costmodel or "<unstamped>",
+                candidate=candidate.costmodel or "<unstamped>",
+            )
+        )
+    entries.extend(_param_entries(baseline.params, candidate.params))
+    base_col_set, cand_col_set = set(base_cols), set(cand_cols)
+    for col in cand_cols:
+        if col not in base_col_set:
+            entries.append(DiffEntry(KIND_COLUMN_ADDED, (), col))
+    for col in base_cols:
+        if col not in cand_col_set:
+            entries.append(DiffEntry(KIND_COLUMN_REMOVED, (), col))
+
+    base_map, cand_map = _row_maps(base_rows, cand_rows, keys)
+    # Compare every shared column, keys included: non-float key cells
+    # matched exactly (a no-op to re-check), but float keys match on a
+    # coarse 6-significant-digit quantum, and drift between that
+    # quantum and the tolerance must still surface as a value entry.
+    value_cols = shared_cols
+    compared = 0
+    for key in base_map:
+        if key not in cand_map:
+            entries.append(
+                DiffEntry(KIND_ROW_REMOVED, key, None, base_map[key], None)
+            )
+            continue
+        compared += 1
+        brow, crow = base_map[key], cand_map[key]
+        for col in value_cols:
+            _compare_cell(
+                key,
+                col,
+                brow.get(col, _MISSING),
+                crow.get(col, _MISSING),
+                tolerance,
+                entries,
+            )
+    for key in cand_map:
+        if key not in base_map:
+            entries.append(
+                DiffEntry(KIND_ROW_ADDED, key, None, None, cand_map[key])
+            )
+
+    return DiffReport(
+        baseline_label=baseline_label,
+        candidate_label=candidate_label,
+        experiment=baseline.name,
+        key_columns=keys,
+        tolerance=tolerance,
+        rows_compared=compared,
+        entries=entries,
+    )
+
+
+def diff_files(
+    baseline_path: str | os.PathLike,
+    candidate_path: str | os.PathLike,
+    *,
+    tolerance: Tolerance | None = None,
+    key_columns: Sequence[str] | None = None,
+) -> DiffReport:
+    """Diff two serialised JSON artifacts (labels: the file paths)."""
+    return diff_results(
+        ExperimentResult.from_file(baseline_path),
+        ExperimentResult.from_file(candidate_path),
+        tolerance=tolerance,
+        key_columns=key_columns,
+        baseline_label=os.fspath(baseline_path),
+        candidate_label=os.fspath(candidate_path),
+    )
+
+
+# -- golden-baseline verification --------------------------------------------
+
+
+def golden_path(name: str, golden_dir: str | os.PathLike) -> str:
+    """Path of one experiment's committed golden artifact."""
+    return os.path.join(os.fspath(golden_dir), f"{name}.json")
+
+
+@dataclass
+class VerifyOutcome:
+    """One experiment's verification result.
+
+    ``status`` is one of ``ok`` (matches the golden), ``drift``
+    (diverges; ``report`` holds the cell-level details), ``missing``
+    (no golden committed yet), ``updated``/``unchanged`` (update mode:
+    the golden was rewritten / already byte-identical).
+    """
+
+    name: str
+    status: str
+    path: str
+    report: DiffReport | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "updated", "unchanged")
+
+
+def verify_experiments(
+    golden_dir: str | os.PathLike = DEFAULT_GOLDEN_DIR,
+    names: Sequence[str] | None = None,
+    *,
+    smoke: bool = True,
+    update: bool = False,
+    tolerance: Tolerance | None = None,
+) -> list[VerifyOutcome]:
+    """Run registered experiments against their golden baselines.
+
+    Every spec in ``names`` (default: all registered) runs with
+    ``smoke`` mode and diffs its canonical artifact against
+    ``golden_dir/<name>.json``.  With ``update=True`` the goldens are
+    (re)written instead of compared -- the explicit, reviewed workflow
+    for intentional cost-model changes.  Outcomes come back in run
+    order; drift carries the full :class:`DiffReport`.
+    """
+    resolved = list(names) if names else available_experiments()
+    unknown = sorted(set(resolved) - set(available_experiments()))
+    if unknown:
+        raise KeyError(
+            f"unknown experiment(s) {unknown}; "
+            f"registered: {available_experiments()}"
+        )
+    outcomes: list[VerifyOutcome] = []
+    for name in resolved:
+        spec = get_experiment(name)
+        path = golden_path(name, golden_dir)
+        candidate_label = f"run({name}, smoke={smoke})"
+        if update:
+            payload = spec.run(smoke=smoke).to_json() + "\n"
+            if os.path.exists(path):
+                with open(path, "r", encoding="utf-8") as fh:
+                    if fh.read() == payload:
+                        outcomes.append(VerifyOutcome(name, "unchanged", path))
+                        continue
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            outcomes.append(VerifyOutcome(name, "updated", path))
+            continue
+        if not os.path.exists(path):
+            outcomes.append(VerifyOutcome(name, "missing", path))
+            continue
+        golden = ExperimentResult.from_file(path)
+        # Compare the resolved parameters *before* running: a mode
+        # mismatch (full-protocol run vs smoke goldens) must fail in
+        # milliseconds with param-drift entries, not after an
+        # hours-long run whose every row then diverges anyway.
+        param_report = _params_only_report(
+            golden,
+            spec.resolve_params(smoke=smoke),
+            tolerance or Tolerance(),
+            path,
+            candidate_label,
+        )
+        if param_report is not None:
+            outcomes.append(VerifyOutcome(name, "drift", path, param_report))
+            continue
+        report = diff_results(
+            golden,
+            spec.run(smoke=smoke),
+            tolerance=tolerance,
+            baseline_label=path,
+            candidate_label=candidate_label,
+        )
+        outcomes.append(
+            VerifyOutcome(name, "ok" if report.clean else "drift", path, report)
+        )
+    return outcomes
+
+
+def _params_only_report(
+    golden: ExperimentResult,
+    resolved_params: Mapping[str, Any],
+    tolerance: Tolerance,
+    baseline_label: str,
+    candidate_label: str,
+) -> DiffReport | None:
+    """A param-drift-only report, or ``None`` when the params agree."""
+    entries = _param_entries(golden.params, resolved_params)
+    if not entries:
+        return None
+    return DiffReport(
+        baseline_label=baseline_label,
+        candidate_label=candidate_label,
+        experiment=golden.name,
+        key_columns=(),
+        tolerance=tolerance,
+        rows_compared=0,
+        entries=entries,
+    )
+
+
+def format_verify_report(
+    outcomes: Iterable[VerifyOutcome], golden_dir: str | os.PathLike
+) -> str:
+    """Human-readable verify summary plus full diffs for each failure."""
+    outcomes = list(outcomes)
+    failed = [o for o in outcomes if not o.ok]
+    lines = [
+        f"golden verify: {len(outcomes) - len(failed)}/{len(outcomes)} "
+        f"experiment(s) clean against {os.fspath(golden_dir)}"
+    ]
+    for o in outcomes:
+        detail = ""
+        if o.status == "drift" and o.report is not None:
+            detail = f" ({len(o.report.drift)} divergence(s))"
+        elif o.status == "missing":
+            detail = " (no golden committed; run verify --update)"
+        status = o.status if o.ok else o.status.upper()
+        lines.append(f"  {o.name:<28} {status}{detail}")
+    for o in outcomes:
+        if o.status == "drift" and o.report is not None:
+            lines.append("")
+            lines.append(f"== {o.name} ==")
+            lines.append(o.report.format())
+    return "\n".join(lines)

@@ -18,6 +18,15 @@ resolved parameters plus structured rows (list of flat dicts, one per
 figure data point) that serialise losslessly to JSON and CSV -- the
 figure suite as a programmable subsystem instead of a pile of scripts.
 
+Serialisation is *canonical*: rows and parameter keys order
+deterministically, floats are rounded to 12 significant digits (enough
+for every figure, few enough to absorb accumulation-order jitter in the
+last bits) and the artifact header embeds the cost-model source
+fingerprint (:func:`repro.tuner.cache.costmodel_fingerprint`) the run
+was computed under.  Two runs of the same spec on the same code produce
+byte-identical artifacts, which is what makes golden-baseline diffing
+(:mod:`repro.experiments.diffing`) byte-stable.
+
 Experiment modules self-register with :func:`register_experiment` on
 their ``run`` function (and optionally :func:`attach_renderer` on an
 ASCII renderer); the registry imports the built-in modules lazily on
@@ -32,18 +41,61 @@ import importlib
 import inspect
 import io
 import json
+import math
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "canonical_cell",
     "register_experiment",
     "attach_renderer",
     "get_experiment",
     "available_experiments",
     "run_experiment",
 ]
+
+
+def _sort_token(row: Mapping[str, Any], col: str) -> tuple:
+    """Total-order token for one cell in the canonical row sort.
+
+    Distinct leading tags keep mixed cell kinds comparable and keep a
+    missing cell from sorting equal to an explicit ``None`` (which
+    would let production order leak through the stable sort into the
+    artifact bytes); numbers compare *numerically*, so integer axis
+    columns (``seq_len`` 32768 < 131072) serialise in sweep order, not
+    repr-lexicographic order.  NaN gets its own tag: comparing through
+    a NaN would make the sort order input-dependent.
+    """
+    if col not in row:
+        return (0, "")
+    value = row[col]
+    if isinstance(value, float) and math.isnan(value):
+        return (1, "")
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return (2, value)
+    return (3, repr(value))
+
+
+def canonical_cell(value: Any) -> Any:
+    """Normalise one row cell for serialisation.
+
+    Finite floats round to 12 significant digits -- full figure
+    precision, but the last couple of bits (where summation order and
+    platform libm differences live) are folded away -- and ``-0.0``
+    collapses into ``0.0``.  The literal strings ``"NaN"``,
+    ``"Infinity"`` and ``"-Infinity"`` fold into their float values:
+    they are the strict-JSON spelling of non-finite cells, so keeping
+    both forms distinct would make artifacts that cannot round-trip.
+    Everything else (ints, other strings) passes through unchanged.
+    """
+    if isinstance(value, float) and math.isfinite(value):
+        return float(f"{value:.12g}") + 0.0
+    if isinstance(value, str) and value in _NONFINITE_DECODE:
+        return _NONFINITE_DECODE[value]
+    return value
 
 
 @dataclass(frozen=True)
@@ -53,12 +105,16 @@ class ExperimentResult:
     ``rows`` is a list of flat dicts -- one per figure/table data point,
     every value a JSON-serialisable scalar -- and ``params`` records the
     exact parameters the run resolved, so a result file is reproducible
-    from its own header.
+    from its own header.  ``costmodel`` is the cost-model source
+    fingerprint the rows were computed under (``""`` for hand-built
+    results); artifact consumers use it to warn when comparing results
+    across cost-model versions.
     """
 
     name: str
     params: Mapping[str, Any]
     rows: list[dict]
+    costmodel: str = ""
 
     @property
     def columns(self) -> list[str]:
@@ -69,27 +125,165 @@ class ExperimentResult:
                 cols.setdefault(key)
         return list(cols)
 
+    def canonical_columns(self) -> list[str]:
+        """Column union in an order independent of row production order.
+
+        First-seen order like :attr:`columns`, but collected over the
+        rows in a canonical sequence (sorted by their key-ordered
+        items), so ragged artifacts -- where first-seen depends on
+        which row shape comes first -- still serialise byte-stably.
+        For homogeneous rows this equals :attr:`columns`.
+        """
+        ordered = sorted(self.rows, key=lambda r: repr(sorted(r.items())))
+        cols: dict[str, None] = {}
+        for row in ordered:
+            for key in row:
+                cols.setdefault(key)
+        return list(cols)
+
+    def canonical_rows(self) -> list[dict]:
+        """Rows in canonical artifact form.
+
+        Cells are normalised with :func:`canonical_cell`, keys follow
+        :meth:`canonical_columns` order, and rows sort by their
+        rendered cells -- so the serialised bytes depend only on the
+        row *values*, never on the order the runner happened to produce
+        them in.
+        """
+        cols = self.canonical_columns()
+        rows = [
+            {c: canonical_cell(row[c]) for c in cols if c in row}
+            for row in self.rows
+        ]
+        rows.sort(key=lambda r: tuple(_sort_token(r, c) for c in cols))
+        return rows
+
     def to_json(self, indent: int | None = 2) -> str:
+        """Canonical JSON artifact (byte-stable for identical results).
+
+        Strictly standard JSON: non-finite floats are encoded as the
+        strings ``"NaN"``/``"Infinity"``/``"-Infinity"`` (and decoded
+        back by :meth:`from_json`), never as Python's bare tokens.
+        """
         payload = {
             "experiment": self.name,
-            "params": {k: _jsonable(v) for k, v in self.params.items()},
-            "rows": self.rows,
+            "costmodel": self.costmodel,
+            "params": {
+                k: _jsonable(self.params[k]) for k in sorted(self.params)
+            },
+            "columns": self.canonical_columns(),
+            "rows": [
+                {k: _encode_nonfinite(v) for k, v in row.items()}
+                for row in self.canonical_rows()
+            ],
         }
-        return json.dumps(payload, indent=indent)
+        return json.dumps(payload, indent=indent, allow_nan=False)
 
     def to_csv(self) -> str:
+        """Canonical CSV rows (same row order and cell values as JSON)."""
         buf = io.StringIO()
-        writer = csv.DictWriter(buf, fieldnames=self.columns, restval="")
+        writer = csv.DictWriter(
+            buf, fieldnames=self.canonical_columns(), restval=""
+        )
         writer.writeheader()
-        writer.writerows(self.rows)
+        writer.writerows(self.canonical_rows())
         return buf.getvalue()
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Parse a JSON artifact written by :meth:`to_json`.
+
+        Pre-canonicalisation artifacts (no ``costmodel``/``columns``
+        header) load too; their fingerprint reads back as ``""``
+        (unstamped).
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"not an experiment artifact: {err}") from None
+        if (
+            not isinstance(payload, dict)
+            or not isinstance(payload.get("experiment"), str)
+            or not isinstance(payload.get("rows"), list)
+        ):
+            raise ValueError(
+                "not an experiment artifact (missing 'experiment'/'rows')"
+            )
+        if not all(isinstance(row, dict) for row in payload["rows"]):
+            raise ValueError(
+                "not an experiment artifact (rows must be JSON objects)"
+            )
+        rows = [
+            {k: _decode_nonfinite(v) for k, v in row.items()}
+            for row in payload["rows"]
+        ]
+        return cls(
+            name=payload["experiment"],
+            params={
+                k: _decode_value(v)
+                for k, v in dict(payload.get("params", {})).items()
+            },
+            rows=rows,
+            costmodel=str(payload.get("costmodel", "")),
+        )
+
+    @classmethod
+    def from_file(cls, path: str | os.PathLike) -> "ExperimentResult":
+        """Load a JSON artifact from ``path``."""
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        try:
+            return cls.from_json(text)
+        except ValueError as err:
+            raise ValueError(f"{os.fspath(path)}: {err}") from None
+
+
+#: Strict-JSON spellings of the non-finite floats.  Python's json module
+#: would otherwise emit bare ``NaN``/``Infinity`` tokens that standard
+#: parsers (jq, JavaScript) reject.
+_NONFINITE_DECODE = {
+    "NaN": float("nan"),
+    "Infinity": math.inf,
+    "-Infinity": -math.inf,
+}
+
+
+def _encode_nonfinite(value: Any) -> Any:
+    """Non-finite floats -> their strict-JSON string spelling."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return "NaN" if math.isnan(value) else (
+            "Infinity" if value > 0 else "-Infinity"
+        )
+    return value
+
+
+def _decode_nonfinite(value: Any) -> Any:
+    """Inverse of :func:`_encode_nonfinite` (a literal string cell that
+    spells a non-finite float reads back as the float)."""
+    if isinstance(value, str) and value in _NONFINITE_DECODE:
+        return _NONFINITE_DECODE[value]
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    """Recursive :func:`_decode_nonfinite` for nested parameter values."""
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _decode_value(v) for k, v in value.items()}
+    return _decode_nonfinite(value)
 
 
 def _jsonable(value: Any) -> Any:
-    """Best-effort JSON form for a parameter value (tuples -> lists...)."""
+    """Strict-JSON form for a parameter/report value (tuples -> lists,
+    non-finite floats -> strings, rich objects -> repr)."""
     if isinstance(value, (tuple, list)):
         return [_jsonable(v) for v in value]
-    if value is None or isinstance(value, (bool, int, float, str)):
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, float):
+        return _encode_nonfinite(value)
+    if value is None or isinstance(value, (bool, int, str)):
         return value
     return repr(value)
 
@@ -147,9 +341,18 @@ class ExperimentSpec:
 
     def run(self, smoke: bool = False, **overrides: Any) -> ExperimentResult:
         """Run the experiment and wrap its rows in an :class:`ExperimentResult`."""
+        # Local import: the fingerprint walks the cost-model packages,
+        # which the runner pulls in anyway; registry import stays light.
+        from repro.tuner.cache import costmodel_fingerprint
+
         params = self.resolve_params(smoke, overrides)
         rows = self.runner(**params)
-        return ExperimentResult(name=self.name, params=params, rows=rows)
+        return ExperimentResult(
+            name=self.name,
+            params=params,
+            rows=rows,
+            costmodel=costmodel_fingerprint(),
+        )
 
     def render(self) -> str:
         if self.renderer is None:

@@ -343,3 +343,166 @@ class TestExperiment:
         code, _, err = run(capsys, "experiment", "run", "table1", "--render")
         assert code == 1
         assert "no renderer" in err
+
+
+class TestExperimentDiff:
+    def _artifact(self, tmp_path, name, perturb=None):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("table2", smoke=True)
+        if perturb:
+            import json
+
+            payload = json.loads(result.to_json())
+            perturb(payload)
+            path = tmp_path / name
+            path.write_text(json.dumps(payload))
+            return str(path)
+        path = tmp_path / name
+        path.write_text(result.to_json())
+        return str(path)
+
+    def test_identical_artifacts_diff_clean(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+        b = self._artifact(tmp_path, "b.json")
+        code, out, _ = run(capsys, "experiment", "diff", a, b)
+        assert code == 0
+        assert "no drift" in out
+
+    def test_drift_exits_nonzero_and_names_cells(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+
+        def bump(payload):
+            payload["rows"][0]["makespan"] *= 1.5
+
+        b = self._artifact(tmp_path, "b.json", perturb=bump)
+        code, out, _ = run(capsys, "experiment", "diff", a, b)
+        assert code == 1
+        assert "DRIFT" in out and "makespan" in out
+
+    def test_tolerance_flags_absorb_drift(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+
+        def bump(payload):
+            payload["rows"][0]["makespan"] *= 1.5
+
+        b = self._artifact(tmp_path, "b.json", perturb=bump)
+        code, out, _ = run(
+            capsys, "experiment", "diff", a, b, "--rtol", "0.6",
+        )
+        assert code == 0
+
+    def test_json_output_is_machine_readable(self, capsys, tmp_path):
+        import json
+
+        a = self._artifact(tmp_path, "a.json")
+        code, out, _ = run(capsys, "experiment", "diff", a, a, "--json")
+        assert code == 0
+        assert json.loads(out)["clean"] is True
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        a = self._artifact(tmp_path, "a.json")
+        code, _, err = run(
+            capsys, "experiment", "diff", a, str(tmp_path / "nope.json"),
+        )
+        assert code == 1
+        assert "error" in err
+
+
+class TestExperimentVerify:
+    def test_update_then_verify_round_trip(self, capsys, tmp_path):
+        golden = str(tmp_path / "golden")
+        code, out, _ = run(
+            capsys, "experiment", "verify", "--smoke", "--update",
+            "--golden", golden, "--only", "table2,fig3_breakdown",
+        )
+        assert code == 0
+        assert out.count("updated") == 2
+        code, out, _ = run(
+            capsys, "experiment", "verify", "--smoke",
+            "--golden", golden, "--only", "table2,fig3_breakdown",
+        )
+        assert code == 0
+        assert "2/2 experiment(s) clean" in out
+
+    def test_drift_fails_with_report_file(self, capsys, tmp_path):
+        import json
+
+        golden = tmp_path / "golden"
+        run(
+            capsys, "experiment", "verify", "--smoke", "--update",
+            "--golden", str(golden), "--only", "table2",
+        )
+        path = golden / "table2.json"
+        payload = json.loads(path.read_text())
+        payload["rows"][0]["makespan"] += 5.0
+        path.write_text(json.dumps(payload))
+        report = tmp_path / "report.txt"
+        code, out, _ = run(
+            capsys, "experiment", "verify", "--smoke",
+            "--golden", str(golden), "--only", "table2",
+            "--report", str(report),
+        )
+        assert code == 1
+        assert "DRIFT" in out
+        assert "makespan" in report.read_text()
+
+    def test_missing_golden_dir_suggests_update(self, capsys, tmp_path):
+        code, _, err = run(
+            capsys, "experiment", "verify", "--smoke",
+            "--golden", str(tmp_path / "nowhere"),
+        )
+        assert code == 1
+        assert "--update" in err
+
+    def test_missing_default_golden_dir_points_at_repo_root(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """From outside the repo the default dir is absent; the error
+        must steer to the committed baselines, not to --update (which
+        would create a stray tree that bypasses them)."""
+        monkeypatch.chdir(tmp_path)
+        code, _, err = run(capsys, "experiment", "verify", "--smoke")
+        assert code == 1
+        assert "repository root" in err
+        assert "--update" not in err
+
+    def test_update_refused_outside_repo_root(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """--update with the default golden dir from the wrong cwd must
+        not create a stray tree that bypasses the committed baselines."""
+        monkeypatch.chdir(tmp_path)
+        code, _, err = run(
+            capsys, "experiment", "verify", "--smoke", "--update",
+        )
+        assert code == 1
+        assert "repository root" in err
+        assert not (tmp_path / "tests").exists()
+
+    def test_malformed_artifact_fails_cleanly(self, capsys, tmp_path):
+        good = tmp_path / "good.json"
+        from repro.experiments.registry import run_experiment
+
+        good.write_text(run_experiment("table2", smoke=True).to_json())
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"experiment": "table2", "rows": [1, 2]}')
+        code, _, err = run(
+            capsys, "experiment", "diff", str(good), str(bad),
+        )
+        assert code == 1
+        assert "not an experiment artifact" in err
+
+    def test_verify_against_committed_goldens(self, capsys):
+        """The CLI default golden dir resolves relative to the repo
+        root; run one cheap spec against the committed tree."""
+        golden = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "tests", "golden",
+        )
+        code, out, _ = run(
+            capsys, "experiment", "verify", "--smoke",
+            "--golden", golden, "--only", "table2",
+        )
+        assert code == 0
+        assert "1/1 experiment(s) clean" in out

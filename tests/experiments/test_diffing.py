@@ -1,0 +1,453 @@
+"""Diff engine + golden verification: tolerances, edge cases, the tree."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.experiments.diffing import (
+    DiffReport,
+    Tolerance,
+    diff_files,
+    diff_results,
+    format_verify_report,
+    golden_path,
+    infer_key_columns,
+    verify_experiments,
+)
+from repro.experiments.registry import (
+    ExperimentResult,
+    get_experiment,
+    run_experiment,
+)
+
+#: The committed golden tree, independent of the process working dir.
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "golden"
+)
+
+
+def result(rows, name="demo", params=None, costmodel="abc123"):
+    return ExperimentResult(
+        name=name, params=params or {"p": 2}, rows=rows, costmodel=costmodel
+    )
+
+
+BASE_ROWS = [
+    {"method": "1f1b", "seq_len": 1024, "tokens_per_s": 100.0, "note": "ok"},
+    {"method": "helix", "seq_len": 1024, "tokens_per_s": 120.0, "note": "ok"},
+]
+
+
+class TestKeyInference:
+    def test_non_float_columns_key_rows(self):
+        a, b = result(BASE_ROWS), result(BASE_ROWS)
+        rep = diff_results(a, b)
+        assert rep.key_columns == ("method", "seq_len", "note")
+        assert rep.clean
+        assert rep.rows_compared == 2
+
+    def test_all_float_rows_key_on_the_first_column(self):
+        """Keyless artifacts (every column float, e.g. fig6_overlap)
+        fall back to the x-axis convention: first column keys."""
+        rows = [{"x": 1.0, "y": 10.0}, {"x": 2.0, "y": 20.0}]
+        rep = diff_results(result(rows), result(rows))
+        assert rep.key_columns == ("x",)
+        assert rep.clean and rep.rows_compared == 2
+
+    def test_first_column_key_prevents_cascading_diffs(self):
+        """One drifted measurement must produce one entry, not spurious
+        diffs on neighbouring rows via value-sorted positional pairing."""
+        a = result([{"x": 1.0, "y": 10.0}, {"x": 2.0, "y": 20.0}])
+        b = result([{"x": 1.0, "y": 30.0}, {"x": 2.0, "y": 20.0}])
+        rep = diff_results(a, b)
+        (entry,) = rep.drift
+        assert entry.kind == "value"
+        assert entry.key == ("1",)  # float keys quantise to 6 sig digits
+        assert (entry.baseline, entry.candidate) == (10.0, 30.0)
+
+    def test_no_columns_at_all_align_by_position(self):
+        rep = diff_results(result([{}]), result([{}]))
+        assert rep.key_columns == ()
+        assert rep.clean and rep.rows_compared == 1
+
+    def test_bool_columns_are_measurements_not_keys(self):
+        """A derived bool (fig4 exceeds_capacity, fig9 overlappable)
+        must diff as a per-cell entry when it flips, not re-key the row
+        into row-removed + row-added noise."""
+        a = result([{"stage": 0, "gib": 10.0, "exceeds": False}])
+        b = result([{"stage": 0, "gib": 99.0, "exceeds": True}])
+        rep = diff_results(a, b)
+        assert rep.key_columns == ("stage",)
+        kinds = sorted(e.kind for e in rep.drift)
+        assert kinds == ["non-numeric", "value"]
+        flip = next(e for e in rep.drift if e.kind == "non-numeric")
+        assert flip.column == "exceeds"
+        assert (flip.baseline, flip.candidate) == (False, True)
+
+    def test_explicit_keys_validated(self):
+        with pytest.raises(ValueError, match="not shared by both"):
+            diff_results(
+                result(BASE_ROWS), result(BASE_ROWS), key_columns=["banana"]
+            )
+
+    def test_different_experiments_rejected(self):
+        with pytest.raises(ValueError, match="different experiments"):
+            diff_results(result(BASE_ROWS, name="a"), result(BASE_ROWS, name="b"))
+
+
+class TestNumericTolerance:
+    def _drifted(self, factor, **tol):
+        rows = [dict(r) for r in BASE_ROWS]
+        rows[0] = dict(rows[0], tokens_per_s=rows[0]["tokens_per_s"] * factor)
+        return diff_results(
+            result(BASE_ROWS), result(rows), tolerance=Tolerance(**tol)
+        )
+
+    def test_exact_match_is_clean(self):
+        assert diff_results(result(BASE_ROWS), result(BASE_ROWS)).clean
+
+    def test_drift_beyond_rtol_reported_with_delta(self):
+        rep = self._drifted(1.05, rtol=0.01)
+        assert not rep.clean
+        (entry,) = rep.drift
+        assert entry.kind == "value"
+        assert entry.column == "tokens_per_s"
+        assert entry.key[0] == "1f1b"
+        assert entry.delta == pytest.approx(5.0)
+        assert entry.rel == pytest.approx(0.05)
+
+    def test_drift_within_rtol_is_clean(self):
+        assert self._drifted(1.05, rtol=0.10).clean
+
+    def test_atol_absorbs_small_absolute_drift(self):
+        assert self._drifted(1.05, atol=10.0, rtol=0.0).clean
+
+    def test_zero_baseline_reports_infinite_rel(self):
+        a = result([{"k": "x", "v": 0.0}])
+        b = result([{"k": "x", "v": 1.0}])
+        (entry,) = diff_results(a, b).drift
+        assert entry.rel == math.inf
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Tolerance(atol=-1.0)
+
+
+class TestEdgeCases:
+    """Each divergence class produces its own distinct entry kind."""
+
+    def test_nan_vs_number_is_non_finite(self):
+        a = result([{"k": "x", "v": float("nan")}])
+        b = result([{"k": "x", "v": 1.0}])
+        (entry,) = diff_results(a, b).drift
+        assert entry.kind == "non-finite"
+
+    def test_nan_vs_nan_matches(self):
+        rows = [{"k": "x", "v": float("nan")}]
+        assert diff_results(result(rows), result(rows)).clean
+
+    def test_nan_in_key_column_still_matches_rows(self):
+        """nan != nan must not break row alignment: an artifact whose
+        key cell is NaN would otherwise diff as permanent
+        row-removed + row-added against its own reload."""
+        rows = [{"x": float("nan"), "y": 10.0}, {"x": 2.0, "y": 20.0}]
+        r = result(rows)  # all-float: first column ("x") keys
+        loaded = ExperimentResult.from_json(r.to_json())
+        assert diff_results(loaded, r).clean
+        explicit = diff_results(r, r, key_columns=["x"])
+        assert explicit.clean and explicit.rows_compared == 2
+
+    def test_float_key_cells_match_under_jitter(self):
+        """Sub-tolerance jitter in a float key (the x-axis fallback)
+        must not explode into row-removed + row-added drift."""
+        a = result([{"x": 1.0, "y": 2.0}])
+        b = result([{"x": 1.0000000001, "y": 2.0}])
+        rep = diff_results(a, b)
+        assert rep.key_columns == ("x",)
+        assert rep.rows_compared == 1
+        # The key matched; the x drift itself is within tolerance.
+        assert rep.clean
+
+    def test_float_key_drift_beyond_tolerance_still_reported(self):
+        """Jitter small enough to match the key (6 sig digits) but
+        beyond the numeric tolerance must surface as value drift, not
+        vanish because the column keys the row."""
+        a = result([{"x": 1.0, "y": 2.0}])
+        b = result([{"x": 1.0000001, "y": 2.0}])
+        rep = diff_results(a, b)
+        assert rep.rows_compared == 1  # still one matched row
+        (entry,) = rep.drift
+        assert entry.kind == "value"
+        assert entry.column == "x"
+
+    def test_near_zero_jitter_absorbed_by_default_atol(self):
+        """Absolute libm noise against an exactly-zero baseline must not
+        drift: no rtol can absorb it (rtol * |0| == 0)."""
+        a = result([{"k": "x", "v": 0.0}])
+        b = result([{"k": "x", "v": 1e-16}])
+        assert diff_results(a, b).clean
+
+    def test_inf_vs_finite_is_non_finite(self):
+        a = result([{"k": "x", "v": math.inf}])
+        b = result([{"k": "x", "v": 1e300}])
+        (entry,) = diff_results(a, b).drift
+        assert entry.kind == "non-finite"
+
+    def test_opposite_infinities_are_non_finite(self):
+        a = result([{"k": "x", "v": math.inf}])
+        b = result([{"k": "x", "v": -math.inf}])
+        (entry,) = diff_results(a, b).drift
+        assert entry.kind == "non-finite"
+
+    def test_same_infinity_matches(self):
+        rows = [{"k": "x", "v": math.inf}]
+        assert diff_results(result(rows), result(rows)).clean
+
+    def test_added_and_removed_rows(self):
+        a = result(BASE_ROWS)
+        b = result(
+            [BASE_ROWS[0], {"method": "zb1p", "seq_len": 1024,
+                            "tokens_per_s": 110.0, "note": "ok"}]
+        )
+        rep = diff_results(a, b)
+        kinds = sorted(e.kind for e in rep.drift)
+        assert kinds == ["row-added", "row-removed"]
+        removed = next(e for e in rep.drift if e.kind == "row-removed")
+        assert removed.key[0] == "helix"
+        assert rep.rows_compared == 1
+
+    def test_reason_string_columns_diff_as_non_numeric(self):
+        # A float column forces "note" to stay a value column via --key.
+        a = result([{"k": "x", "v": 1.0, "note": "ok"}])
+        b = result([{"k": "x", "v": 1.0, "note": "OOM: peak 99 GiB"}])
+        rep = diff_results(a, b, key_columns=["k"])
+        (entry,) = rep.drift
+        assert entry.kind == "non-numeric"
+        assert entry.column == "note"
+        assert entry.baseline == "ok"
+
+    def test_missing_cell_in_ragged_row_is_non_numeric(self):
+        a = result([{"k": "x", "v": 1.0, "extra": 2.0}])
+        b = result([{"k": "x", "v": 1.0}])
+        rep = diff_results(a, b, key_columns=["k"])
+        # "extra" is missing column-wise on the candidate side entirely.
+        assert [e.kind for e in rep.drift] == ["column-removed"]
+
+    def test_cell_missing_in_one_row_is_non_numeric(self):
+        # Column shared by both artifacts, absent from one baseline row.
+        a = result([{"k": "x", "v": 1.0}, {"k": "y", "v": 1.0, "extra": 5.0}])
+        b = result([{"k": "x", "v": 1.0, "extra": 5.0},
+                    {"k": "y", "v": 1.0, "extra": 5.0}])
+        rep = diff_results(a, b, key_columns=["k"])
+        (entry,) = rep.drift
+        assert entry.kind == "non-numeric"
+        assert entry.column == "extra"
+        assert entry.baseline == "<missing>"
+
+    def test_added_and_removed_columns(self):
+        a = result([{"k": "x", "v": 1.0, "old": 1.0}])
+        b = result([{"k": "x", "v": 1.0, "new": 1.0}])
+        kinds = sorted(e.kind for e in diff_results(a, b).drift)
+        assert kinds == ["column-added", "column-removed"]
+
+    def test_fingerprint_mismatch_is_warning_not_drift(self):
+        a = result(BASE_ROWS, costmodel="aaa")
+        b = result(BASE_ROWS, costmodel="bbb")
+        rep = diff_results(a, b)
+        assert rep.clean  # warning only
+        (warn,) = rep.warnings
+        assert warn.kind == "fingerprint"
+        assert (warn.baseline, warn.candidate) == ("aaa", "bbb")
+        assert "fingerprint mismatch" in rep.format()
+
+    def test_literal_nonfinite_string_never_drifts_from_its_float(self):
+        """Golden loading decodes "NaN" -> nan; the fresh in-memory side
+        must canonicalise the same way or verify would report permanent
+        drift that --update cannot clear."""
+        loaded = ExperimentResult.from_json(
+            result([{"k": "x", "note": "NaN", "v": 1.0}]).to_json()
+        )
+        fresh = result([{"k": "x", "note": float("nan"), "v": 1.0}])
+        assert diff_results(loaded, fresh, key_columns=["k"]).clean
+        stringy = result([{"k": "x", "note": "NaN", "v": 1.0}])
+        assert diff_results(loaded, stringy, key_columns=["k"]).clean
+
+    def test_unstamped_artifact_renders_as_unstamped(self):
+        rep = diff_results(
+            result(BASE_ROWS, costmodel=""), result(BASE_ROWS, costmodel="bbb")
+        )
+        (warn,) = rep.warnings
+        assert warn.baseline == "<unstamped>"
+
+    def test_param_drift_reported(self):
+        a = result(BASE_ROWS, params={"p": 2, "seq": 32768})
+        b = result(BASE_ROWS, params={"p": 4, "seq": 32768})
+        (entry,) = diff_results(a, b).drift
+        assert entry.kind == "param"
+        assert entry.column == "p"
+        assert (entry.baseline, entry.candidate) == (2, 4)
+
+    def test_duplicate_keys_pair_by_occurrence(self):
+        rows = [
+            {"k": "x", "v": 1.0},
+            {"k": "x", "v": 2.0},
+        ]
+        drifted = [dict(rows[0]), dict(rows[1], v=3.0)]
+        rep = diff_results(result(rows), result(drifted))
+        (entry,) = rep.drift
+        assert entry.kind == "value"
+        assert entry.baseline == 2.0 and entry.candidate == 3.0
+
+    def test_duplicate_keys_pair_exact_matches_first(self):
+        """One changed row in a duplicated-key group re-sorts the
+        canonical order; the unchanged row must still pair with its
+        identical twin, not with the changed row's new position."""
+        rows = [
+            {"k": "x", "v": 1.0},
+            {"k": "x", "v": 2.0},
+        ]
+        # v=1.0 drifts to 3.0; canonical order becomes [2.0, 3.0].
+        drifted = [{"k": "x", "v": 3.0}, {"k": "x", "v": 2.0}]
+        rep = diff_results(result(rows), result(drifted))
+        (entry,) = rep.drift
+        assert entry.kind == "value"
+        assert (entry.baseline, entry.candidate) == (1.0, 3.0)
+
+
+class TestReportSerialisation:
+    def _report(self) -> DiffReport:
+        rows = [dict(BASE_ROWS[0], tokens_per_s=105.0), BASE_ROWS[1]]
+        return diff_results(
+            result(BASE_ROWS), result(rows, costmodel="zzz")
+        )
+
+    def test_json_round_trips_and_flags_clean(self):
+        payload = json.loads(self._report().to_json())
+        assert payload["experiment"] == "demo"
+        assert payload["clean"] is False
+        kinds = {e["kind"] for e in payload["entries"]}
+        assert kinds == {"fingerprint", "value"}
+
+    def test_json_is_strict_with_non_finite_deltas(self):
+        """rel=inf (zero baseline) and NaN cells must serialise as
+        strings, not Python's bare Infinity/NaN tokens that strict
+        parsers (jq, JSON.parse) reject."""
+        a = result([{"k": "x", "v": 0.0, "w": float("nan")}])
+        b = result([{"k": "x", "v": 1.0, "w": 2.0}])
+        rep = diff_results(a, b)
+        assert not rep.clean
+
+        def reject(name):
+            raise AssertionError(f"non-standard JSON token {name!r}")
+
+        payload = json.loads(rep.to_json(), parse_constant=reject)
+        by_col = {e["column"]: e for e in payload["entries"]}
+        assert by_col["v"]["rel"] == "Infinity"
+        assert by_col["w"]["baseline"] == "NaN"
+
+    def test_format_names_the_drifted_cell(self):
+        text = self._report().format()
+        assert "tokens_per_s" in text
+        assert "method=1f1b" in text
+        assert "DRIFT" in text
+
+    def test_clean_report_says_so(self):
+        text = diff_results(result(BASE_ROWS), result(BASE_ROWS)).format()
+        assert "no drift" in text
+
+
+class TestDiffFiles:
+    def test_file_diff_and_bad_artifact(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(result(BASE_ROWS).to_json())
+        rows = [dict(BASE_ROWS[0], tokens_per_s=200.0), BASE_ROWS[1]]
+        b.write_text(result(rows).to_json())
+        rep = diff_files(a, b)
+        assert not rep.clean
+        assert rep.baseline_label == str(a)
+
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(ValueError, match="not an experiment artifact"):
+            diff_files(a, bad)
+
+
+class TestVerify:
+    def test_committed_goldens_match_smoke_runs(self):
+        """THE regression harness: every registered spec must reproduce
+        its committed golden artifact bit-for-bit (within the default
+        near-exact tolerance)."""
+        outcomes = verify_experiments(GOLDEN_DIR, smoke=True)
+        drifted = {
+            o.name: (o.report.format() if o.report else o.status)
+            for o in outcomes
+            if not o.ok
+        }
+        assert not drifted, (
+            "experiment output drifted from tests/golden -- if the "
+            "cost-model change is intentional, regenerate with "
+            "`python -m repro experiment verify --smoke --update` and "
+            f"commit the result:\n{json.dumps(list(drifted), indent=2)}\n"
+            + "\n\n".join(drifted.values())
+        )
+
+    def test_update_then_verify_round_trip(self, tmp_path):
+        out = verify_experiments(
+            tmp_path, ["table2"], smoke=True, update=True
+        )
+        assert [o.status for o in out] == ["updated"]
+        again = verify_experiments(
+            tmp_path, ["table2"], smoke=True, update=True
+        )
+        assert [o.status for o in again] == ["unchanged"]
+        clean = verify_experiments(tmp_path, ["table2"], smoke=True)
+        assert [o.status for o in clean] == ["ok"]
+
+    def test_missing_golden_reported(self, tmp_path):
+        out = verify_experiments(tmp_path, ["table2"], smoke=True)
+        assert [o.status for o in out] == ["missing"]
+        assert not out[0].ok
+        assert "no golden committed" in format_verify_report(out, tmp_path)
+
+    def test_drifted_golden_fails_with_cell_report(self, tmp_path):
+        verify_experiments(tmp_path, ["table2"], smoke=True, update=True)
+        path = golden_path("table2", tmp_path)
+        payload = json.loads(open(path).read())
+        payload["rows"][0]["makespan"] += 7.0
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        out = verify_experiments(tmp_path, ["table2"], smoke=True)
+        assert [o.status for o in out] == ["drift"]
+        text = format_verify_report(out, tmp_path)
+        assert "makespan" in text and "DRIFT" in text
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            verify_experiments(tmp_path, ["fig99"], smoke=True)
+
+    def test_mode_mismatch_fails_fast_on_params(self, tmp_path, monkeypatch):
+        """verify without smoke against smoke goldens must fail with
+        param-drift entries *before* running the full-protocol spec."""
+        verify_experiments(tmp_path, ["fig8_throughput"], smoke=True,
+                           update=True)
+
+        def boom(**kw):  # the full run must never start
+            raise AssertionError("spec ran despite param mismatch")
+
+        spec = get_experiment("fig8_throughput")
+        monkeypatch.setattr(type(spec), "run", lambda self, **kw: boom())
+        out = verify_experiments(tmp_path, ["fig8_throughput"], smoke=False)
+        assert [o.status for o in out] == ["drift"]
+        kinds = {e.kind for e in out[0].report.drift}
+        assert kinds == {"param"}
+        assert out[0].report.rows_compared == 0
+
+    def test_fingerprint_stamped_on_run(self):
+        from repro.tuner.cache import costmodel_fingerprint
+
+        assert run_experiment("table2", smoke=True).costmodel == (
+            costmodel_fingerprint()
+        )

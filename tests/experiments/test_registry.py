@@ -2,8 +2,13 @@
 
 import importlib
 import json
+import math
 
 import pytest
+
+
+def _reject_constant(name):
+    raise AssertionError(f"non-standard JSON token {name!r} emitted")
 
 from repro.experiments.registry import (
     ExperimentResult,
@@ -95,6 +100,153 @@ class TestRunOverrides:
         assert "P0 |" in spec.render()
         with pytest.raises(ValueError, match="no renderer"):
             get_experiment("table1").render()
+
+
+class TestCanonicalSerialisation:
+    """Artifact bytes must depend on the result values, nothing else."""
+
+    def test_back_to_back_runs_are_byte_identical(self):
+        a = run_experiment("fig8_throughput", smoke=True)
+        b = run_experiment("fig8_throughput", smoke=True)
+        assert a.to_json() == b.to_json()
+        assert a.to_csv() == b.to_csv()
+
+    def test_row_production_order_does_not_change_artifacts(self):
+        rows = [
+            {"k": "b", "v": 2.0},
+            {"k": "a", "v": 1.0},
+        ]
+        fwd = ExperimentResult(name="demo", params={}, rows=rows)
+        rev = ExperimentResult(name="demo", params={}, rows=rows[::-1])
+        assert fwd.to_json() == rev.to_json()
+        assert fwd.to_csv() == rev.to_csv()
+
+    def test_heterogeneous_rows_serialise_order_independently(self):
+        """Column order must not leak production order even when rows
+        have different key sets (ragged artifacts)."""
+        rows = [
+            {"k": "a", "v": 1.0},
+            {"k": "b", "w": 2.0},
+        ]
+        fwd = ExperimentResult(name="demo", params={}, rows=rows)
+        rev = ExperimentResult(name="demo", params={}, rows=rows[::-1])
+        assert fwd.to_json() == rev.to_json()
+        assert fwd.to_csv() == rev.to_csv()
+        assert fwd.canonical_columns() == rev.canonical_columns()
+
+    def test_rows_sort_numerically_not_lexicographically(self):
+        """Integer axis columns must serialise in sweep order: the full
+        protocol's seq_len=131072 comes after 98304, not before 32768
+        as repr-lexicographic ordering would put it."""
+        rows = [{"seq_len": s, "v": 1.0} for s in (131072, 32768, 98304)]
+        r = ExperimentResult(name="demo", params={}, rows=rows)
+        assert [row["seq_len"] for row in r.canonical_rows()] == [
+            32768, 98304, 131072,
+        ]
+
+    def test_missing_vs_explicit_none_sort_deterministically(self):
+        """A missing cell and an explicit None cell must not share a
+        sort key, or production order would leak into the bytes."""
+        rows = [
+            {"k": "a", "v": None},
+            {"k": "a"},
+        ]
+        fwd = ExperimentResult(name="demo", params={}, rows=rows)
+        rev = ExperimentResult(name="demo", params={}, rows=rows[::-1])
+        assert fwd.to_json() == rev.to_json()
+
+    def test_non_finite_cells_emit_strict_json(self):
+        r = ExperimentResult(
+            name="demo",
+            params={"cap": float("inf")},
+            rows=[{"k": "x", "v": float("nan"), "w": float("-inf")}],
+        )
+        # Standard parsers reject bare NaN/Infinity tokens; the strict
+        # loader must refuse them, meaning none were emitted.
+        payload = json.loads(r.to_json(), parse_constant=_reject_constant)
+        assert payload["rows"][0]["v"] == "NaN"
+        assert payload["rows"][0]["w"] == "-Infinity"
+        assert payload["params"]["cap"] == "Infinity"
+        # ...and from_json restores the float cells and params.
+        back = ExperimentResult.from_json(r.to_json())
+        assert math.isnan(back.rows[0]["v"])
+        assert back.rows[0]["w"] == float("-inf")
+        assert back.params["cap"] == float("inf")
+
+    def test_nonfinite_params_decode_inside_lists(self):
+        r = ExperimentResult(
+            name="demo", params={"caps": (1.0, float("inf"))}, rows=[]
+        )
+        back = ExperimentResult.from_json(r.to_json())
+        assert back.params["caps"] == [1.0, float("inf")]
+
+    def test_literal_nonfinite_strings_fold_into_floats(self):
+        """A string cell spelling exactly "NaN"/"Infinity" aliases the
+        float on round-trip by design -- canonical_cell folds the
+        in-memory form the same way, so the two can never diff."""
+        from repro.experiments.registry import canonical_cell
+
+        assert math.isnan(canonical_cell("NaN"))
+        assert canonical_cell("Infinity") == float("inf")
+        assert canonical_cell("nan") == "nan"  # only the JSON spellings
+        stringy = ExperimentResult(
+            name="demo", params={}, rows=[{"k": "x", "v": "NaN"}]
+        )
+        floaty = ExperimentResult(
+            name="demo", params={}, rows=[{"k": "x", "v": float("nan")}]
+        )
+        assert stringy.to_json() == floaty.to_json()
+
+    def test_from_json_rejects_non_object_rows(self):
+        bad = json.dumps({"experiment": "demo", "rows": [1, 2]})
+        with pytest.raises(ValueError, match="rows must be JSON objects"):
+            ExperimentResult.from_json(bad)
+
+    def test_float_repr_normalised_to_12_significant_digits(self):
+        noisy = ExperimentResult(
+            name="demo", params={}, rows=[{"k": "x", "v": 0.1 + 0.2}]
+        )
+        exact = ExperimentResult(
+            name="demo", params={}, rows=[{"k": "x", "v": 0.3}]
+        )
+        assert noisy.to_json() == exact.to_json()
+        assert noisy.canonical_rows()[0]["v"] == 0.3
+
+    def test_negative_zero_folds_into_zero(self):
+        r = ExperimentResult(name="demo", params={}, rows=[{"v": -0.0}])
+        assert "-0" not in r.to_json()
+
+    def test_params_serialise_sorted(self):
+        r = ExperimentResult(name="demo", params={"z": 1, "a": 2}, rows=[])
+        payload = r.to_json()
+        assert payload.index('"a"') < payload.index('"z"')
+
+    def test_header_carries_columns_and_fingerprint(self):
+        r = run_experiment("table2", smoke=True)
+        payload = json.loads(r.to_json())
+        assert payload["columns"] == r.columns
+        assert payload["costmodel"] == r.costmodel != ""
+
+    def test_from_json_round_trips_canonical_rows(self):
+        r = run_experiment("table2", smoke=True)
+        back = ExperimentResult.from_json(r.to_json())
+        assert back.name == r.name
+        assert back.rows == r.canonical_rows()
+        assert back.costmodel == r.costmodel
+
+    def test_from_json_rejects_non_artifacts(self):
+        with pytest.raises(ValueError, match="not an experiment artifact"):
+            ExperimentResult.from_json("[1, 2, 3]")
+        with pytest.raises(ValueError, match="not an experiment artifact"):
+            ExperimentResult.from_json("not json at all")
+
+    def test_pre_canonical_artifact_loads_unstamped(self):
+        legacy = json.dumps(
+            {"experiment": "demo", "params": {}, "rows": [{"a": 1}]}
+        )
+        back = ExperimentResult.from_json(legacy)
+        assert back.costmodel == ""
+        assert back.rows == [{"a": 1}]
 
 
 class TestExperimentResult:

@@ -1,0 +1,96 @@
+"""Property-style invariants over every registered schedule.
+
+Instead of per-builder assertions, this suite sweeps the whole registry
+across a small (p, m) grid and checks the properties *any* correct
+pipeline schedule must satisfy: it builds, its IR passes
+``Schedule.validate()``, the discrete-event simulator executes it to a
+positive makespan, and adding micro batches never makes an iteration
+finish earlier (makespan monotone non-decreasing in m).  A new builder
+registered in a later PR inherits all of these checks for free.
+"""
+
+import pytest
+
+from repro.schedules.registry import (
+    available_schedules,
+    get_schedule,
+    workload_option_defaults,
+)
+from repro.sim import simulate
+from repro.workloads import Workload
+
+PP_SIZES = (2, 4)
+#: Micro-batch multiples of each schedule's own base count.
+M_FACTORS = (1, 2, 3)
+
+
+def _workload(p: int) -> Workload:
+    return Workload.paper("1.3B", "H20", p, 8192)
+
+
+def _base_micro_batches(spec, p: int) -> int:
+    """Smallest count on the spec's divisor grid that is >= 2p.
+
+    2p is the paper protocol's floor and safely above the warm-up
+    requirements of every layer-wise builder; staying on the divisor
+    grid keeps helix/fold and interleaved builds feasible.
+    """
+    d = spec.micro_batch_divisor(p)
+    return ((2 * p + d - 1) // d) * d
+
+
+def _build_and_simulate(spec, wl: Workload, m: int):
+    opts = workload_option_defaults(spec, wl)
+    sched = spec.build(
+        (wl.p, m), wl.costs(spec.default_recompute), **opts
+    )
+    result = simulate(
+        sched, wl.cluster, static_memory_bytes=wl.static_memory()
+    )
+    return sched, result
+
+
+@pytest.mark.parametrize("p", PP_SIZES)
+@pytest.mark.parametrize("name", available_schedules())
+class TestScheduleInvariants:
+    def test_builds_validates_and_simulates(self, name, p):
+        spec = get_schedule(name)
+        wl = _workload(p)
+        m = _base_micro_batches(spec, p)
+        sched, result = _build_and_simulate(spec, wl, m)
+        assert sched.num_stages == p
+        sched.validate()  # full IR pass pipeline, raises on violation
+        assert result.makespan > 0.0
+        assert result.max_peak_memory_bytes > 0.0
+        assert 0.0 <= result.bubble_fraction < 1.0
+
+    def test_makespan_monotone_in_micro_batches(self, name, p):
+        """More micro batches can never finish an iteration earlier."""
+        spec = get_schedule(name)
+        wl = _workload(p)
+        base = _base_micro_batches(spec, p)
+        makespans = []
+        for k in M_FACTORS:
+            _, result = _build_and_simulate(spec, wl, k * base)
+            makespans.append(result.makespan)
+        for smaller, larger in zip(makespans, makespans[1:]):
+            assert larger >= smaller * (1.0 - 1e-12), (
+                f"{name} p={p}: makespan decreased from {smaller} to "
+                f"{larger} when micro batches grew"
+            )
+
+    def test_per_micro_batch_time_amortises(self, name, p):
+        """Makespan per micro batch must not grow with m: the fill/drain
+        overhead amortises, so time/m at 3x the base count is bounded by
+        time/m at the base count (equality for a bubble-free pipeline)."""
+        spec = get_schedule(name)
+        wl = _workload(p)
+        base = _base_micro_batches(spec, p)
+        _, small = _build_and_simulate(spec, wl, base)
+        _, large = _build_and_simulate(spec, wl, M_FACTORS[-1] * base)
+        per_small = small.makespan / base
+        per_large = large.makespan / (M_FACTORS[-1] * base)
+        assert per_large <= per_small * (1.0 + 1e-12), (
+            f"{name} p={p}: per-micro-batch time grew from {per_small} "
+            f"to {per_large}"
+        )

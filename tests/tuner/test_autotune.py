@@ -290,6 +290,43 @@ class TestCache:
         assert _candidate_key(small_wl, c1, 1.0) != _candidate_key(small_wl, c1, 2.0)
 
 
+class TestFillBudgetParity:
+    """fill_budget=True must pick the plan an exhaustive sweep picks."""
+
+    KW = dict(schedules=["1f1b", "helix", "zb1p"], recomputes="defaults")
+
+    def test_candidates_are_the_max_divisor_multiples(self, small_wl):
+        full = enumerate_candidates(small_wl, **self.KW)
+        filled = enumerate_candidates(small_wl, fill_budget=True, **self.KW)
+        # One candidate per (schedule, recompute, options) combination...
+        combo = lambda c: (c.schedule, c.recompute, c.options)
+        assert len(filled) == len({combo(c) for c in full})
+        # ...at exactly the largest count the exhaustive sweep reaches.
+        max_full = {}
+        for c in full:
+            key = combo(c)
+            max_full[key] = max(max_full.get(key, 0), c.num_micro_batches)
+        for c in filled:
+            assert c.num_micro_batches == max_full[combo(c)]
+
+    def test_best_plan_matches_exhaustive_sweep(self, small_wl):
+        """On the smoke workload, the winner of the full micro-batch-count
+        sweep runs at the budget-filling count, so the cheap fill_budget
+        sweep returns an identical best PlanResult."""
+        full = autotune(small_wl, cache=CostCache(), **self.KW)
+        filled = autotune(
+            small_wl, cache=CostCache(), fill_budget=True, **self.KW
+        )
+        assert full and filled
+        assert full[0].feasible and filled[0].feasible
+        assert filled[0] == full[0]
+        # Every fill_budget plan appears in the exhaustive sweep with
+        # identical metrics (same cache keys -> same records).
+        by_cand = {p.candidate: p for p in full}
+        for plan in filled:
+            assert by_cand[plan.candidate] == plan
+
+
 class TestAcceptance:
     def test_paper_workload_ranked_and_beats_hardcoded_methods(self, wl):
         """ISSUE acceptance: non-empty ranked list, top plan feasible
