@@ -1,0 +1,118 @@
+"""The `repro bench` harness itself (schema, equivalence, gating).
+
+Runs the smoke workload once (sub-second) and checks the payload a CI
+`bench-smoke` job and future-PR comparisons rely on: the JSON schema,
+the pruned-vs-exhaustive equivalence flag, and the regression gate of
+``compare_bench`` in both directions.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    bench_workload,
+    compare_bench,
+    default_out_name,
+    run_bench,
+    save_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    return run_bench(smoke=True, repeats=1)
+
+
+class TestPayload:
+    def test_schema(self, payload):
+        assert payload["schema"] == 1
+        assert payload["mode"] == "smoke"
+        for key in ("created", "git_rev", "python", "machine"):
+            assert isinstance(payload[key], str)
+        metrics = payload["metrics"]
+        for name in (
+            "candidates_per_s",
+            "sweep_s",
+            "exhaustive_candidates_per_s",
+            "exhaustive_sweep_s",
+            "prune_speedup",
+            "warm_sweep_s",
+            "single_sim_s",
+        ):
+            assert metrics[name] > 0.0, name
+
+    def test_workload_is_the_pinned_smoke_grid(self, payload):
+        wl = bench_workload(smoke=True)
+        assert payload["workload"] == {
+            "model": wl.model.name,
+            "gpu": wl.cluster.node.gpu.name,
+            "p": wl.p,
+            "seq_len": wl.seq_len,
+            "micro_batch": wl.micro_batch,
+            "num_micro_batches": wl.num_micro_batches,
+        }
+
+    def test_counts_partition_the_grid(self, payload):
+        counts = payload["counts"]
+        assert counts["simulated"] + counts["pruned"] == counts["candidates"]
+        assert counts["pruned"] > 0  # pruning engaged on the smoke grid
+
+    def test_pruned_best_equals_exhaustive(self, payload):
+        eq = payload["equivalence"]
+        assert eq["pruned_best_equals_exhaustive"] is True
+        assert eq["best_label"]
+        assert eq["best_tokens_per_s"] > 0.0
+
+    def test_round_trips_as_json(self, payload, tmp_path):
+        path = tmp_path / default_out_name(smoke=True)
+        save_bench(payload, str(path))
+        assert json.loads(path.read_text()) == payload
+
+
+class TestCompare:
+    def test_self_compare_is_clean(self, payload):
+        assert compare_bench(payload, payload) == []
+
+    def test_regression_beyond_threshold_fails(self, payload):
+        slow = copy.deepcopy(payload)
+        slow["metrics"]["candidates_per_s"] *= 0.5
+        failures = compare_bench(slow, payload, max_regression=0.25)
+        assert any("candidates_per_s" in f for f in failures)
+
+    def test_regression_within_threshold_passes(self, payload):
+        slow = copy.deepcopy(payload)
+        slow["metrics"]["candidates_per_s"] *= 0.9
+        assert compare_bench(slow, payload, max_regression=0.25) == []
+
+    def test_improvement_passes(self, payload):
+        fast = copy.deepcopy(payload)
+        fast["metrics"]["candidates_per_s"] *= 10.0
+        assert compare_bench(fast, payload) == []
+
+    def test_mode_mismatch_fails(self, payload):
+        full = copy.deepcopy(payload)
+        full["mode"] = "full"
+        assert any(
+            "mode" in f for f in compare_bench(full, payload)
+        )
+
+    def test_broken_equivalence_fails(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["equivalence"]["pruned_best_equals_exhaustive"] = False
+        assert any(
+            "exhaustive best" in f for f in compare_bench(broken, payload)
+        )
+
+
+def test_committed_smoke_baseline_matches_schema():
+    """The CI gate's baseline stays loadable and structurally current."""
+    import pathlib
+
+    path = pathlib.Path(__file__).parent / "BENCH_smoke_baseline.json"
+    baseline = json.loads(path.read_text())
+    assert baseline["schema"] == 1
+    assert baseline["mode"] == "smoke"
+    assert baseline["metrics"]["candidates_per_s"] > 0.0
+    assert baseline["equivalence"]["pruned_best_equals_exhaustive"] is True

@@ -8,12 +8,17 @@ apart.
 
 from __future__ import annotations
 
-from repro.costmodel.timing import LayerTimes
+from typing import Any, Mapping
+
+from repro.costmodel.timing import LayerTimes, PhaseTimes
 
 __all__ = [
     "bubble_time_1f1b",
     "bubble_time_zb1p",
     "bubble_time_helix",
+    "bubble_lower_bound",
+    "makespan_lower_bound",
+    "recompute_time_lower_bound",
     "activation_elems_table2",
 ]
 
@@ -77,6 +82,147 @@ def bubble_time_helix(
     bwd = layer.pre.bwd + layer.post.bwd
     per_step = fwd + bwd + (fwd if recompute_pre_post else 0.0)
     return fold * (p - 1) * per_step
+
+
+def _shipped_pre_post(layer: LayerTimes) -> tuple[PhaseTimes, PhaseTimes]:
+    """(pre - qkv, post): the smallest pre phase any provider can price.
+
+    Under weight shipping (Section 4.2, the cost providers' default) the
+    QKV GEMM moves from the pre phase to the attention stage, so a
+    helix ramp bound built on the *shipped* pre phase lower-bounds both
+    configurations.
+    """
+    pre = PhaseTimes(
+        layer.pre.fwd - layer.qkv.fwd,
+        layer.pre.bwd_b - layer.qkv.bwd_b,
+        layer.pre.bwd_w - layer.qkv.bwd_w,
+    )
+    return pre, layer.post
+
+
+def bubble_lower_bound(
+    schedule: str,
+    layer: LayerTimes,
+    num_layers: int,
+    p: int,
+    options: Mapping[str, Any] | None = None,
+) -> float:
+    """Admissible (never-overestimating) bubble time for ``schedule``.
+
+    A *lower* bound on the pipeline-bubble component of the makespan,
+    used by the auto-tuner to prune candidates that provably cannot beat
+    the best simulated plan (:mod:`repro.tuner.bounds`).  Per schedule:
+
+    - ``1f1b`` / ``gpipe``: the Table 2 warm-up/drain ramp (Eq. 1) --
+      both run ``(p-1)`` ramp steps of a full stage forward+backward.
+    - ``zb1p``: Eq. 3 (backward-W fills the ramp, ``f + b_I - b_W``).
+    - ``interleaved``: the Eq. 1 ramp shrinks with the virtual-chunk
+      count ``v`` (each ramp step advances one chunk of ``L/(p v)``
+      layers).
+    - ``helix`` (any fold): the Section 4.5 FILO ramp on the *shipped*
+      pre+post phases, without the recompute term -- admissible for
+      every recompute strategy and both weight-shipping settings.
+    - anything else (``adapipe`` replans partitions, ``zb-milp`` may
+      approach zero bubble): ``0.0``, degrading the bound to pure work
+      conservation.
+
+    Recompute strategies only ever *add* backward time, so evaluating
+    the formulas on the plain (no-recompute) layer times keeps the
+    bound admissible for every strategy.
+    """
+    opts = dict(options or {})
+    if schedule in ("1f1b", "gpipe"):
+        bub = bubble_time_1f1b(layer, num_layers, p)
+    elif schedule == "zb1p":
+        bub = bubble_time_zb1p(layer, num_layers, p)
+    elif schedule == "interleaved":
+        chunks = max(1, int(opts.get("num_chunks_per_stage", 2)))
+        bub = bubble_time_1f1b(layer, num_layers, p) / chunks
+    elif schedule.startswith("helix"):
+        pre, post = _shipped_pre_post(layer)
+        fwd = pre.fwd + post.fwd
+        bwd = pre.bwd + post.bwd
+        bub = max(1, int(opts.get("fold", 2))) * (p - 1) * (fwd + bwd)
+    else:
+        bub = 0.0
+    return max(0.0, bub)
+
+
+def recompute_time_lower_bound(layer: LayerTimes, recompute: Any) -> float:
+    """Admissible per-layer recompute-forward time for ``recompute``.
+
+    A lower bound on the forward time each layer's backward must re-run
+    under the strategy (``RecomputeStrategy`` or its string value),
+    evaluated on the *cheapest* configuration any cost provider can
+    price: ``without_attention`` uses the shipped pre phase (QKV moved
+    to attention, Section 4.2) so the bound holds under both
+    weight-shipping settings, and ``selective`` uses the unshipped
+    attention forward for the same reason.  Feeding the result to
+    :func:`makespan_lower_bound` tightens the bound for recompute
+    candidates without ever overestimating them.
+    """
+    value = getattr(recompute, "value", recompute)
+    if value == "selective":
+        return layer.attn.fwd
+    if value == "without_attention":
+        pre, post = _shipped_pre_post(layer)
+        return pre.fwd + post.fwd
+    if value == "full":
+        return layer.fwd
+    return 0.0
+
+
+def makespan_lower_bound(
+    schedule: str,
+    layer: LayerTimes,
+    num_layers: int,
+    p: int,
+    num_micro_batches: int,
+    options: Mapping[str, Any] | None = None,
+    recompute_time: float = 0.0,
+) -> float:
+    """Admissible lower bound on the simulated iteration makespan.
+
+    ``max(work + bubble, chain)`` of three never-overestimating terms:
+
+    - **work conservation**: the ``p`` serial compute engines must
+      execute ``m x L`` layer forwards+backwards in total, so
+      ``makespan >= m L (t_F + t_B) / p`` whatever the partition
+      (embedding and head work only add to it);
+    - **bubble**: the schedule-specific warm-up/drain ramp
+      (:func:`bubble_lower_bound`) exists on top of the steady state;
+    - **dependency chain**: one micro batch's forward must traverse all
+      ``L`` layers and its backward-B return through them, so
+      ``makespan >= L (t_F + t_BI)`` regardless of ``m`` or placement.
+
+    ``recompute_time`` (per-layer, from
+    :func:`recompute_time_lower_bound`) tightens both the work and the
+    chain term for a known recompute strategy: every layer's backward
+    re-runs that forward time on the same serial engine, per micro batch
+    and on the single-micro-batch critical path alike.  The default 0.0
+    keeps the bound strategy-free (recompute only adds time).
+
+    Communication and memory stalls only increase the simulated value,
+    so the bound holds for every registered schedule x recompute
+    strategy x (p, m) point -- property-checked in
+    ``tests/analysis/test_bounds.py`` and
+    ``tests/schedules/test_invariants.py``.
+    """
+    work = (
+        num_micro_batches
+        * num_layers
+        * (layer.fwd + layer.bwd + recompute_time)
+        / p
+    )
+    chain = num_layers * (
+        layer.fwd
+        + layer.pre.bwd_b
+        + layer.attn.bwd_b
+        + layer.post.bwd_b
+        + recompute_time
+    )
+    bubble = bubble_lower_bound(schedule, layer, num_layers, p, options)
+    return max(work + bubble, chain)
 
 
 def activation_elems_table2(

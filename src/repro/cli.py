@@ -52,6 +52,17 @@ Commands
 
     ``--smoke`` shrinks the grid to a seconds-fast sanity sweep for CI.
 
+``bench``
+    Measure the tuner hot path -- candidates/sec (pruned and
+    exhaustive), single-simulation wall time, warm-cache sweep time --
+    on the pinned acceptance workload and write a tracked
+    ``BENCH_<rev>.json``.  ``--compare`` gates against a committed
+    baseline and fails on a candidates/sec regression::
+
+        python -m repro bench
+        python -m repro bench --smoke \\
+            --compare benchmarks/perf/BENCH_smoke_baseline.json
+
 ``experiment list|describe|run``
     The registered paper experiments (every figure/table module) behind
     one driver: ``list`` the registry, ``describe`` one spec's
@@ -444,7 +455,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     if cache is None:
         return 1
 
-    kwargs: dict[str, Any] = {}
+    kwargs: dict[str, Any] = {"prune": not args.no_prune}
     if args.no_options or args.smoke:
         kwargs["option_grids"] = {}  # disable the option axis
     cap = (
@@ -532,6 +543,66 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         saved = cache.save(args.cache)
         print(f"cache: saved {saved} entries to {args.cache}")
     return 0 if found else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import (
+        compare_bench,
+        default_out_name,
+        load_bench,
+        run_bench,
+        save_bench,
+    )
+
+    payload = run_bench(smoke=args.smoke, repeats=args.repeats)
+    w = payload["workload"]
+    metrics = payload["metrics"]
+    counts = payload["counts"]
+    print(
+        f"bench workload: {w['model']} on {w['gpu']} x {w['p']}, "
+        f"seq {w['seq_len']} ({payload['mode']})"
+    )
+    print(
+        f"  candidates/sec:  {metrics['candidates_per_s']:.1f}  "
+        f"({counts['candidates']} candidates in {metrics['sweep_s']:.3f} s; "
+        f"{counts['simulated']} simulated, {counts['pruned']} pruned)"
+    )
+    print(
+        f"  exhaustive:      {metrics['exhaustive_candidates_per_s']:.1f} "
+        f"candidates/sec ({metrics['exhaustive_sweep_s']:.3f} s; pruning "
+        f"speedup {metrics['prune_speedup']:.2f}x)"
+    )
+    print(f"  single sim:      {1e3 * metrics['single_sim_s']:.3f} ms")
+    print(f"  warm-cache sweep: {1e3 * metrics['warm_sweep_s']:.2f} ms")
+    eq = payload["equivalence"]
+    print(
+        "  pruned best == exhaustive best: "
+        f"{'yes' if eq['pruned_best_equals_exhaustive'] else 'NO'}"
+        + (f" ({eq['best_label']})" if eq["best_label"] else "")
+    )
+
+    out = args.out or default_out_name(args.smoke)
+    save_bench(payload, out)
+    print(f"wrote {out}")
+
+    ok = eq["pruned_best_equals_exhaustive"]
+    if not ok:
+        print(
+            "error: pruning changed the winning plan -- the sweep is "
+            "no longer equivalence-preserving",
+            file=sys.stderr,
+        )
+    if args.compare:
+        failures = compare_bench(
+            payload, load_bench(args.compare), args.max_regression
+        )
+        if failures:
+            for failure in failures:
+                print(f"regression: {failure}", file=sys.stderr)
+            ok = False
+        else:
+            print(f"no regression vs {args.compare}")
+    return 0 if ok else 1
 
 
 # -- experiment commands -----------------------------------------------------
@@ -788,12 +859,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="drop infeasible candidates from the table",
     )
     p_tune.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="exhaustive sweep: disable the admissible lower-bound "
+        "pruning of provably-losing candidates",
+    )
+    p_tune.add_argument(
         "--smoke",
         action="store_true",
         help="seconds-fast CI sweep: p=4 / 32k defaults, 1f1b + helix, "
         "no option axis",
     )
     p_tune.set_defaults(fn=_cmd_tune)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="measure the tuner hot path and emit a BENCH_*.json",
+    )
+    p_bench.add_argument(
+        "--smoke",
+        action="store_true",
+        help="seconds-fast CI workload (1.3B / H20 / p=4 / 8k) instead "
+        "of the pinned acceptance grid (7B / H20 / p=8 / 64k)",
+    )
+    p_bench.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="N",
+        help="best-of-N timing runs per metric (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output JSON path (default: BENCH_<rev>.json, "
+        "BENCH_smoke_<rev>.json with --smoke)",
+    )
+    p_bench.add_argument(
+        "--compare",
+        default=None,
+        metavar="PATH",
+        help="committed baseline BENCH_*.json to gate against; a "
+        "candidates/sec drop beyond --max-regression fails the run",
+    )
+    p_bench.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        metavar="F",
+        help="allowed fractional candidates/sec regression vs the "
+        "--compare baseline (default: %(default)s)",
+    )
+    p_bench.set_defaults(fn=_cmd_bench)
 
     p_exp = sub.add_parser(
         "experiment", help="run the registered paper experiments"

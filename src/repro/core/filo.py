@@ -113,6 +113,17 @@ class HelixFiloBuilder:
         self.loop_size = loop
         self.L = self.costs.num_layers
         self.partition = helix_partition(self.L, p)
+        # Per-build constants hoisted off the emission hot path: boundary
+        # payload sizes, the attention segment of each layer, and the
+        # owner forward/backward/recompute durations per helix position.
+        self._pre_to_attn = self.costs.boundary_bytes("pre_to_attn")
+        self._attn_to_post = self.costs.boundary_bytes("attn_to_post")
+        self._attn_seg = tuple(
+            Segment(SegmentKind.ATTN, layer=l) for l in range(self.L)
+        )
+        self._owner_costs = tuple(
+            self._owner_cost(pos) for pos in range(self.L + 1)
+        )
 
     # -- helpers -----------------------------------------------------------------
 
@@ -151,9 +162,9 @@ class HelixFiloBuilder:
         ids = itertools.count()
         tasks: list[PlannedTask] = []
         attn_cost = {
-            l: self.costs.segment_cost(Segment(SegmentKind.ATTN, layer=l))
-            for l in range(L)
+            l: self.costs.segment_cost(self._attn_seg[l]) for l in range(L)
         }
+        owner_costs = self._owner_costs
         f_owner: dict[tuple[int, int], int] = {}
         f_attn: dict[tuple[int, int], int] = {}
         b_owner: dict[tuple[int, int], int] = {}
@@ -170,7 +181,7 @@ class HelixFiloBuilder:
         for mb in range(m):
             g, slot = loop_of(mb), slot_of(mb)
             for pos in range(L + 1):
-                fdur, _, _ = self._owner_cost(pos)
+                fdur = owner_costs[pos][0]
                 deps = [] if pos == 0 else [f_attn[(pos - 1, mb)]]
                 t = PlannedTask(
                     tid=next(ids),
@@ -204,7 +215,7 @@ class HelixFiloBuilder:
             rg = num_loops - 1 - g
             rslot = self.loop_size - 1 - slot
             for pos in range(L, -1, -1):
-                _, bdur, rcdur = self._owner_cost(pos)
+                _, bdur, rcdur = owner_costs[pos]
                 rpos = L - pos
                 if pos == L:
                     deps = [f_owner[(L, mb)]]
@@ -278,7 +289,9 @@ class HelixFiloBuilder:
                 "recompute": self.costs.recompute.value,
             },
         )
-        sched.validate()
+        # Verification is the registry's job (spec.build runs the pass
+        # pipeline unless verify=False); validating here too would run
+        # every pass twice per build on the tuner's hot path.
         return sched
 
     # -- emission -------------------------------------------------------------------
@@ -340,7 +353,7 @@ class HelixFiloBuilder:
                         stage=stage,
                         peer=src,
                         tag=self._tag("attn_out", pos - 1, mb),
-                        nbytes=self.costs.boundary_bytes("attn_to_post"),
+                        nbytes=self._attn_to_post,
                         micro_batch=mb,
                         payload="attn_out",
                     )
@@ -362,7 +375,7 @@ class HelixFiloBuilder:
                         stage=stage,
                         peer=dst,
                         tag=self._tag("pre_out", pos, mb),
-                        nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                        nbytes=self._pre_to_attn,
                         micro_batch=mb,
                         payload="pre_out",
                     )
@@ -377,13 +390,13 @@ class HelixFiloBuilder:
                     stage=stage,
                     peer=owner,
                     tag=self._tag("pre_out", layer, mb),
-                    nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                    nbytes=self._pre_to_attn,
                     micro_batch=mb,
                     payload="pre_out",
                 )
             )
         prog.append(
-            self._compute(OpType.F, stage, mb, Segment(SegmentKind.ATTN, layer=layer))
+            self._compute(OpType.F, stage, mb, self._attn_seg[layer])
         )
         nxt = self._owner(layer + 1)
         if nxt != stage:
@@ -392,7 +405,7 @@ class HelixFiloBuilder:
                     stage=stage,
                     peer=nxt,
                     tag=self._tag("attn_out", layer, mb),
-                    nbytes=self.costs.boundary_bytes("attn_to_post"),
+                    nbytes=self._attn_to_post,
                     micro_batch=mb,
                     payload="attn_out",
                 )
@@ -408,7 +421,7 @@ class HelixFiloBuilder:
                         stage=stage,
                         peer=src,
                         tag=self._tag("d_pre_out", pos, mb),
-                        nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                        nbytes=self._pre_to_attn,
                         micro_batch=mb,
                         payload="d_pre_out",
                     )
@@ -428,7 +441,7 @@ class HelixFiloBuilder:
                         stage=stage,
                         peer=dst,
                         tag=self._tag("d_attn_out", pos - 1, mb),
-                        nbytes=self.costs.boundary_bytes("attn_to_post"),
+                        nbytes=self._attn_to_post,
                         micro_batch=mb,
                         payload="d_attn_out",
                     )
@@ -445,13 +458,13 @@ class HelixFiloBuilder:
                     stage=stage,
                     peer=src,
                     tag=self._tag("d_attn_out", layer, mb),
-                    nbytes=self.costs.boundary_bytes("attn_to_post"),
+                    nbytes=self._attn_to_post,
                     micro_batch=mb,
                     payload="d_attn_out",
                 )
             )
         prog.append(
-            self._compute(OpType.B, stage, mb, Segment(SegmentKind.ATTN, layer=layer))
+            self._compute(OpType.B, stage, mb, self._attn_seg[layer])
         )
         dst = self._owner(layer)
         if dst != stage:
@@ -460,7 +473,7 @@ class HelixFiloBuilder:
                     stage=stage,
                     peer=dst,
                     tag=self._tag("d_pre_out", layer, mb),
-                    nbytes=self.costs.boundary_bytes("pre_to_attn"),
+                    nbytes=self._pre_to_attn,
                     micro_batch=mb,
                     payload="d_pre_out",
                 )

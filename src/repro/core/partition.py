@@ -21,6 +21,8 @@ folds of ``fold`` consecutive ids that share an attention stage:
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.model.partition import Segment, SegmentKind
 
 __all__ = [
@@ -58,13 +60,18 @@ def attention_stage(layer: int, micro_batch: int, num_stages: int, fold: int = 1
     return (layer + slot + 1) % num_stages
 
 
-def owner_segment(position: int, num_layers: int) -> list[Segment]:
-    """Model segments computed at helix position ``position`` (in order)."""
+@lru_cache(maxsize=None)
+def owner_segment(position: int, num_layers: int) -> tuple[Segment, ...]:
+    """Model segments computed at helix position ``position`` (in order).
+
+    Memoized (Segments are frozen): the FILO builder asks for the same
+    handful of positions thousands of times per build.
+    """
     if position == 0:
-        return [Segment(SegmentKind.PRE, layer=0)]
+        return (Segment(SegmentKind.PRE, layer=0),)
     if position == num_layers:
-        return [Segment(SegmentKind.POST, layer=num_layers - 1)]
-    return [Segment(SegmentKind.POST_PRE, layer=position)]
+        return (Segment(SegmentKind.POST, layer=num_layers - 1),)
+    return (Segment(SegmentKind.POST_PRE, layer=position),)
 
 
 def helix_partition(num_layers: int, num_stages: int) -> list[list[Segment]]:

@@ -1,0 +1,15 @@
+"""Tracked performance harness for the tuner hot path (``repro bench``)."""
+
+from repro.perf.bench import (
+    bench_workload,
+    compare_bench,
+    default_out_name,
+    run_bench,
+)
+
+__all__ = [
+    "bench_workload",
+    "compare_bench",
+    "default_out_name",
+    "run_bench",
+]

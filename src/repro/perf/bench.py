@@ -1,0 +1,258 @@
+"""Measure the tuner hot path and emit a tracked ``BENCH_*.json``.
+
+The repo's perf trajectory lives in ``benchmarks/perf/``: every PR that
+touches the candidate-evaluation pipeline re-runs ``python -m repro
+bench`` and compares against the committed baseline, so a regression in
+candidates/sec is a CI failure rather than a surprise three PRs later.
+
+Three wall-clock metrics on the pinned acceptance workload
+(7B / H20 / p=8 / 64k; ``--smoke`` shrinks it to 1.3B / H20 / p=4 / 8k
+for seconds-fast CI):
+
+``candidates_per_s``
+    Cold-cache serial :func:`repro.tuner.autotune` sweep with admissible
+    pruning on (the default path) -- the headline number.
+``single_sim_s``
+    One helix build's event-driven simulation (``verify=False``,
+    ``record_trace=False``), best of several runs -- isolates the
+    engine from builders and pruning.
+``warm_sweep_s``
+    The same sweep served entirely from a warm :class:`CostCache` --
+    the incremental-sweep experience ``tune --cache`` gives.
+
+Every run also performs the pruned-vs-exhaustive equivalence check the
+acceptance criterion demands: the best :class:`PlanResult` of the
+pruned sweep must equal (dataclass field equality, hence byte-identical
+metrics) the best of the ``prune=False`` sweep.
+
+Timings are best-of-``repeats`` minima: the minimum of repeated runs
+estimates the noise-free cost, which is the stable statistic for
+regression gating (means drift with machine load).
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import platform
+import subprocess
+import time
+from typing import Any, Callable
+
+from repro.schedules.registry import get_schedule, workload_option_defaults
+from repro.sim import simulate
+from repro.tuner import CostCache, autotune
+from repro.workloads import Workload
+
+__all__ = [
+    "bench_workload",
+    "run_bench",
+    "compare_bench",
+    "default_out_name",
+    "git_rev",
+]
+
+#: Metrics gated by :func:`compare_bench` (name, higher_is_better).
+#: Only candidates/sec hard-fails CI per the tracked-baseline policy;
+#: the others are reported for the trajectory but machine noise on a
+#: microsecond-scale single simulation would make them flaky gates.
+GATED_METRICS: tuple[tuple[str, bool], ...] = (("candidates_per_s", True),)
+
+
+def bench_workload(smoke: bool = False) -> Workload:
+    """The pinned bench workload (the ISSUE's acceptance grid)."""
+    if smoke:
+        return Workload.paper("1.3B", "H20", 4, 8192)
+    return Workload.paper("7B", "H20", 8, 65536)
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip() or "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def default_out_name(smoke: bool = False) -> str:
+    rev = git_rev()
+    return f"BENCH_smoke_{rev}.json" if smoke else f"BENCH_{rev}.json"
+
+
+def _best_of(repeats: int, fn: Callable[[], Any]) -> tuple[float, Any]:
+    """(min wall seconds, last result) over ``repeats`` calls."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        best = min(best, dt)
+    return best, result
+
+
+def _single_sim_s(wl: Workload, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of one helix simulation."""
+    spec = get_schedule("helix")
+    opts = workload_option_defaults(spec, wl)
+    m = spec.round_micro_batches(wl.num_micro_batches, wl.p, **opts)
+    m = m or spec.micro_batch_divisor(wl.p, **opts)
+    sched = spec.build(
+        (wl.p, m), wl.costs(spec.default_recompute), verify=False, **opts
+    )
+    static = wl.static_memory()
+    best, _ = _best_of(
+        repeats,
+        lambda: simulate(
+            sched,
+            wl.cluster,
+            static_memory_bytes=static,
+            verify=False,
+            record_trace=False,
+        ),
+    )
+    return best
+
+
+def run_bench(smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
+    """Run the full harness and return the ``BENCH_*.json`` payload."""
+    wl = bench_workload(smoke)
+
+    # Cold pruned sweep (the default tuner path) -- fresh cache per run.
+    stats_box: dict[str, Any] = {}
+
+    def cold_pruned():
+        cache = CostCache()
+        rows = autotune(wl, cache=cache)
+        stats_box["pruned"] = cache.stats
+        stats_box["cache"] = cache
+        return rows
+
+    sweep_s, pruned_rows = _best_of(repeats, cold_pruned)
+    n = len(pruned_rows)
+    # Snapshot the cold-sweep counters now: the warm sweeps below reuse
+    # this cache, and pruned candidates (never cached) re-prune there.
+    pruned_stats = stats_box["pruned"]
+    simulated_count = pruned_stats.misses
+    pruned_count = pruned_stats.pruned
+
+    # Cold exhaustive sweep -- the equivalence reference; one run is
+    # enough for the check, but time it too for the trajectory.
+    def cold_exhaustive():
+        cache = CostCache()
+        rows = autotune(wl, cache=cache, prune=False)
+        stats_box["exhaustive"] = cache.stats
+        return rows
+
+    exhaustive_s, exhaustive_rows = _best_of(1, cold_exhaustive)
+
+    # Warm sweep: every candidate served from the populated cache.
+    warm_cache = stats_box["cache"]
+    warm_s, _ = _best_of(repeats, lambda: autotune(wl, cache=warm_cache))
+
+    single_s = _single_sim_s(wl, max(repeats, 5))
+
+    pruned_best = next((r for r in pruned_rows if r.feasible), None)
+    exhaustive_best = next((r for r in exhaustive_rows if r.feasible), None)
+    # Dataclass equality over every field (candidate, metrics, reason):
+    # equal here means the serialised plans are byte-identical.
+    best_identical = pruned_best == exhaustive_best
+
+    payload: dict[str, Any] = {
+        "schema": 1,
+        "mode": "smoke" if smoke else "full",
+        "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "machine": platform.platform(),
+        "repeats": repeats,
+        "workload": {
+            "model": wl.model.name,
+            "gpu": wl.cluster.node.gpu.name,
+            "p": wl.p,
+            "seq_len": wl.seq_len,
+            "micro_batch": wl.micro_batch,
+            "num_micro_batches": wl.num_micro_batches,
+        },
+        "counts": {
+            "candidates": n,
+            "simulated": simulated_count,
+            "pruned": pruned_count,
+        },
+        "metrics": {
+            "candidates_per_s": n / sweep_s if sweep_s > 0 else float("inf"),
+            "sweep_s": sweep_s,
+            "exhaustive_candidates_per_s": (
+                n / exhaustive_s if exhaustive_s > 0 else float("inf")
+            ),
+            "exhaustive_sweep_s": exhaustive_s,
+            "prune_speedup": exhaustive_s / sweep_s if sweep_s > 0 else 0.0,
+            "warm_sweep_s": warm_s,
+            "single_sim_s": single_s,
+        },
+        "equivalence": {
+            "pruned_best_equals_exhaustive": best_identical,
+            "best_label": pruned_best.label if pruned_best else None,
+            "best_tokens_per_s": (
+                pruned_best.tokens_per_s if pruned_best else None
+            ),
+        },
+    }
+    return payload
+
+
+def compare_bench(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    max_regression: float = 0.25,
+) -> list[str]:
+    """Regression report vs a committed baseline; empty means clean.
+
+    Gates only :data:`GATED_METRICS` (candidates/sec must not drop more
+    than ``max_regression`` relative to the baseline) plus the
+    structural invariants: same mode, and the pruned-vs-exhaustive best
+    plan must still be identical.
+    """
+    failures: list[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        failures.append(
+            f"mode mismatch: current {current.get('mode')!r} vs baseline "
+            f"{baseline.get('mode')!r} -- compare like with like"
+        )
+    if not current.get("equivalence", {}).get("pruned_best_equals_exhaustive"):
+        failures.append(
+            "pruned sweep no longer reproduces the exhaustive best plan"
+        )
+    cur_metrics = current.get("metrics", {})
+    base_metrics = baseline.get("metrics", {})
+    for name, higher_is_better in GATED_METRICS:
+        cur = cur_metrics.get(name)
+        base = base_metrics.get(name)
+        if cur is None or base is None or base <= 0:
+            continue
+        ratio = cur / base if higher_is_better else base / cur
+        if ratio < 1.0 - max_regression:
+            failures.append(
+                f"{name} regressed {100.0 * (1.0 - ratio):.0f}%: "
+                f"{cur:.1f} vs baseline {base:.1f} "
+                f"(allowed: {100.0 * max_regression:.0f}%)"
+            )
+    return failures
+
+
+def save_bench(payload: dict[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_bench(path: str) -> dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)

@@ -136,6 +136,10 @@ class PipelineCosts(CostProvider):
             micro_batch, seq_len, model.hidden_size, ship_qkv_weights
         )
         self._bsh_bytes = float(micro_batch) * seq_len * model.hidden_size * FP16_BYTES
+        # Builders price the same handful of frozen Segments thousands of
+        # times per build (every micro batch repeats the stage's layout),
+        # and segment_cost is pure, so memoise per provider instance.
+        self._seg_memo: dict[Segment, SegCost] = {}
 
     # -- internals ----------------------------------------------------------
 
@@ -206,6 +210,12 @@ class PipelineCosts(CostProvider):
     # -- CostProvider API ----------------------------------------------------
 
     def segment_cost(self, seg: Segment) -> SegCost:
+        cached = self._seg_memo.get(seg)
+        if cached is None:
+            cached = self._seg_memo[seg] = self._segment_cost(seg)
+        return cached
+
+    def _segment_cost(self, seg: Segment) -> SegCost:
         lt = self.layer
         k = seg.kind
         if k is SegmentKind.LAYERS:

@@ -214,5 +214,7 @@ def build_interleaved_1f1b(
         programs=programs,
         meta={"family": "interleaved", "num_chunks": v, "num_layers": L},
     )
-    sched.validate()
+    # Verification is the registry's job (spec.build runs the pass
+    # pipeline unless verify=False); validating here too would run
+    # every pass twice per build on the tuner's hot path.
     return sched

@@ -108,7 +108,9 @@ class LayerwiseBuilder:
             programs=programs,
             meta={"family": "layerwise", "num_layers": self.costs.num_layers},
         )
-        sched.validate()
+        # Verification is the registry's job (spec.build runs the pass
+        # pipeline unless verify=False); validating here too would run
+        # every pass twice per build on the tuner's hot path.
         return sched
 
     # -- groups -------------------------------------------------------------------

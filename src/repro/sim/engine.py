@@ -23,13 +23,22 @@ mark is reported per stage (paper Figures 4, 10, 11).
 
 The simulator is deterministic: ties are broken by instruction issue
 order.
+
+The event core is the auto-tuner's innermost loop (one full run per
+candidate), so it is written for speed: each program is compiled once
+into primitive opcode tuples (durations, interned integer tags,
+precomputed transfer times), events are plain tuples on one heap with a
+monotonic sequence counter (the classic heapq+counter idiom), and the
+per-stage state lives in parallel scalar lists.  ``record_trace=False``
+skips :class:`~repro.sim.trace.Interval` allocation entirely -- metrics
+(makespan, busy/blocked time, memory peaks, bytes moved) are tracked
+directly and are identical with tracing on or off.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
+from itertools import count
 
 from repro.cluster.topology import ClusterSpec
 from repro.schedules.ir import (
@@ -48,33 +57,12 @@ from repro.sim.trace import Interval, Trace
 
 __all__ = ["PipelineSimulator", "simulate", "DeadlockError"]
 
+# Compiled opcodes (first element of every program tuple).
+_COMPUTE, _SEND, _RECV = 0, 1, 2
+
 
 class DeadlockError(RuntimeError):
     """The schedule cannot make progress (missing message / cyclic wait)."""
-
-
-@dataclass
-class _StageState:
-    pc: int = 0
-    blocked_tag: str | None = None
-    blocked_since: float = 0.0
-    computing: bool = False
-    busy_time: float = 0.0
-    comm_blocked_time: float = 0.0
-    current_mem: float = 0.0
-    peak_mem: float = 0.0
-    bytes_sent: float = 0.0
-    bytes_received: float = 0.0
-    comm_free_at: float = 0.0  # half-duplex engine
-    send_free_at: float = 0.0  # full-duplex engines
-    recv_free_at: float = 0.0
-
-
-@dataclass(order=True)
-class _PendingTransfer:
-    ready_time: float
-    seq: int
-    send: SendInstr = field(compare=False)
 
 
 class PipelineSimulator:
@@ -90,10 +78,15 @@ class PipelineSimulator:
     static_memory_bytes:
         Per-stage baseline (model states) added to activation tracking.
     duplex:
-        ``"half"`` (default, one comm engine per stage) or ``"full"``.
+        ``"half"`` (one comm engine per stage) or ``"full"`` (default).
     verify:
         Run the executability passes before simulating.  Callers that
         just verified the schedule (registry builds) may disable this.
+    record_trace:
+        Record per-interval :class:`~repro.sim.trace.Trace` entries.
+        Disabling skips all Interval allocation (the tuner's hot path);
+        every :class:`~repro.sim.metrics.SimResult` metric is identical
+        either way -- only ``result.trace`` is left empty.
     """
 
     def __init__(
@@ -103,6 +96,7 @@ class PipelineSimulator:
         static_memory_bytes: list[float] | float = 0.0,
         duplex: str = "full",
         verify: bool = True,
+        record_trace: bool = True,
     ) -> None:
         # The simulator only needs the executability passes (structure +
         # static deadlock-freedom); accounting properties like stash
@@ -121,6 +115,7 @@ class PipelineSimulator:
         self.schedule = schedule
         self.cluster = cluster
         self.duplex = duplex
+        self.record_trace = record_trace
         p = schedule.num_stages
         if isinstance(static_memory_bytes, (int, float)):
             static_memory_bytes = [float(static_memory_bytes)] * p
@@ -128,192 +123,261 @@ class PipelineSimulator:
             raise ValueError("static_memory_bytes must have one entry per stage")
         self.static = [float(x) for x in static_memory_bytes]
 
+    # -- compilation ---------------------------------------------------------
+
+    def _compile(self) -> tuple[list[list[tuple]], list[str]]:
+        """Lower each program to primitive opcode tuples.
+
+        Compute: ``(_COMPUTE, duration, stash_delta, workspace+, instr)``.
+        Send:    ``(_SEND, tag_id, src, dst, nbytes, p2p_time, instr)``.
+        Recv:    ``(_RECV, tag_id, instr)``.
+
+        Tags are interned to dense integers (set membership and the
+        blocked-receiver check become int compares) and every transfer
+        duration is priced exactly once, with the same
+        ``cluster.p2p_time`` call the event loop used to make per event.
+        """
+        p2p_time = self.cluster.p2p_time
+        p2p_cache: dict[float, float] = {}
+        tag_ids: dict[str, int] = {}
+        intern_tag = tag_ids.setdefault
+        programs: list[list[tuple]] = []
+        for prog in self.schedule.programs:
+            ops: list[tuple] = []
+            append = ops.append
+            for instr in prog:
+                if type(instr) is ComputeInstr or isinstance(instr, ComputeInstr):
+                    ws = instr.workspace
+                    append(
+                        (
+                            _COMPUTE,
+                            instr.duration,
+                            instr.stash_delta,
+                            ws if ws > 0.0 else 0.0,
+                            instr,
+                        )
+                    )
+                elif type(instr) is SendInstr or isinstance(instr, SendInstr):
+                    nbytes = instr.nbytes
+                    dur = p2p_cache.get(nbytes)
+                    if dur is None:
+                        dur = p2p_cache[nbytes] = p2p_time(nbytes)
+                    append(
+                        (
+                            _SEND,
+                            intern_tag(instr.tag, len(tag_ids)),
+                            instr.stage,
+                            instr.peer,
+                            float(nbytes),
+                            dur,
+                            instr,
+                        )
+                    )
+                elif type(instr) is RecvInstr or isinstance(instr, RecvInstr):
+                    append((_RECV, intern_tag(instr.tag, len(tag_ids)), instr))
+                else:
+                    raise TypeError(f"unknown instruction type: {type(instr)!r}")
+            programs.append(ops)
+        tags = [""] * len(tag_ids)
+        for tag, tid in tag_ids.items():
+            tags[tid] = tag
+        return programs, tags
+
     # -- public API ----------------------------------------------------------
 
     def run(self) -> SimResult:
         p = self.schedule.num_stages
-        self._states = [_StageState() for _ in range(p)]
-        for st, base in zip(self._states, self.static):
-            st.current_mem = base
-            st.peak_mem = base
-        self._events: list[tuple[float, int, str, object]] = []
-        self._eseq = itertools.count()
-        self._pending: list[_PendingTransfer] = []
-        self._tseq = itertools.count()
-        self._arrived: set[str] = set()
-        self._trace = Trace()
+        half = self.duplex == "half"
+        programs, _ = self._compile()
+        sizes = [len(ops) for ops in programs]
+
+        # Per-stage scalar state in parallel lists (cheaper than
+        # attribute access on a state object in the inner loop).
+        pc = [0] * p
+        computing = [False] * p
+        blocked_tag: list[int | None] = [None] * p
+        blocked_since = [0.0] * p
+        busy_time = [0.0] * p
+        comm_blocked = [0.0] * p
+        current_mem = list(self.static)
+        peak_mem = list(self.static)
+        bytes_sent = [0.0] * p
+        bytes_received = [0.0] * p
+        comm_free = [0.0] * p  # half-duplex engine
+        send_free = [0.0] * p  # full-duplex engines
+        recv_free = [0.0] * p
+
+        events: list[tuple] = []  # (t, seq, opcode, ...)
+        eseq = count()
+        pending: list[tuple] = []  # (ready_time, seq, send_op)
+        tseq = count()
+        arrived: set[int] = set()
+        # getattr: tests construct half-initialised simulators via
+        # __new__ to poke the deadlock path; default to tracing.
+        trace = Trace() if getattr(self, "record_trace", True) else None
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        def start_transfers(now: float) -> None:
+            # Start every pending transfer whose engines are free at
+            # ``now``.  A single pass in (ready_time, issue order)
+            # suffices: starting a transfer only makes engines busier,
+            # never frees one.
+            still: list[tuple] = []
+            while pending:
+                item = heappop(pending)
+                if item[0] <= now:
+                    op = item[2]
+                    src, dst = op[2], op[3]
+                    if half:
+                        a, b = comm_free[src], comm_free[dst]
+                    else:
+                        a, b = send_free[src], recv_free[dst]
+                    if (a if a > b else b) <= now:
+                        end = now + op[5]
+                        if half:
+                            comm_free[src] = end
+                            comm_free[dst] = end
+                        else:
+                            send_free[src] = end
+                            recv_free[dst] = end
+                        heappush(events, (end, next(eseq), _SEND, op, now))
+                        continue
+                still.append(item)
+            for item in still:
+                heappush(pending, item)
+
+        def advance(stage: int, now: float) -> None:
+            # Run the stage's program counter forward until it starts a
+            # compute, blocks on a missing message, or finishes.
+            ops = programs[stage]
+            n = sizes[stage]
+            i = pc[stage]
+            while i < n:
+                op = ops[i]
+                code = op[0]
+                if code == _COMPUTE:
+                    computing[stage] = True
+                    high = current_mem[stage] + op[3]
+                    if high > peak_mem[stage]:
+                        peak_mem[stage] = high
+                    heappush(
+                        events,
+                        (now + op[1], next(eseq), _COMPUTE, stage, op, now),
+                    )
+                    pc[stage] = i
+                    return
+                if code == _SEND:
+                    heappush(pending, (now, next(tseq), op))
+                    i += 1
+                    pc[stage] = i
+                    start_transfers(now)
+                    continue
+                # _RECV
+                if op[1] in arrived:
+                    i += 1
+                    continue
+                blocked_tag[stage] = op[1]
+                blocked_since[stage] = now
+                pc[stage] = i
+                return
+            pc[stage] = i
 
         for stage in range(p):
-            self._advance(stage, 0.0)
+            advance(stage, 0.0)
 
-        while self._events:
-            t, _, kind, payload = heapq.heappop(self._events)
-            if kind == "compute_done":
-                self._on_compute_done(t, payload)  # type: ignore[arg-type]
-            elif kind == "transfer_done":
-                self._on_transfer_done(t, payload)  # type: ignore[arg-type]
+        # Events pop in non-decreasing time order, so the makespan is
+        # simply the time of the last event (identical to the maximum
+        # interval end the trace used to report).
+        makespan = 0.0
+        while events:
+            ev = heappop(events)
+            t = ev[0]
+            makespan = t
+            if ev[2] == _COMPUTE:
+                stage, op = ev[3], ev[4]
+                computing[stage] = False
+                busy_time[stage] += op[1]
+                cur = current_mem[stage] + op[2]
+                current_mem[stage] = cur
+                if cur > peak_mem[stage]:
+                    peak_mem[stage] = cur
+                if trace is not None:
+                    instr = op[4]
+                    trace.add(
+                        Interval(
+                            kind="compute",
+                            stage=stage,
+                            start=ev[5],
+                            end=t,
+                            label=instr.label,
+                            micro_batch=instr.micro_batch,
+                        )
+                    )
+                pc[stage] += 1
+                advance(stage, t)
+            else:  # _SEND completion
+                op = ev[3]
+                tid, src, dst = op[1], op[2], op[3]
+                arrived.add(tid)
+                bytes_sent[src] += op[4]
+                bytes_received[dst] += op[4]
+                if trace is not None:
+                    instr = op[6]
+                    trace.add(
+                        Interval(
+                            kind="comm",
+                            stage=src,
+                            start=ev[4],
+                            end=t,
+                            label=instr.tag,
+                            micro_batch=instr.micro_batch,
+                            peer=dst,
+                        )
+                    )
+                start_transfers(t)
+                if blocked_tag[dst] == tid:
+                    blocked_tag[dst] = None
+                    comm_blocked[dst] += t - blocked_since[dst]
+                    pc[dst] += 1
+                    advance(dst, t)
 
-        self._check_all_done()
-        return self._build_result()
+        # -- wrap-up ---------------------------------------------------------
 
-    # -- program advancement ---------------------------------------------------
-
-    def _advance(self, stage: int, now: float) -> None:
-        st = self._states[stage]
-        prog = self.schedule.programs[stage]
-        while not st.computing and st.pc < len(prog):
-            instr = prog[st.pc]
-            if isinstance(instr, ComputeInstr):
-                self._start_compute(stage, instr, now)
-                return
-            if isinstance(instr, SendInstr):
-                heapq.heappush(
-                    self._pending,
-                    _PendingTransfer(now, next(self._tseq), instr),
-                )
-                st.pc += 1
-                self._start_transfers(now)
-                continue
-            if isinstance(instr, RecvInstr):
-                if instr.tag in self._arrived:
-                    st.pc += 1
-                    continue
-                st.blocked_tag = instr.tag
-                st.blocked_since = now
-                return
-            raise TypeError(f"unknown instruction type: {type(instr)!r}")
-
-    def _start_compute(self, stage: int, instr: ComputeInstr, now: float) -> None:
-        st = self._states[stage]
-        st.computing = True
-        st.peak_mem = max(st.peak_mem, st.current_mem + max(0.0, instr.workspace))
-        end = now + instr.duration
-        heapq.heappush(
-            self._events, (end, next(self._eseq), "compute_done", (stage, instr, now))
-        )
-
-    def _on_compute_done(self, t: float, payload: object) -> None:
-        stage, instr, started = payload  # type: ignore[misc]
-        st = self._states[stage]
-        st.computing = False
-        st.busy_time += instr.duration
-        st.current_mem += instr.stash_delta
-        st.peak_mem = max(st.peak_mem, st.current_mem)
-        self._trace.add(
-            Interval(
-                kind="compute",
-                stage=stage,
-                start=started,
-                end=t,
-                label=instr.label,
-                micro_batch=instr.micro_batch,
-            )
-        )
-        st.pc += 1
-        self._advance(stage, t)
-
-    # -- transfers ---------------------------------------------------------------
-
-    def _engines_free_at(self, src: int, dst: int) -> float:
-        s, d = self._states[src], self._states[dst]
-        if self.duplex == "half":
-            return max(s.comm_free_at, d.comm_free_at)
-        return max(s.send_free_at, d.recv_free_at)
-
-    def _occupy_engines(self, src: int, dst: int, until: float) -> None:
-        s, d = self._states[src], self._states[dst]
-        if self.duplex == "half":
-            s.comm_free_at = until
-            d.comm_free_at = until
-        else:
-            s.send_free_at = until
-            d.recv_free_at = until
-
-    def _start_transfers(self, now: float) -> None:
-        """Start every pending transfer whose engines are free at ``now``.
-
-        A single pass in (ready_time, issue order) suffices: starting a
-        transfer only makes engines busier, never frees one.
-        """
-        still: list[_PendingTransfer] = []
-        while self._pending:
-            pt = heapq.heappop(self._pending)
-            send = pt.send
-            if pt.ready_time <= now and self._engines_free_at(send.stage, send.peer) <= now:
-                end = now + self.cluster.p2p_time(send.nbytes)
-                self._occupy_engines(send.stage, send.peer, end)
-                heapq.heappush(
-                    self._events,
-                    (end, next(self._eseq), "transfer_done", (send, now)),
-                )
-            else:
-                still.append(pt)
-        for pt in still:
-            heapq.heappush(self._pending, pt)
-
-    def _on_transfer_done(self, t: float, payload: object) -> None:
-        send, started = payload  # type: ignore[misc]
-        self._arrived.add(send.tag)
-        src, dst = send.stage, send.peer
-        self._states[src].bytes_sent += send.nbytes
-        self._states[dst].bytes_received += send.nbytes
-        self._trace.add(
-            Interval(
-                kind="comm",
-                stage=src,
-                start=started,
-                end=t,
-                label=send.tag,
-                micro_batch=send.micro_batch,
-                peer=dst,
-            )
-        )
-        self._start_transfers(t)
-        st = self._states[dst]
-        if st.blocked_tag == send.tag:
-            st.blocked_tag = None
-            st.comm_blocked_time += t - st.blocked_since
-            st.pc += 1
-            self._advance(dst, t)
-
-    # -- wrap-up -------------------------------------------------------------------
-
-    def _check_all_done(self) -> None:
         stuck = []
-        for stage, st in enumerate(self._states):
-            prog = self.schedule.programs[stage]
-            if st.pc < len(prog):
+        for stage in range(p):
+            if pc[stage] < sizes[stage]:
+                instr = self.schedule.programs[stage][pc[stage]]
+                tid = blocked_tag[stage]
+                blocked = None if tid is None else programs[stage][pc[stage]][2].tag
                 stuck.append(
-                    f"stage {stage} stuck at pc={st.pc} "
-                    f"({prog[st.pc].label}, blocked_on={st.blocked_tag})"
+                    f"stage {stage} stuck at pc={pc[stage]} "
+                    f"({instr.label}, blocked_on={blocked})"
                 )
-        if self._pending:
-            tags = [pt.send.tag for pt in self._pending]
+        if pending:
+            tags = [item[2][6].tag for item in pending]
             stuck.append(f"undelivered transfers: {tags[:5]}")
         if stuck:
             raise DeadlockError(
                 f"schedule {self.schedule.name!r} deadlocked:\n  " + "\n  ".join(stuck)
             )
 
-    def _build_result(self) -> SimResult:
-        makespan = self._trace.makespan
         stages = [
             StageMetrics(
                 stage=i,
-                busy_time=st.busy_time,
-                comm_blocked_time=st.comm_blocked_time,
-                peak_memory_bytes=st.peak_mem,
+                busy_time=busy_time[i],
+                comm_blocked_time=comm_blocked[i],
+                peak_memory_bytes=peak_mem[i],
                 static_memory_bytes=self.static[i],
-                bytes_sent=st.bytes_sent,
-                bytes_received=st.bytes_received,
+                bytes_sent=bytes_sent[i],
+                bytes_received=bytes_received[i],
             )
-            for i, st in enumerate(self._states)
+            for i in range(p)
         ]
         return SimResult(
             schedule_name=self.schedule.name,
             makespan=makespan,
             stages=stages,
-            trace=self._trace,
+            trace=trace if trace is not None else Trace(),
         )
 
 
@@ -323,8 +387,9 @@ def simulate(
     static_memory_bytes: list[float] | float = 0.0,
     duplex: str = "full",
     verify: bool = True,
+    record_trace: bool = True,
 ) -> SimResult:
     """Convenience wrapper: build a :class:`PipelineSimulator` and run it."""
     return PipelineSimulator(
-        schedule, cluster, static_memory_bytes, duplex, verify
+        schedule, cluster, static_memory_bytes, duplex, verify, record_trace
     ).run()

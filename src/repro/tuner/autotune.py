@@ -50,6 +50,7 @@ from repro.schedules.registry import (
 )
 from repro.sim import simulate
 from repro.sim.engine import DeadlockError
+from repro.tuner.bounds import throughput_upper_bounds
 from repro.tuner.cache import DEFAULT_CACHE, CostCache
 from repro.tuner.worker import evaluate_chunk
 
@@ -306,29 +307,75 @@ def _candidate_key(
     )
 
 
+class _EvalContext:
+    """Per-sweep memo of workload-derived values shared by every candidate.
+
+    Cost providers, the static-memory figure and per-spec workload
+    option defaults are pure functions of the workload (and memory cap),
+    yet were recomputed for each of the hundreds of candidates in a
+    sweep -- dominating profiles of the cold path.  One context per
+    sweep evaluates each exactly once; cost providers are further shared
+    per recompute strategy (builders never mutate them).
+    """
+
+    def __init__(self, workload: Any, memory_cap_bytes: float) -> None:
+        self.workload = workload
+        self.memory_cap_bytes = memory_cap_bytes
+        self._costs: dict[RecomputeStrategy, Any] = {}
+        self._static: float | None = None
+        self._defaults: dict[str, dict[str, Any]] = {}
+
+    def costs(self, recompute: RecomputeStrategy) -> Any:
+        provider = self._costs.get(recompute)
+        if provider is None:
+            provider = self._costs[recompute] = self.workload.costs(recompute)
+        return provider
+
+    def static_memory(self) -> float:
+        if self._static is None:
+            self._static = self.workload.static_memory()
+        return self._static
+
+    def option_defaults(self, spec: ScheduleSpec) -> dict[str, Any]:
+        defaults = self._defaults.get(spec.name)
+        if defaults is None:
+            defaults = self._defaults[spec.name] = workload_option_defaults(
+                spec, self.workload, self.memory_cap_bytes
+            )
+        return defaults
+
+
 def _cold_evaluate(
-    workload: Any, cand: Candidate, memory_cap_bytes: float
+    workload: Any,
+    cand: Candidate,
+    memory_cap_bytes: float,
+    ctx: _EvalContext | None = None,
 ) -> dict[str, Any]:
     """Build + simulate one candidate; returns a cacheable record."""
+    if ctx is None:
+        ctx = _EvalContext(workload, memory_cap_bytes)
     spec = get_schedule(cand.schedule)
     opts = dict(cand.options)
-    for name, value in workload_option_defaults(
-        spec, workload, memory_cap_bytes
-    ).items():
+    for name, value in ctx.option_defaults(spec).items():
         opts.setdefault(name, value)
     try:
+        # verify=False on both steps: registry builders are
+        # property-tested against the full pass pipeline, so the sweep
+        # skips the per-candidate re-verification; a genuinely
+        # unexecutable schedule still surfaces as a runtime
+        # DeadlockError below.
         sched = spec.build(
             (workload.p, cand.num_micro_batches),
-            workload.costs(cand.recompute),
+            ctx.costs(cand.recompute),
+            verify=False,
             **opts,
         )
-        # spec.build just ran the full pass pipeline; skip the
-        # simulator's redundant executability re-check on the hot path.
         result = simulate(
             sched,
             workload.cluster,
-            static_memory_bytes=workload.static_memory(),
+            static_memory_bytes=ctx.static_memory(),
             verify=False,
+            record_trace=False,
         )
     except (ScheduleBuildError, DeadlockError, ValueError) as err:
         return {"error": str(err)}
@@ -395,6 +442,7 @@ def autotune(
     cache: CostCache | None = None,
     include_infeasible: bool = True,
     workers: int | None = None,
+    prune: bool = True,
 ) -> list[PlanResult]:
     """Search the schedule space for the fastest feasible plan.
 
@@ -436,6 +484,21 @@ def autotune(
         evaluates a chunk into its own cache; the chunks are merged into
         ``cache`` on join, and results are identical to the serial sweep
         in content, order and cache-stats accounting.
+    prune:
+        Skip simulating candidates whose closed-form throughput upper
+        bound (:func:`repro.tuner.bounds.throughput_upper_bounds`, built
+        on the Table 2 lower bounds in :mod:`repro.analysis.bubble`)
+        is already below the best simulated feasible throughput.
+        Candidates are walked best-bound-first, so the optimum is
+        provably never pruned: the winner's bound dominates its own
+        simulated throughput, hence every candidate it prunes is
+        strictly worse.  Pruned candidates surface as infeasible rows
+        (reason ``"pruned: ..."``), are counted in
+        :attr:`CacheStats.pruned`, and never enter the cache -- a warm
+        re-sweep replays the identical decisions.  ``prune=False`` is
+        the exhaustive escape hatch; workloads the closed-form model
+        cannot price (duck types without model/GPU attributes) disable
+        pruning automatically.
 
     Returns
     -------
@@ -478,17 +541,55 @@ def autotune(
         )
         rows.append(None)
 
+    # Admissible pruning: price every pending candidate's closed-form
+    # throughput upper bound in one vectorised shot, then walk the
+    # candidates best-bound-first.  Any candidate whose bound is below
+    # the best simulated feasible throughput so far provably cannot win
+    # (bound >= simulated throughput), so its simulation is skipped.
+    ctx = _EvalContext(workload, memory_cap_bytes)
+    ubs = (
+        throughput_upper_bounds(workload, [c for _, c, _ in pending])
+        if prune and pending
+        else None
+    )
+    if ubs is None:
+        order = range(len(pending))
+    else:
+        # Ties (same bound) keep sweep order, so the walk -- and with it
+        # every pruning decision -- is deterministic.
+        order = sorted(range(len(pending)), key=lambda i: (-ubs[i], i))
+
     # Fan the cold candidates out to a process pool.  Each worker fills
     # a private CostCache; the merged records feed the same get_or_eval
     # path the serial sweep uses, so hit/miss accounting is identical.
     remote: dict[tuple, dict[str, Any]] = {}
     if workers and workers > 1:
+        # Cached feasible throughputs give the pruning floor before any
+        # cold work is dispatched.  A candidate the serial replay below
+        # prunes at bound ub had some earlier-walked candidate with
+        # simulated throughput > ub; that candidate's own bound is >= its
+        # throughput > ub, so the dispatch filter (ub >= floor from
+        # *all* cached records) keeps a superset of what the replay
+        # simulates -- never the reverse, which would deadlock the
+        # replay into local cold evaluation.
+        best_floor = 0.0
+        if ubs is not None:
+            for idx, cand, key in pending:
+                if key in cache:
+                    row = _to_plan_result(
+                        workload, cand, cache.peek(key), memory_cap_bytes
+                    )
+                    if row.feasible and row.tokens_per_s > best_floor:
+                        best_floor = row.tokens_per_s
         missing: list[Candidate] = []
         seen: set[tuple] = set()
-        for _, cand, key in pending:
-            if key not in cache and key not in seen:
-                seen.add(key)
-                missing.append(cand)
+        for i, (_, cand, key) in enumerate(pending):
+            if key in cache or key in seen:
+                continue
+            if ubs is not None and ubs[i] < best_floor:
+                continue
+            seen.add(key)
+            missing.append(cand)
         if missing:
             n_workers = min(int(workers), len(missing))
             # Strided chunks spread expensive neighbours (large m, MILP
@@ -499,14 +600,34 @@ def autotune(
                 for worker_cache in pool.map(run, chunks):
                     remote.update(worker_cache.entries())
 
-    for idx, cand, key in pending:
+    best_tps = 0.0
+    for i in order:
+        idx, cand, key = pending[i]
+        if key not in cache and ubs is not None and ubs[i] < best_tps:
+            # Simulating this candidate cannot change the winner; report
+            # it as pruned.  It never enters the cache, so a warm
+            # re-sweep walks the identical records and replays the
+            # identical decision (cached records are never pruned).
+            # Remote workers may have speculatively evaluated it under
+            # their weaker pre-dispatch floor; that record is discarded.
+            cache.stats.pruned += 1
+            rows[idx] = _infeasible(
+                cand,
+                f"pruned: throughput upper bound {ubs[i]:.0f} tokens/s "
+                f"below best simulated plan {best_tps:.0f} tokens/s",
+            )
+            continue
         if key in remote:
             record = cache.get_or_eval(key, lambda k=key: remote[k])
         else:
             record = cache.get_or_eval(
-                key, lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes)
+                key,
+                lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes, ctx),
             )
-        rows[idx] = _to_plan_result(workload, cand, record, memory_cap_bytes)
+        row = _to_plan_result(workload, cand, record, memory_cap_bytes)
+        rows[idx] = row
+        if row.feasible and row.tokens_per_s > best_tps:
+            best_tps = row.tokens_per_s
 
     results: list[PlanResult] = rows  # type: ignore[assignment]
     feasible = [r for r in results if r.feasible]

@@ -1,0 +1,110 @@
+"""Vectorised admissible throughput bounds for candidate pruning.
+
+The auto-tuner ranks feasible plans by simulated tokens/s, so a
+candidate can be skipped without simulation when an *upper* bound on its
+throughput is already below the best simulated value.  This module
+prices a whole candidate grid in one numpy pass: the workload's layer
+times come from :func:`repro.costmodel.timing.batch_layer_times` (one
+batched roofline evaluation) and each candidate's makespan lower bound
+from :func:`repro.analysis.bubble.makespan_lower_bound` (Table 2
+warm-up ramps + work conservation + the single-micro-batch dependency
+chain), evaluated once per unique (schedule, options) configuration and
+broadcast over the micro-batch axis with numpy.
+
+Bounds are *admissible*: ``upper_bound >= simulated tokens/s`` for every
+candidate, so best-first pruning in :func:`repro.tuner.autotune` never
+discards the optimum (see ``tests/analysis/test_bounds.py`` and
+``tests/tuner/test_prune.py``).  Workloads that cannot be priced (duck
+types without a model/cluster, exotic cost providers) return ``None``,
+which disables pruning rather than guessing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.analysis.bubble import bubble_lower_bound, recompute_time_lower_bound
+from repro.costmodel.timing import batch_layer_times
+
+__all__ = ["throughput_upper_bounds"]
+
+
+def _spec_options(schedule: str) -> dict[str, Any]:
+    # Registered defaults fill option names the canonicalised candidate
+    # tuple dropped; unknown schedules fall back to the candidate's own
+    # options (the bound dispatch has safe defaults for missing names).
+    from repro.schedules.registry import get_schedule
+
+    try:
+        return dict(get_schedule(schedule).options)
+    except KeyError:
+        return {}
+
+
+def throughput_upper_bounds(
+    workload: Any, candidates: Sequence[Any]
+) -> Optional["object"]:
+    """Upper-bound tokens/s for every candidate, or ``None`` if unpriceable.
+
+    Returns a float64 array aligned with ``candidates``.  Each entry is
+    ``tokens(candidate) / makespan_lower_bound(candidate)`` -- since the
+    bound never exceeds the simulated makespan, the ratio never falls
+    below the simulated throughput.
+    """
+    import numpy as np
+
+    if not candidates:
+        return np.zeros(0)
+    try:
+        gpu = workload.cluster.node.gpu
+        sp = int(workload.cluster.sequence_parallel_size)
+        model = workload.model
+        num_layers = int(model.num_layers)
+        p = int(workload.p)
+        b = int(workload.micro_batch)
+        s = int(workload.seq_len)
+        # One batched roofline evaluation prices the workload point;
+        # every candidate shares its (b, s) shape.
+        layer = batch_layer_times(gpu, model, [b], [s], sp=sp).scalar(0)
+    except (AttributeError, TypeError, ValueError):
+        return None
+
+    work_per_mb = num_layers * (layer.fwd + layer.bwd) / p
+    chain = num_layers * (
+        layer.fwd + layer.pre.bwd_b + layer.attn.bwd_b + layer.post.bwd_b
+    )
+    tokens_per_mb = float(b) * s
+
+    # Bubble terms depend only on (schedule, options) and recompute
+    # terms only on the strategy; evaluate each unique configuration
+    # once and broadcast over the micro-batch axis.
+    bubble_memo: dict[tuple[str, tuple], float] = {}
+    rc_memo: dict[Any, float] = {}
+    bubbles = np.empty(len(candidates))
+    rc = np.empty(len(candidates))
+    m = np.empty(len(candidates))
+    for i, cand in enumerate(candidates):
+        m[i] = cand.num_micro_batches
+        key = (cand.schedule, cand.options)
+        bub = bubble_memo.get(key)
+        if bub is None:
+            opts = _spec_options(cand.schedule)
+            opts.update(dict(cand.options))
+            bub = bubble_lower_bound(cand.schedule, layer, num_layers, p, opts)
+            bubble_memo[key] = bub
+        bubbles[i] = bub
+        rc_i = rc_memo.get(cand.recompute)
+        if rc_i is None:
+            rc_i = rc_memo[cand.recompute] = recompute_time_lower_bound(
+                layer, cand.recompute
+            )
+        rc[i] = rc_i
+    # Every layer's backward re-runs the strategy's recompute forward on
+    # the same serial engine -- per micro batch (work term) and on the
+    # single-micro-batch critical path (chain term) alike.
+    lower = np.maximum(
+        m * (work_per_mb + num_layers * rc / p) + bubbles,
+        chain + num_layers * rc,
+    )
+    with np.errstate(divide="ignore"):
+        return np.where(lower > 0.0, m * tokens_per_mb / lower, np.inf)

@@ -121,12 +121,15 @@ class CacheStats:
     ``hits`` counts lookups served from entries created in-process
     (evaluated, adopted or merged); ``disk_hits`` counts lookups served
     from entries loaded off a persisted store.  ``misses`` counts cold
-    evaluations.
+    evaluations.  ``pruned`` counts candidates the auto-tuner's
+    admissible lower bound skipped without simulating (they never touch
+    the cache, so they appear in no other counter).
     """
 
     hits: int = 0
     disk_hits: int = 0
     misses: int = 0
+    pruned: int = 0
 
     @property
     def total_hits(self) -> int:
@@ -142,7 +145,8 @@ class CacheStats:
 
     def __str__(self) -> str:
         disk = f" ({self.disk_hits} from disk)" if self.disk_hits else ""
-        return f"{self.total_hits} hits{disk} / {self.misses} misses"
+        pruned = f" / {self.pruned} pruned" if self.pruned else ""
+        return f"{self.total_hits} hits{disk} / {self.misses} misses{pruned}"
 
 
 def _freeze(value: Any) -> Any:

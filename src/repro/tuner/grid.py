@@ -77,6 +77,7 @@ def tune_grid(
     cache: CostCache | None = None,
     include_infeasible: bool = True,
     workers: int | None = None,
+    prune: bool = True,
 ) -> list[GridPlan]:
     """Search workloads x schedules for the fastest feasible plan.
 
@@ -106,6 +107,7 @@ def tune_grid(
             cache=cache,
             include_infeasible=True,
             workers=workers,
+            prune=prune,
         )
         for plan in plans:
             row = GridPlan(point, plan, plan.reason)

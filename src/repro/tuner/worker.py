@@ -41,14 +41,16 @@ def evaluate_chunk(
     from repro.tuner.autotune import (
         _candidate_key,
         _cold_evaluate,
+        _EvalContext,
         _workload_key,
     )
 
     local = CostCache()
     wkey = _workload_key(workload)
+    ctx = _EvalContext(workload, memory_cap_bytes)
     for cand in candidates:
         local.get_or_eval(
             _candidate_key(workload, cand, memory_cap_bytes, wkey),
-            lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes),
+            lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes, ctx),
         )
     return local

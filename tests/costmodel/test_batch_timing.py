@@ -1,0 +1,86 @@
+"""Batched timing model: numpy pass must equal the scalar model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.gpu import GPU_PRESETS
+from repro.costmodel.timing import TimingModel, batch_layer_times
+from repro.model.config import MODEL_PRESETS
+
+SEQ_LENS = (4096, 32768, 65536, 131072)
+MICRO_BATCHES = (1, 2, 4)
+
+
+def _phases(lt):
+    return {
+        "pre": lt.pre,
+        "attn": lt.attn,
+        "post": lt.post,
+        "qkv": lt.qkv,
+    }
+
+
+class TestBatchMatchesScalar:
+    @pytest.mark.parametrize("gpu_name", sorted(GPU_PRESETS))
+    @pytest.mark.parametrize("model_name", sorted(MODEL_PRESETS))
+    def test_preset_matrix_to_1e12(self, gpu_name, model_name):
+        """Every (gpu, model, b, s) cell matches the scalar model to 1e-12."""
+        gpu = GPU_PRESETS[gpu_name]
+        model = MODEL_PRESETS[model_name]
+        shapes = [(b, s) for b in MICRO_BATCHES for s in SEQ_LENS]
+        bs = np.array([b for b, _ in shapes])
+        ss = np.array([s for _, s in shapes])
+        batch = batch_layer_times(gpu, model, bs, ss, sp=8)
+        assert len(batch) == len(shapes)
+        for i, (b, s) in enumerate(shapes):
+            scalar = TimingModel(gpu, model, b, s, sp=8).layer_times()
+            for name, ph in _phases(scalar).items():
+                bph = _phases(batch)[name]
+                for f in ("fwd", "bwd_b", "bwd_w"):
+                    want = getattr(ph, f)
+                    got = float(getattr(bph, f)[i])
+                    assert got == pytest.approx(want, rel=1e-12, abs=1e-300), (
+                        f"{gpu_name}/{model_name} b={b} s={s} {name}.{f}"
+                    )
+
+    def test_aggregates_and_scalar_view(self):
+        gpu = GPU_PRESETS["H20"]
+        model = MODEL_PRESETS["7B"]
+        batch = batch_layer_times(gpu, model, [1, 1], [32768, 65536], sp=8)
+        for i, s in enumerate((32768, 65536)):
+            scalar = TimingModel(gpu, model, 1, s, sp=8).layer_times()
+            assert float(batch.fwd[i]) == pytest.approx(scalar.fwd, rel=1e-12)
+            assert float(batch.bwd[i]) == pytest.approx(scalar.bwd, rel=1e-12)
+            assert float(batch.total[i]) == pytest.approx(scalar.total, rel=1e-12)
+            view = batch.scalar(i)
+            assert view.pre.fwd == pytest.approx(scalar.pre.fwd, rel=1e-12)
+            assert view.attn.bwd_b == pytest.approx(scalar.attn.bwd_b, rel=1e-12)
+
+    def test_causal_flag_and_sp_mirror_scalar(self):
+        gpu = GPU_PRESETS["A800"]
+        model = MODEL_PRESETS["7B"]
+        for causal in (True, False):
+            for sp in (1, 4):
+                batch = batch_layer_times(
+                    gpu, model, [1], [16384], sp=sp, causal=causal
+                )
+                scalar = TimingModel(
+                    gpu, model, 1, 16384, sp=sp, causal=causal
+                ).layer_times()
+                assert float(batch.attn.fwd[0]) == pytest.approx(
+                    scalar.attn.fwd, rel=1e-12
+                )
+
+    def test_broadcasting_scalar_micro_batch(self):
+        gpu = GPU_PRESETS["H20"]
+        model = MODEL_PRESETS["7B"]
+        batch = batch_layer_times(gpu, model, 1, list(SEQ_LENS), sp=8)
+        assert len(batch) == len(SEQ_LENS)
+
+    def test_rejects_bad_inputs(self):
+        gpu = GPU_PRESETS["H20"]
+        model = MODEL_PRESETS["7B"]
+        with pytest.raises(ValueError):
+            batch_layer_times(gpu, model, [0], [4096])
+        with pytest.raises(ValueError):
+            batch_layer_times(gpu, model, [1], [4096], sp=0)

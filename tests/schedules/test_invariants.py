@@ -11,7 +11,13 @@ registered in a later PR inherits all of these checks for free.
 
 import pytest
 
+from repro.analysis.bubble import (
+    makespan_lower_bound,
+    recompute_time_lower_bound,
+)
+from repro.costmodel.memory import RecomputeStrategy
 from repro.schedules.registry import (
+    ScheduleBuildError,
     available_schedules,
     get_schedule,
     workload_option_defaults,
@@ -94,3 +100,56 @@ class TestScheduleInvariants:
             f"{name} p={p}: per-micro-batch time grew from {per_small} "
             f"to {per_large}"
         )
+
+    def test_lower_bound_admissible(self, name, p):
+        """The closed-form makespan lower bound never exceeds the
+        simulated makespan -- the admissibility property best-first
+        pruning in the auto-tuner relies on (repro.tuner.bounds).
+
+        Swept across the schedule's registered option grid, its
+        micro-batch grid, and NONE plus each spec's default recompute
+        strategy, with the per-strategy recompute term
+        (:func:`recompute_time_lower_bound`) included -- the tightest
+        bound the tuner's pruning actually uses.
+        """
+        spec = get_schedule(name)
+        wl = _workload(p)
+        layer = wl.costs(RecomputeStrategy.NONE).timing.layer_times()
+        grid = spec.option_grid(p)
+        combos = [{}] + [
+            {opt: v}
+            for opt, values in grid.items()
+            for v in values
+            if v != spec.options[opt]
+        ]
+        strategies = {RecomputeStrategy.NONE, spec.default_recompute}
+        strategies &= set(spec.recompute_choices)
+        for combo in combos:
+            base = spec.micro_batch_divisor(p, **combo)
+            base = max(base, ((2 * p + base - 1) // base) * base)
+            for strat in strategies:
+                for m in (base, M_FACTORS[-1] * base):
+                    opts = {**workload_option_defaults(spec, wl), **combo}
+                    try:
+                        sched = spec.build((p, m), wl.costs(strat), **opts)
+                    except ScheduleBuildError:
+                        # Infeasible grid combo (e.g. layer count not
+                        # divisible by p x chunks) -- nothing to bound.
+                        continue
+                    result = simulate(
+                        sched, wl.cluster,
+                        static_memory_bytes=wl.static_memory(),
+                    )
+                    bound = makespan_lower_bound(
+                        name,
+                        layer,
+                        wl.model.num_layers,
+                        p,
+                        m,
+                        {**spec.options, **combo},
+                        recompute_time_lower_bound(layer, strat),
+                    )
+                    assert bound <= result.makespan * (1.0 + 1e-9), (
+                        f"{name} p={p} m={m} {strat.value} {combo}: bound "
+                        f"{bound} exceeds simulated makespan {result.makespan}"
+                    )

@@ -183,3 +183,41 @@ class TestMetrics:
         s = Schedule("t", 2, 1, [[_f(0)], [_f(1)]])
         with pytest.raises(ValueError):
             simulate(s, abstract_cluster(1))
+
+
+class TestRecordTraceOff:
+    """record_trace=False (the tuner's hot path) must change only the trace."""
+
+    def _real_workload(self):
+        from repro.workloads import Workload
+
+        wl = Workload.paper("1.3B", "H20", 4, 8192)
+        return wl, wl.build("helix"), wl.static_memory()
+
+    def test_metrics_identical_with_and_without_trace(self):
+        wl, sched, static = self._real_workload()
+        on = simulate(sched, wl.cluster, static_memory_bytes=static)
+        off = simulate(
+            sched, wl.cluster, static_memory_bytes=static, record_trace=False
+        )
+        assert off.makespan == on.makespan
+        for a, b in zip(on.stages, off.stages):
+            assert b.busy_time == a.busy_time
+            assert b.comm_blocked_time == a.comm_blocked_time
+            assert b.peak_memory_bytes == a.peak_memory_bytes
+            assert b.bytes_sent == a.bytes_sent
+            assert b.bytes_received == a.bytes_received
+
+    def test_trace_is_empty_but_present(self):
+        wl, sched, static = self._real_workload()
+        off = simulate(
+            sched, wl.cluster, static_memory_bytes=static, record_trace=False
+        )
+        assert off.trace.intervals == [] or not list(off.trace.intervals)
+
+    def test_makespan_matches_trace_makespan_when_on(self):
+        # The event loop reports the last popped event's time; with the
+        # trace on this must coincide with the max interval end.
+        wl, sched, static = self._real_workload()
+        on = simulate(sched, wl.cluster, static_memory_bytes=static)
+        assert on.makespan == on.trace.makespan

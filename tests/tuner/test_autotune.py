@@ -65,6 +65,10 @@ class TestEnumeration:
             small_wl,
             recomputes=[RecomputeStrategy.FULL],
             cache=CostCache(),
+            # Exhaustive: this test is about strategy admissibility, and
+            # with pruning on a slow-but-admissible 1f1b x FULL row may
+            # be (correctly) skipped as provably losing.
+            prune=False,
         )
         helix = [p for p in plans if p.candidate.schedule == "helix"]
         assert helix

@@ -1,0 +1,144 @@
+"""Admissible pruning never changes what the tuner finds.
+
+ISSUE acceptance: on the paper's 7B / H20 / p=8 / 64k acceptance grid
+the pruned sweep's best ``PlanResult`` is byte-identical to the
+exhaustive sweep's, the feasible ranking restricted to the candidates
+both sweeps simulated is identical, and pruning decisions replay
+deterministically across warm re-sweeps and process pools.
+"""
+
+import pytest
+
+from repro.experiments.common import Workload
+from repro.tuner import CostCache, autotune
+
+
+@pytest.fixture(scope="module")
+def wl():
+    """The paper's 7B / H20 / p=8 / 64k acceptance workload."""
+    return Workload.paper("7B", "H20", 8, 65536)
+
+
+@pytest.fixture(scope="module")
+def exhaustive(wl):
+    cache = CostCache()
+    plans = autotune(wl, cache=cache, prune=False)
+    return plans, cache
+
+
+@pytest.fixture(scope="module")
+def pruned(wl):
+    cache = CostCache()
+    plans = autotune(wl, cache=cache)
+    return plans, cache
+
+
+class TestPrunedVsExhaustive:
+    def test_best_plan_is_byte_identical(self, exhaustive, pruned):
+        full, _ = exhaustive
+        cut, _ = pruned
+        assert full and cut
+        assert full[0].feasible
+        assert cut[0] == full[0]
+
+    def test_pruning_actually_prunes(self, wl, exhaustive, pruned):
+        _, full_cache = exhaustive
+        _, cut_cache = pruned
+        assert cut_cache.stats.pruned > 0
+        assert cut_cache.stats.misses < full_cache.stats.misses
+        assert full_cache.stats.pruned == 0
+
+    def test_feasible_ranking_identical_on_simulated_candidates(
+        self, exhaustive, pruned
+    ):
+        """Restricted to the candidates the pruned sweep simulated, the
+        two feasible rankings agree row for row (same order, same
+        metrics): pruning only removes provably-losing rows, it never
+        reorders or perturbs the survivors."""
+        full, _ = exhaustive
+        cut, _ = pruned
+        simulated = {
+            r.candidate for r in cut if not (r.reason or "").startswith("pruned")
+        }
+        full_rank = [r for r in full if r.feasible and r.candidate in simulated]
+        cut_rank = [r for r in cut if r.feasible]
+        assert cut_rank == full_rank
+
+    def test_pruned_rows_reported_not_dropped(self, exhaustive, pruned):
+        """Every exhaustive candidate appears in the pruned sweep too;
+        the skipped ones carry an explicit ``pruned:`` reason."""
+        full, _ = exhaustive
+        cut, _ = pruned
+        assert {r.candidate for r in cut} == {r.candidate for r in full}
+        skipped = [r for r in cut if (r.reason or "").startswith("pruned")]
+        assert skipped
+        for row in skipped:
+            assert not row.feasible
+            assert row.iteration_time is None
+            assert "upper bound" in row.reason
+
+    def test_pruned_candidates_would_have_lost(self, exhaustive, pruned):
+        """Ground truth: every pruned candidate's exhaustively-simulated
+        throughput is below the winner's -- the bound never cut a
+        contender."""
+        full, _ = exhaustive
+        cut, _ = pruned
+        best = full[0].tokens_per_s
+        by_cand = {r.candidate: r for r in full}
+        for row in cut:
+            if (row.reason or "").startswith("pruned"):
+                assert by_cand[row.candidate].tokens_per_s < best
+
+
+class TestDeterminism:
+    def test_warm_resweep_replays_identical_decisions(self, wl):
+        shared = CostCache()
+        cold = autotune(wl, cache=shared)
+        misses = shared.stats.misses
+        warm = autotune(wl, cache=shared)
+        assert warm == cold
+        # Simulated candidates hit the cache; pruned ones never touch it.
+        assert shared.stats.misses == misses
+        assert shared.stats.hits == misses
+        skipped = sum(1 for r in cold if (r.reason or "").startswith("pruned"))
+        assert skipped > 0
+        assert shared.stats.pruned == 2 * skipped
+
+    def test_parallel_matches_serial(self, wl, pruned):
+        serial, serial_cache = pruned
+        cache = CostCache()
+        parallel = autotune(wl, cache=cache, workers=4)
+        assert parallel == serial
+        # Speculatively-dispatched records that lost to the evolving
+        # best are discarded, so the cache holds exactly the candidates
+        # the serial replay simulated.
+        assert len(cache) == len(serial_cache)
+        assert cache.stats.misses == serial_cache.stats.misses
+
+    def test_unpriceable_workload_disables_pruning(self, wl):
+        """A workload the closed-form model cannot price sweeps
+        exhaustively instead of guessing bounds."""
+
+        class DuckWorkload:
+            p = wl.p
+            num_micro_batches = wl.num_micro_batches
+            micro_batch = wl.micro_batch
+            seq_len = wl.seq_len
+            cluster = wl.cluster
+            model = None  # unpriceable: no hidden size / layer count
+
+            def costs(self, recompute):
+                return wl.costs(recompute)
+
+            def static_memory(self):
+                return wl.static_memory()
+
+            def cache_key(self):
+                return ("duck-7B-H20-p8-64k",)
+
+        cache = CostCache()
+        plans = autotune(
+            DuckWorkload(), schedules=["1f1b", "helix"], cache=cache
+        )
+        assert cache.stats.pruned == 0
+        assert any(p.feasible for p in plans)
