@@ -8,7 +8,6 @@ backward, ``.`` for idle.
 
 from __future__ import annotations
 
-from repro.schedules.ir import OpType
 from repro.sim.trace import Trace
 
 __all__ = ["render_timeline"]

@@ -31,6 +31,16 @@ Commands
 
         python -m repro simulate zb1p --model 7B --gpu H20 -p 8 --seq-len 64k
 
+``lint``
+    Static analysis over the schedule IR: build every registered
+    schedule (or ``--schedules A,B``) at each ``-p`` and run the full
+    pass pipeline -- executability, communication-hazard, static
+    peak-memory and dead-code analyses -- without simulating.  Exits
+    non-zero on ERROR findings; ``--strict`` fails on warnings too::
+
+        python -m repro lint
+        python -m repro lint --schedules helix,zb1p -p 2,4 --json
+
 ``tune``
     Run :func:`repro.tuner.autotune` over the full candidate grid and
     print the ranked plan table.  ``--workers N`` evaluates cold
@@ -126,7 +136,6 @@ from repro.workloads import (
     GPU_CLUSTERS,
     Workload,
     WorkloadGrid,
-    format_seq_len,
     parse_int_list,
     parse_seq_len,
     parse_seq_lens,
@@ -428,6 +437,62 @@ def _print_plan_report(
         f"({cache.stats}, hit rate {cache.stats.hit_rate:.0%})"
     )
     return bool(feasible)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.lint import lint_schedules
+    from repro.schedules.analysis import available_passes
+
+    if args.list_passes:
+        from repro.schedules.analysis import get_pass
+
+        rows = []
+        for name in available_passes():
+            ap = get_pass(name)
+            rows.append(
+                {
+                    "pass": name,
+                    "category": ap.category,
+                    "requires": ", ".join(ap.requires) or "-",
+                    "description": ap.description,
+                }
+            )
+        print(format_table(rows))
+        return 0
+
+    schedules = None
+    if args.schedules:
+        schedules = [s.strip() for s in args.schedules.split(",") if s.strip()]
+    passes = None
+    if args.passes:
+        passes = [s.strip() for s in args.passes.split(",") if s.strip()]
+
+    report = lint_schedules(
+        schedules=schedules,
+        pp_sizes=args.pipeline_size or (2, 4),
+        num_micro_batches=args.num_micro_batches,
+        model=args.model,
+        gpu=args.gpu,
+        seq_len=args.seq_len if args.seq_len is not None else 8192,
+        passes=passes,
+        strict=args.strict,
+    )
+    text = (
+        _json.dumps(report.to_json_dict(), indent=2)
+        if args.json
+        else report.format(verbose=args.verbose)
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"lint report written to {args.out}")
+        if not args.json:
+            print(text)
+    else:
+        print(text)
+    return 0 if report.ok else 1
 
 
 def _cmd_tune(args: argparse.Namespace) -> int:
@@ -809,6 +874,87 @@ def _build_parser() -> argparse.ArgumentParser:
             help="schedule option override (repeatable)",
         )
         p_cmd.set_defaults(fn=fn)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="static analysis over registered schedules (no simulation)",
+    )
+    p_lint.add_argument(
+        "--schedules",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated schedule names (default: every registered one)",
+    )
+    p_lint.add_argument(
+        "-p",
+        "--pipeline-size",
+        "--pipeline-sizes",
+        type=_int_list,
+        default=None,
+        metavar="P[,P...]",
+        help="pipeline size(s) to lint at (default: 2,4)",
+    )
+    p_lint.add_argument(
+        "-m",
+        "--num-micro-batches",
+        type=int,
+        default=None,
+        metavar="M",
+        help="micro-batch count (default: 2p rounded onto each "
+        "schedule's divisor grid)",
+    )
+    p_lint.add_argument(
+        "--model",
+        choices=sorted(MODEL_PRESETS),
+        default="1.3B",
+        help="model preset for costs/memory context (default: %(default)s)",
+    )
+    p_lint.add_argument(
+        "--gpu",
+        choices=sorted(GPU_CLUSTERS),
+        default="H20",
+        help="GPU/cluster preset (default: %(default)s)",
+    )
+    p_lint.add_argument(
+        "--seq-len",
+        type=_seq_len,
+        default=None,
+        metavar="S",
+        help="sequence length, k suffix ok (default: 8k)",
+    )
+    p_lint.add_argument(
+        "--passes",
+        default=None,
+        metavar="A,B,...",
+        help="run only these analysis passes (default: all registered)",
+    )
+    p_lint.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list the registered analysis passes and exit",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote warnings to failures (exit 1 on any finding)",
+    )
+    p_lint.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show warning/info findings in the table, not just errors",
+    )
+    p_lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable lint report instead of tables",
+    )
+    p_lint.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the report to PATH (CI uploads it on failure)",
+    )
+    p_lint.set_defaults(fn=_cmd_lint)
 
     p_tune = sub.add_parser(
         "tune",

@@ -335,7 +335,16 @@ def batch_layer_times(
     whole candidate grid in one numpy pass and the scalar model stays
     the single source of truth for what is computed.
     """
-    import numpy as np  # deferred: keep scalar costing importable without numpy
+    # Deferred + optional: the scalar TimingModel is numpy-free, and the
+    # tuner (repro.tuner.bounds) falls back to it when numpy is absent.
+    try:
+        import numpy as np
+    except ImportError:
+        raise ImportError(
+            "batch_layer_times requires numpy for vectorised pricing; "
+            "on a numpy-free install use TimingModel(...).layer_times() "
+            "per shape (identical arithmetic, one point at a time)"
+        ) from None
 
     b, s = np.broadcast_arrays(
         np.atleast_1d(np.asarray(micro_batches, dtype=np.float64)),

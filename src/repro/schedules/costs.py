@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cluster.topology import ClusterSpec
-from repro.comm.volumes import BoundaryVolumes, boundary_volumes
+from repro.comm.volumes import boundary_volumes
 from repro.costmodel.memory import (
     FP16_BYTES,
     RecomputeStrategy,

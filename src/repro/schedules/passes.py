@@ -32,13 +32,24 @@ callers can either raise (:func:`run_passes` default, via
 pipeline replaces the ad-hoc assertions that used to live in the
 individual builders and in :mod:`repro.sim.engine`; the simulator keeps
 its runtime :class:`~repro.sim.engine.DeadlockError` only as a backstop.
+
+The four checks here are also registered (category ``executability``,
+severity ERROR) with the :mod:`repro.schedules.analysis` framework, so
+``run_analysis`` and ``repro lint`` run them alongside the dataflow
+analyses; :func:`run_passes` keeps its historical fail-fast contract for
+``Schedule.validate()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.schedules.analysis.framework import (
+    PassIssue,
+    Severity,
+    format_issue_table,
+    register_pass,
+)
 from repro.schedules.ir import (
     BACKWARD_OPS,
     ComputeInstr,
@@ -50,6 +61,7 @@ from repro.schedules.ir import (
 
 __all__ = [
     "PassIssue",
+    "Severity",
     "ScheduleVerificationError",
     "check_structure",
     "check_deadlock_freedom",
@@ -58,19 +70,6 @@ __all__ = [
     "DEFAULT_PASSES",
     "run_passes",
 ]
-
-
-@dataclass(frozen=True)
-class PassIssue:
-    """One violation found by a verification pass."""
-
-    pass_name: str
-    message: str
-    stage: int | None = None
-
-    def __str__(self) -> str:
-        where = f" (stage {self.stage})" if self.stage is not None else ""
-        return f"[{self.pass_name}]{where} {self.message}"
 
 
 class ScheduleVerificationError(ValueError):
@@ -85,6 +84,11 @@ class ScheduleVerificationError(ValueError):
             f"schedule {schedule_name!r} failed verification:\n  {shown}{extra}"
         )
 
+    def format(self) -> str:
+        """The full issue list as an aligned table (no 8-row cap)."""
+        header = f"schedule {self.schedule_name!r} failed verification:"
+        return f"{header}\n{format_issue_table(self.issues)}"
+
 
 PassFn = Callable[[Schedule], list[PassIssue]]
 
@@ -92,6 +96,11 @@ PassFn = Callable[[Schedule], list[PassIssue]]
 # -- structure ---------------------------------------------------------------
 
 
+@register_pass(
+    "structure",
+    description="stage fields, SEND/RECV tag pairing, endpoint mirroring",
+    category="executability",
+)
 def check_structure(schedule: Schedule) -> list[PassIssue]:
     """Stage fields, SEND/RECV tag pairing, endpoint mirroring, sizes."""
     issues: list[PassIssue] = []
@@ -177,6 +186,12 @@ def check_structure(schedule: Schedule) -> list[PassIssue]:
 # -- deadlock-freedom --------------------------------------------------------
 
 
+@register_pass(
+    "deadlock",
+    description="static deadlock-freedom under async tag-matched semantics",
+    category="executability",
+    requires=("structure",),
+)
 def check_deadlock_freedom(schedule: Schedule) -> list[PassIssue]:
     """Abstract-execute the programs to a fixed point; report stuck stages.
 
@@ -227,6 +242,11 @@ def _seg_key(instr: ComputeInstr) -> tuple:
     return (instr.micro_batch, seg.kind, seg.layer, seg.num_layers)
 
 
+@register_pass(
+    "program-order",
+    description="per-(micro batch, segment) F/RC/BI/BW ordering",
+    category="executability",
+)
 def check_program_order(schedule: Schedule) -> list[PassIssue]:
     """Per-stage F/RC/B/BI/BW ordering for each (micro batch, segment)."""
     issues: list[PassIssue] = []
@@ -292,6 +312,11 @@ def check_program_order(schedule: Schedule) -> list[PassIssue]:
 _STASH_REL_TOL = 1e-9
 
 
+@register_pass(
+    "stash-balance",
+    description="running stash never negative, zero net at end of iteration",
+    category="executability",
+)
 def check_stash_balance(schedule: Schedule) -> list[PassIssue]:
     """Running stash never negative; zero net stash at end of iteration."""
     issues: list[PassIssue] = []

@@ -31,7 +31,7 @@ import importlib
 import re
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Mapping, Sequence
+from typing import Any, Callable, Mapping
 
 from repro.costmodel.memory import RecomputeStrategy
 from repro.schedules.costs import CostProvider

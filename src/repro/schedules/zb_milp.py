@@ -31,9 +31,6 @@ from __future__ import annotations
 
 from functools import lru_cache
 
-import numpy as np
-from scipy.optimize import LinearConstraint, milp
-
 from repro.schedules.costs import CostProvider
 from repro.schedules.ir import Schedule
 from repro.schedules.layerwise import LayerwiseBuilder, SymbolicOp
@@ -65,6 +62,17 @@ def _placement_milp(m: int, cap: int, warmup: int) -> tuple[int, ...]:
     """
     if cap >= warmup:
         return (1,) * m
+    # numpy/scipy are needed only on this branch (explicit
+    # max_outstanding tighter than the warm-up depth); deferring them
+    # keeps the schedules package importable on a numpy-free install.
+    try:
+        import numpy as np
+        from scipy.optimize import LinearConstraint, milp
+    except ImportError:
+        raise ImportError(
+            "zb-milp with max_outstanding < warm-up depth needs the exact "
+            "MILP solve, which requires numpy + scipy"
+        ) from None
     # Cost favours early slots; strictly increasing to break ties.
     c = np.arange(1, m + 1, dtype=float)
     lower_tri = np.tril(np.ones((m, m)))

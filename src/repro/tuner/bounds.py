@@ -11,6 +11,12 @@ warm-up ramps + work conservation + the single-micro-batch dependency
 chain), evaluated once per unique (schedule, options) configuration and
 broadcast over the micro-batch axis with numpy.
 
+numpy is optional: without it the same bounds are computed through the
+scalar :class:`~repro.costmodel.timing.TimingModel` and plain Python
+lists -- the only consumer (:func:`repro.tuner.autotune`) indexes and
+sorts the result, so a list is drop-in and a minimal install still
+tunes with pruning intact.
+
 Bounds are *admissible*: ``upper_bound >= simulated tokens/s`` for every
 candidate, so best-first pruning in :func:`repro.tuner.autotune` never
 discards the optimum (see ``tests/analysis/test_bounds.py`` and
@@ -24,7 +30,6 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence
 
 from repro.analysis.bubble import bubble_lower_bound, recompute_time_lower_bound
-from repro.costmodel.timing import batch_layer_times
 
 __all__ = ["throughput_upper_bounds"]
 
@@ -46,15 +51,19 @@ def throughput_upper_bounds(
 ) -> Optional["object"]:
     """Upper-bound tokens/s for every candidate, or ``None`` if unpriceable.
 
-    Returns a float64 array aligned with ``candidates``.  Each entry is
+    Returns a float sequence aligned with ``candidates`` (a float64
+    array, or a plain list on a numpy-free install).  Each entry is
     ``tokens(candidate) / makespan_lower_bound(candidate)`` -- since the
     bound never exceeds the simulated makespan, the ratio never falls
     below the simulated throughput.
     """
-    import numpy as np
+    try:
+        import numpy as np
+    except ImportError:
+        np = None  # scalar fallback below
 
     if not candidates:
-        return np.zeros(0)
+        return np.zeros(0) if np is not None else []
     try:
         gpu = workload.cluster.node.gpu
         sp = int(workload.cluster.sequence_parallel_size)
@@ -63,9 +72,17 @@ def throughput_upper_bounds(
         p = int(workload.p)
         b = int(workload.micro_batch)
         s = int(workload.seq_len)
-        # One batched roofline evaluation prices the workload point;
-        # every candidate shares its (b, s) shape.
-        layer = batch_layer_times(gpu, model, [b], [s], sp=sp).scalar(0)
+        # One roofline evaluation prices the workload point; every
+        # candidate shares its (b, s) shape.  Batched and scalar paths
+        # are arithmetic-identical (tests/costmodel/test_batch_timing).
+        if np is not None:
+            from repro.costmodel.timing import batch_layer_times
+
+            layer = batch_layer_times(gpu, model, [b], [s], sp=sp).scalar(0)
+        else:
+            from repro.costmodel.timing import TimingModel
+
+            layer = TimingModel(gpu, model, b, s, sp=sp).layer_times()
     except (AttributeError, TypeError, ValueError):
         return None
 
@@ -80,11 +97,11 @@ def throughput_upper_bounds(
     # once and broadcast over the micro-batch axis.
     bubble_memo: dict[tuple[str, tuple], float] = {}
     rc_memo: dict[Any, float] = {}
-    bubbles = np.empty(len(candidates))
-    rc = np.empty(len(candidates))
-    m = np.empty(len(candidates))
+    bubbles = [0.0] * len(candidates)
+    rc = [0.0] * len(candidates)
+    m = [0.0] * len(candidates)
     for i, cand in enumerate(candidates):
-        m[i] = cand.num_micro_batches
+        m[i] = float(cand.num_micro_batches)
         key = (cand.schedule, cand.options)
         bub = bubble_memo.get(key)
         if bub is None:
@@ -102,9 +119,20 @@ def throughput_upper_bounds(
     # Every layer's backward re-runs the strategy's recompute forward on
     # the same serial engine -- per micro batch (work term) and on the
     # single-micro-batch critical path (chain term) alike.
-    lower = np.maximum(
-        m * (work_per_mb + num_layers * rc / p) + bubbles,
-        chain + num_layers * rc,
-    )
-    with np.errstate(divide="ignore"):
-        return np.where(lower > 0.0, m * tokens_per_mb / lower, np.inf)
+    if np is not None:
+        m_arr = np.asarray(m)
+        lower = np.maximum(
+            m_arr * (work_per_mb + num_layers * np.asarray(rc) / p)
+            + np.asarray(bubbles),
+            chain + num_layers * np.asarray(rc),
+        )
+        with np.errstate(divide="ignore"):
+            return np.where(lower > 0.0, m_arr * tokens_per_mb / lower, np.inf)
+    out = []
+    for mi, bub_i, rc_i in zip(m, bubbles, rc):
+        lower = max(
+            mi * (work_per_mb + num_layers * rc_i / p) + bub_i,
+            chain + num_layers * rc_i,
+        )
+        out.append(mi * tokens_per_mb / lower if lower > 0.0 else float("inf"))
+    return out

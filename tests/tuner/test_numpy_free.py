@@ -1,0 +1,170 @@
+"""The tuner must work on a numpy-free install.
+
+``throughput_upper_bounds`` gates its numpy import and falls back to the
+scalar :class:`~repro.costmodel.timing.TimingModel`; ``zb-milp`` only
+reaches for numpy/scipy past its closed-form placement fast path.  These
+tests pin both behaviours two ways: in-process, by hiding numpy from
+``import`` and asserting the scalar bounds are bit-identical to the
+vectorised ones; and end-to-end, by running a full ``autotune`` plus
+``lint_schedules`` in a subprocess whose meta-path blocks numpy *and*
+scipy outright.
+"""
+
+import builtins
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import Workload
+from repro.tuner import CostCache, autotune, enumerate_candidates
+from repro.tuner.bounds import throughput_upper_bounds
+
+REPO = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def no_numpy(monkeypatch):
+    """Make ``import numpy`` fail for code under test.
+
+    Modules that already hold a numpy reference keep it; only *new*
+    imports are denied -- exactly the situation inside
+    ``throughput_upper_bounds``, which imports lazily per call.
+    """
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError(f"{name} hidden by no_numpy fixture")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", blocked)
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return Workload.paper("1.3B", "H20", 2, 8192)
+
+
+class TestScalarBounds:
+    def test_scalar_path_bit_identical_to_vectorised(self, wl, no_numpy):
+        cands = enumerate_candidates(wl)
+        assert cands
+        scalar = throughput_upper_bounds(wl, cands)
+        assert isinstance(scalar, list)
+        # Recompute vectorised *outside* the block for comparison.
+        vec = VEC_BOUNDS
+        assert len(scalar) == len(vec)
+        for got, want in zip(scalar, vec):
+            # Same float ops in the same order: exact, not approximate.
+            assert got == want
+
+    def test_empty_candidates_returns_empty_list(self, wl, no_numpy):
+        assert throughput_upper_bounds(wl, []) == []
+
+    def test_unpriceable_workload_still_returns_none(self, no_numpy):
+        class Duck:
+            pass
+
+        assert throughput_upper_bounds(Duck(), [object()]) is None
+
+    def test_batch_layer_times_error_names_the_fallback(self, no_numpy):
+        from repro.costmodel.timing import batch_layer_times
+
+        wl = Workload.paper("1.3B", "H20", 2, 8192)
+        gpu = wl.cluster.node.gpu
+        with pytest.raises(ImportError, match="TimingModel"):
+            batch_layer_times(gpu, wl.model, [1], [8192])
+
+
+# Computed at import time (numpy available) so the no_numpy fixture
+# cannot interfere with the reference values.
+_WL_REF = Workload.paper("1.3B", "H20", 2, 8192)
+VEC_BOUNDS = [
+    float(x) for x in throughput_upper_bounds(_WL_REF, enumerate_candidates(_WL_REF))
+]
+
+
+_SUBPROCESS_SCRIPT = r"""
+import importlib.abc
+import json
+import sys
+
+
+class Blocker(importlib.abc.MetaPathFinder):
+    BLOCKED = ("numpy", "scipy")
+
+    def find_spec(self, fullname, path, target=None):
+        root = fullname.split(".", 1)[0]
+        if root in self.BLOCKED:
+            raise ImportError(f"{fullname} is not installed (blocked)")
+
+
+sys.meta_path.insert(0, Blocker())
+
+try:
+    import numpy  # noqa: F401
+except ImportError:
+    pass
+else:
+    raise SystemExit("blocker failed: numpy imported")
+
+# repro.workloads, not repro.experiments.common: the experiments
+# package eagerly imports memsim (a legitimate numpy user).  The
+# numpy-free surface is workloads + tuner + lint.
+from repro.workloads import Workload
+from repro.lint import lint_schedules
+from repro.tuner import CostCache, autotune, enumerate_candidates
+from repro.tuner.bounds import throughput_upper_bounds
+
+wl = Workload.paper("1.3B", "H20", 2, 8192)
+bounds = throughput_upper_bounds(wl, enumerate_candidates(wl))
+cache = CostCache()
+plans = autotune(wl, cache=cache)
+best = plans[0]
+lint = lint_schedules(pp_sizes=(2,))
+print(json.dumps({
+    "bounds_type": type(bounds).__name__,
+    "pruned": cache.stats.pruned,
+    "best_label": best.label,
+    "best_tokens_per_s": best.tokens_per_s,
+    "lint_ok": lint.ok,
+    "lint_errors": lint.total_errors,
+}))
+"""
+
+
+class TestNumpyFreeEndToEnd:
+    @pytest.fixture(scope="class")
+    def probe(self):
+        """One subprocess with numpy *and* scipy blocked at the meta-path:
+        a sweep over every registered schedule (zb-milp included -- its
+        closed-form placement path must not touch scipy) plus a lint run.
+        """
+        proc = subprocess.run(
+            [sys.executable, "-c", _SUBPROCESS_SCRIPT],
+            capture_output=True,
+            text=True,
+            cwd=REPO,
+            env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+            timeout=600,
+        )
+        assert proc.returncode == 0, proc.stderr
+        return json.loads(proc.stdout.strip().splitlines()[-1])
+
+    def test_bounds_degrade_to_list_with_pruning_intact(self, probe):
+        assert probe["bounds_type"] == "list"
+        assert probe["pruned"] > 0
+
+    def test_best_plan_matches_numpy_run(self, probe, wl):
+        plans = autotune(wl, cache=CostCache())
+        assert probe["best_label"] == plans[0].label
+        assert probe["best_tokens_per_s"] == pytest.approx(
+            plans[0].tokens_per_s
+        )
+
+    def test_lint_runs_clean_without_numpy(self, probe):
+        assert probe["lint_ok"] is True
+        assert probe["lint_errors"] == 0
