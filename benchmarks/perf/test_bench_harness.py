@@ -2,8 +2,9 @@
 
 Runs the smoke workload once (sub-second) and checks the payload a CI
 `bench-smoke` job and future-PR comparisons rely on: the JSON schema,
-the pruned-vs-exhaustive equivalence flag, and the regression gate of
-``compare_bench`` in both directions.
+the per-phase breakdown, the pruned-vs-exhaustive and
+incremental-vs-full equivalence flags, and the regression gate of
+``compare_bench`` in both directions -- end to end and per phase.
 """
 
 import copy
@@ -27,7 +28,7 @@ def payload():
 
 class TestPayload:
     def test_schema(self, payload):
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["mode"] == "smoke"
         for key in ("created", "git_rev", "python", "machine"):
             assert isinstance(payload[key], str)
@@ -35,9 +36,13 @@ class TestPayload:
         for name in (
             "candidates_per_s",
             "sweep_s",
+            "build_candidates_per_s",
+            "simulate_candidates_per_s",
             "exhaustive_candidates_per_s",
             "exhaustive_sweep_s",
             "prune_speedup",
+            "noninc_sweep_s",
+            "incremental_speedup",
             "warm_sweep_s",
             "single_sim_s",
         ):
@@ -59,9 +64,20 @@ class TestPayload:
         assert counts["simulated"] + counts["pruned"] == counts["candidates"]
         assert counts["pruned"] > 0  # pruning engaged on the smoke grid
 
-    def test_pruned_best_equals_exhaustive(self, payload):
+    def test_phases_describe_the_fastest_sweep(self, payload):
+        phases = payload["phases"]
+        for name in ("build_s", "simulate_s", "bound_s", "cache_s", "eval_s"):
+            assert phases[name] >= 0.0, name
+        # Phase walls nest inside the end-to-end sweep wall.
+        assert phases["eval_s"] <= payload["metrics"]["sweep_s"] * 1.05
+        assert phases["built"] > 0
+        assert phases["simulated"] > 0
+        assert phases["incremental_fallbacks"] == 0
+
+    def test_equivalence_flags(self, payload):
         eq = payload["equivalence"]
         assert eq["pruned_best_equals_exhaustive"] is True
+        assert eq["incremental_best_equals_full"] is True
         assert eq["best_label"]
         assert eq["best_tokens_per_s"] > 0.0
 
@@ -71,15 +87,40 @@ class TestPayload:
         assert json.loads(path.read_text()) == payload
 
 
+class TestProfile:
+    def test_profile_section(self):
+        payload = run_bench(smoke=True, repeats=1, profile=True, profile_top=5)
+        prof = payload["profile"]
+        assert prof["sort"] == "cumulative"
+        assert 1 <= len(prof["top"]) <= 5
+        for entry in prof["top"]:
+            assert entry["cumtime_s"] >= entry["tottime_s"] >= 0.0
+            assert entry["ncalls"] >= 1
+            assert isinstance(entry["function"], str)
+        # The sweep entry point dominates cumulative time.
+        assert any("autotune" in e["function"] for e in prof["top"])
+
+    def test_profile_off_by_default(self, payload):
+        assert "profile" not in payload
+
+
 class TestCompare:
     def test_self_compare_is_clean(self, payload):
         assert compare_bench(payload, payload) == []
 
-    def test_regression_beyond_threshold_fails(self, payload):
+    @pytest.mark.parametrize(
+        "metric",
+        [
+            "candidates_per_s",
+            "build_candidates_per_s",
+            "simulate_candidates_per_s",
+        ],
+    )
+    def test_regression_beyond_threshold_fails(self, payload, metric):
         slow = copy.deepcopy(payload)
-        slow["metrics"]["candidates_per_s"] *= 0.5
+        slow["metrics"][metric] *= 0.5
         failures = compare_bench(slow, payload, max_regression=0.25)
-        assert any("candidates_per_s" in f for f in failures)
+        assert any(metric in f for f in failures)
 
     def test_regression_within_threshold_passes(self, payload):
         slow = copy.deepcopy(payload)
@@ -105,6 +146,23 @@ class TestCompare:
             "exhaustive best" in f for f in compare_bench(broken, payload)
         )
 
+    def test_broken_incremental_equivalence_fails(self, payload):
+        broken = copy.deepcopy(payload)
+        broken["equivalence"]["incremental_best_equals_full"] = False
+        assert any(
+            "full-resim best" in f for f in compare_bench(broken, payload)
+        )
+
+    def test_schema1_baseline_without_phase_metrics_is_skipped(self, payload):
+        old = copy.deepcopy(payload)
+        old["schema"] = 1
+        del old["metrics"]["build_candidates_per_s"]
+        del old["metrics"]["simulate_candidates_per_s"]
+        del old["equivalence"]["incremental_best_equals_full"]
+        # Gating a schema-2 run against a schema-1 baseline only checks
+        # the metrics both payloads carry.
+        assert compare_bench(payload, old) == []
+
 
 def test_committed_smoke_baseline_matches_schema():
     """The CI gate's baseline stays loadable and structurally current."""
@@ -112,7 +170,13 @@ def test_committed_smoke_baseline_matches_schema():
 
     path = pathlib.Path(__file__).parent / "BENCH_smoke_baseline.json"
     baseline = json.loads(path.read_text())
-    assert baseline["schema"] == 1
+    assert baseline["schema"] == 2
     assert baseline["mode"] == "smoke"
-    assert baseline["metrics"]["candidates_per_s"] > 0.0
+    for name in (
+        "candidates_per_s",
+        "build_candidates_per_s",
+        "simulate_candidates_per_s",
+    ):
+        assert baseline["metrics"][name] > 0.0, name
     assert baseline["equivalence"]["pruned_best_equals_exhaustive"] is True
+    assert baseline["equivalence"]["incremental_best_equals_full"] is True

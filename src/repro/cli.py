@@ -64,12 +64,16 @@ Commands
 
 ``bench``
     Measure the tuner hot path -- candidates/sec (pruned and
-    exhaustive), single-simulation wall time, warm-cache sweep time --
-    on the pinned acceptance workload and write a tracked
-    ``BENCH_<rev>.json``.  ``--compare`` gates against a committed
-    baseline and fails on a candidates/sec regression::
+    exhaustive) with a per-phase build/simulate/bound/cache breakdown,
+    single-simulation wall time, warm-cache sweep time -- on the pinned
+    acceptance workload and write a tracked ``BENCH_<rev>.json``.
+    ``--compare`` gates against a committed baseline and fails on an
+    end-to-end, build-phase or simulate-phase candidates/sec
+    regression; ``--profile`` additionally cProfiles one sweep and
+    embeds/prints the top functions::
 
         python -m repro bench
+        python -m repro bench --profile --top 15
         python -m repro bench --smoke \\
             --compare benchmarks/perf/BENCH_smoke_baseline.json
 
@@ -619,10 +623,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         save_bench,
     )
 
-    payload = run_bench(smoke=args.smoke, repeats=args.repeats)
+    payload = run_bench(
+        smoke=args.smoke,
+        repeats=args.repeats,
+        profile=args.profile,
+        profile_top=args.top,
+    )
     w = payload["workload"]
     metrics = payload["metrics"]
     counts = payload["counts"]
+    phases = payload["phases"]
     print(
         f"bench workload: {w['model']} on {w['gpu']} x {w['p']}, "
         f"seq {w['seq_len']} ({payload['mode']})"
@@ -633,9 +643,24 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{counts['simulated']} simulated, {counts['pruned']} pruned)"
     )
     print(
+        f"  phases:          build {1e3 * phases['build_s']:.1f} ms "
+        f"({phases['built']} built, {phases['build_cache_hits']} cached) | "
+        f"simulate {1e3 * phases['simulate_s']:.1f} ms "
+        f"({phases['incremental_hits']} incremental, "
+        f"{phases['incremental_fallbacks']} fallback) | "
+        f"bound {1e3 * phases['bound_s']:.1f} ms | "
+        f"cache {1e3 * phases['cache_s']:.1f} ms"
+    )
+    print(
+        f"  build phase:     {metrics['build_candidates_per_s']:.1f} "
+        f"builds/sec | simulate phase: "
+        f"{metrics['simulate_candidates_per_s']:.1f} sims/sec"
+    )
+    print(
         f"  exhaustive:      {metrics['exhaustive_candidates_per_s']:.1f} "
         f"candidates/sec ({metrics['exhaustive_sweep_s']:.3f} s; pruning "
-        f"speedup {metrics['prune_speedup']:.2f}x)"
+        f"speedup {metrics['prune_speedup']:.2f}x, incremental speedup "
+        f"{metrics['incremental_speedup']:.2f}x)"
     )
     print(f"  single sim:      {1e3 * metrics['single_sim_s']:.3f} ms")
     print(f"  warm-cache sweep: {1e3 * metrics['warm_sweep_s']:.2f} ms")
@@ -645,16 +670,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"{'yes' if eq['pruned_best_equals_exhaustive'] else 'NO'}"
         + (f" ({eq['best_label']})" if eq["best_label"] else "")
     )
+    print(
+        "  incremental best == full-resim best: "
+        f"{'yes' if eq['incremental_best_equals_full'] else 'NO'}"
+    )
+    if args.profile:
+        print(f"  profile (top {args.top} by cumulative time):")
+        for entry in payload["profile"]["top"]:
+            where = f"{entry['file']}:{entry['line']}"
+            print(
+                f"    {1e3 * entry['cumtime_s']:8.1f} ms cum "
+                f"{1e3 * entry['tottime_s']:8.1f} ms self "
+                f"{entry['ncalls']:>9} calls  {entry['function']} ({where})"
+            )
 
     out = args.out or default_out_name(args.smoke)
     save_bench(payload, out)
     print(f"wrote {out}")
 
-    ok = eq["pruned_best_equals_exhaustive"]
+    ok = eq["pruned_best_equals_exhaustive"] and eq[
+        "incremental_best_equals_full"
+    ]
     if not ok:
         print(
-            "error: pruning changed the winning plan -- the sweep is "
-            "no longer equivalence-preserving",
+            "error: an optimisation changed the winning plan -- the sweep "
+            "is no longer equivalence-preserving",
             file=sys.stderr,
         )
     if args.compare:
@@ -1056,6 +1096,20 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="F",
         help="allowed fractional candidates/sec regression vs the "
         "--compare baseline (default: %(default)s)",
+    )
+    p_bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one extra sweep after the timed runs and embed "
+        "the top functions by cumulative time in the payload",
+    )
+    p_bench.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of profile entries to keep with --profile "
+        "(default: %(default)s)",
     )
     p_bench.set_defaults(fn=_cmd_bench)
 

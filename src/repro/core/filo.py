@@ -44,7 +44,6 @@ behind independent compute.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 
 from repro.core.partition import attention_stage, helix_partition, owner_segment, owner_stage
@@ -57,6 +56,7 @@ from repro.schedules.ir import (
     RecvInstr,
     Schedule,
     SendInstr,
+    instr_from_proto,
 )
 from repro.costmodel.memory import RecomputeStrategy
 from repro.schedules.planner import PlannedTask, critical_path_levels, list_schedule
@@ -68,6 +68,50 @@ __all__ = ["build_helix_filo", "HelixFiloBuilder"]
 def _helix_divisor(p: int, opts) -> int:
     """Loop size ``fold * p`` (a single stage accepts any micro count)."""
     return opts.get("fold", 2) * p if p > 1 else 1
+
+
+_new = object.__new__
+
+
+def _task(tid, stage, key, duration, deps, payload):
+    # PlannedTask via direct __dict__ seeding: the builder creates
+    # thousands per schedule and the generated dataclass __init__ is the
+    # single hottest call in task-graph construction.
+    t = _new(PlannedTask)
+    t.__dict__ = {
+        "tid": tid,
+        "stage": stage,
+        "key": key,
+        "duration": duration,
+        "deps": deps,
+        "payload": payload,
+        "undone_deps": 0,
+        "start": 0.0,
+    }
+    return t
+
+
+def _comm(cls, stage, peer, tag, nbytes, mb, payload):
+    # In-place __dict__ writes: SendInstr/RecvInstr are frozen, so the
+    # generated __setattr__ (and plain __dict__ rebinding) would raise.
+    inst = _new(cls)
+    d = inst.__dict__
+    d["stage"] = stage
+    d["peer"] = peer
+    d["tag"] = tag
+    d["nbytes"] = nbytes
+    d["micro_batch"] = mb
+    d["payload"] = payload
+    return inst
+
+
+def _attn_compute(proto, stage, mb):
+    inst = _new(ComputeInstr)
+    d = inst.__dict__
+    d.update(proto)
+    d["stage"] = stage
+    d["micro_batch"] = mb
+    return inst
 
 
 @dataclass
@@ -112,18 +156,71 @@ class HelixFiloBuilder:
             )
         self.loop_size = loop
         self.L = self.costs.num_layers
-        self.partition = helix_partition(self.L, p)
+        L = self.L
+        self.partition = helix_partition(L, p)
         # Per-build constants hoisted off the emission hot path: boundary
         # payload sizes, the attention segment of each layer, and the
         # owner forward/backward/recompute durations per helix position.
         self._pre_to_attn = self.costs.boundary_bytes("pre_to_attn")
         self._attn_to_post = self.costs.boundary_bytes("attn_to_post")
         self._attn_seg = tuple(
-            Segment(SegmentKind.ATTN, layer=l) for l in range(self.L)
+            Segment(SegmentKind.ATTN, layer=l) for l in range(L)
         )
         self._owner_costs = tuple(
-            self._owner_cost(pos) for pos in range(self.L + 1)
+            self._owner_cost(pos) for pos in range(L + 1)
         )
+        # Dense stage tables: ``owner_stage``/``attention_stage`` are
+        # pure in (pos | layer, mb mod fold*p), yet were re-derived per
+        # task and per emitted instruction (tens of thousands of calls
+        # per build).  One table each covers every lookup.
+        self._owner_tbl = tuple(owner_stage(pos, p, L) for pos in range(L + 1))
+        amod = self.fold * p
+        self._attn_mod = amod
+        self._attn_tbl = tuple(
+            tuple(attention_stage(l, r, p, self.fold) for r in range(amod))
+            for l in range(L)
+        )
+        # Emission templates: every instruction a (kind, pos) emission
+        # produces differs across micro batches only in micro_batch, the
+        # attention stage and the tag suffix.  Prototype field dicts
+        # (completed per micro batch via ``instr_from_proto``) replace
+        # per-instruction cost lookups and dataclass __init__ calls.
+        fo_protos: list[tuple[dict, ...]] = []
+        bo_protos: list[tuple[dict, ...]] = []
+        sc = self.costs.segment_cost
+        for pos in range(L + 1):
+            stage = self._owner_tbl[pos]
+            fwd: list[dict] = []
+            bwd: list[dict] = []
+            if pos == 0 and self.include_embed:
+                fwd.append(self._proto(OpType.F, stage, Segment(SegmentKind.EMBED)))
+            for seg in owner_segment(pos, L):
+                fwd.append(self._proto(OpType.F, stage, seg))
+            if pos == L and self.include_head:
+                fwd.append(self._proto(OpType.F, stage, Segment(SegmentKind.HEAD)))
+                bwd.append(self._proto(OpType.B, stage, Segment(SegmentKind.HEAD)))
+            for seg in reversed(owner_segment(pos, L)):
+                if sc(seg).rc > 0.0:
+                    bwd.append(self._proto(OpType.RC, stage, seg))
+                bwd.append(self._proto(OpType.B, stage, seg))
+            if pos == 0 and self.include_embed:
+                bwd.append(self._proto(OpType.B, stage, Segment(SegmentKind.EMBED)))
+            fo_protos.append(tuple(fwd))
+            bo_protos.append(tuple(bwd))
+        self._fo_protos = tuple(fo_protos)
+        self._bo_protos = tuple(bo_protos)
+        # Attention protos carry stage=-1; the emitters overwrite it with
+        # the per-micro-batch attention stage.
+        self._fa_protos = tuple(
+            self._proto(OpType.F, -1, self._attn_seg[l]) for l in range(L)
+        )
+        self._ba_protos = tuple(
+            self._proto(OpType.B, -1, self._attn_seg[l]) for l in range(L)
+        )
+        self._tag_pre = tuple(f"h.pre_out:L{l}:mb" for l in range(L))
+        self._tag_attn = tuple(f"h.attn_out:L{l}:mb" for l in range(L))
+        self._tag_dpre = tuple(f"h.d_pre_out:L{l}:mb" for l in range(L))
+        self._tag_dattn = tuple(f"h.d_attn_out:L{l}:mb" for l in range(L))
 
     # -- helpers -----------------------------------------------------------------
 
@@ -155,97 +252,135 @@ class HelixFiloBuilder:
             b += c.b
         return f, b, rc
 
+    def _proto(self, op: OpType, stage: int, seg: Segment) -> dict:
+        """Prototype :class:`ComputeInstr` fields (all but micro_batch)."""
+        c = self.costs.segment_cost(seg)
+        if op is OpType.F:
+            duration, stash = c.f, c.stash_bytes
+        elif op is OpType.RC:
+            duration, stash = c.rc, c.rc_extra_stash_bytes
+        else:
+            duration = c.b
+            stash = -(c.stash_bytes + (c.rc_extra_stash_bytes if c.rc > 0 else 0.0))
+        return {
+            "op": op,
+            "stage": stage,
+            "segment": seg,
+            "duration": duration,
+            "stash_delta": stash,
+            "workspace": c.workspace_bytes,
+        }
+
     # -- task graph -----------------------------------------------------------------
 
     def _build_tasks(self) -> list[PlannedTask]:
         p, L, m = self.num_stages, self.L, self.num_micro_batches
-        ids = itertools.count()
-        tasks: list[PlannedTask] = []
-        attn_cost = {
-            l: self.costs.segment_cost(self._attn_seg[l]) for l in range(L)
-        }
+        loop_size = self.loop_size
+        num_loops = m // loop_size
         owner_costs = self._owner_costs
-        f_owner: dict[tuple[int, int], int] = {}
-        f_attn: dict[tuple[int, int], int] = {}
-        b_owner: dict[tuple[int, int], int] = {}
-        num_loops = m // self.loop_size
-
-        def loop_of(mb: int) -> int:
-            return mb // self.loop_size
-
-        def slot_of(mb: int) -> int:
-            return mb % self.loop_size
+        owner_f = tuple(c[0] for c in owner_costs)
+        owner_b = tuple(c[1] + c[2] for c in owner_costs)
+        attn_f = tuple(
+            self.costs.segment_cost(self._attn_seg[l]).f for l in range(L)
+        )
+        attn_b = tuple(
+            self.costs.segment_cost(self._attn_seg[l]).b for l in range(L)
+        )
+        owner_tbl = self._owner_tbl
+        attn_tbl = self._attn_tbl
+        amod = self._attn_mod
+        tasks: list[PlannedTask] = []
+        append = tasks.append
+        tid = 0
+        # Only the position-L forward needs to be addressable outside its
+        # micro batch's own loop iteration; everything else chains
+        # through scalars, so no (pos, mb) -> tid dicts are built.
+        f_last = [0] * m
 
         # Forward: owner(pos) consumes attention(pos-1); attention(l)
         # consumes owner(l).
         for mb in range(m):
-            g, slot = loop_of(mb), slot_of(mb)
+            g, slot = divmod(mb, loop_size)
+            r = mb % amod
+            deps: list[int] = []
+            fo = 0
             for pos in range(L + 1):
-                fdur = owner_costs[pos][0]
-                deps = [] if pos == 0 else [f_attn[(pos - 1, mb)]]
-                t = PlannedTask(
-                    tid=next(ids),
-                    stage=self._owner(pos),
-                    key=(0, g, pos, 0, slot),
-                    duration=fdur,
-                    deps=deps,
-                    payload=("f_owner", pos, mb),
-                )
-                tasks.append(t)
-                f_owner[(pos, mb)] = t.tid
-                if pos < L:
-                    a = PlannedTask(
-                        tid=next(ids),
-                        stage=self._attn_stage(pos, mb),
-                        key=(0, g, pos, 1, slot),
-                        duration=attn_cost[pos].f,
-                        deps=[t.tid],
-                        payload=("f_attn", pos, mb),
+                append(
+                    _task(
+                        tid,
+                        owner_tbl[pos],
+                        (0, g, pos, 0, slot),
+                        owner_f[pos],
+                        deps,
+                        ("f_owner", pos, mb),
                     )
-                    tasks.append(a)
-                    f_attn[(pos, mb)] = a.tid
+                )
+                fo = tid
+                tid += 1
+                if pos < L:
+                    append(
+                        _task(
+                            tid,
+                            attn_tbl[pos][r],
+                            (0, g, pos, 1, slot),
+                            attn_f[pos],
+                            [fo],
+                            ("f_attn", pos, mb),
+                        )
+                    )
+                    deps = [tid]
+                    tid += 1
+            f_last[mb] = fo
         # Backward: FILO -- later loops and later micro batches first.  The
         # entry point (position L) is chained in strict reverse micro-batch
         # order so the backward wave is truly first-in-last-out; without
         # this, a work-conserving planner would start micro batch 0's
         # backward the moment its own forward finished.
-        prev_entry: int | None = None
-        for mb in reversed(range(m)):
-            g, slot = loop_of(mb), slot_of(mb)
+        prev_entry = -1
+        for mb in range(m - 1, -1, -1):
+            g, slot = divmod(mb, loop_size)
             rg = num_loops - 1 - g
-            rslot = self.loop_size - 1 - slot
+            rslot = loop_size - 1 - slot
+            r = mb % amod
+            grad = -1
             for pos in range(L, -1, -1):
-                _, bdur, rcdur = owner_costs[pos]
                 rpos = L - pos
                 if pos == L:
-                    deps = [f_owner[(L, mb)]]
-                    if prev_entry is not None:
-                        deps.append(prev_entry)
-                else:
-                    deps = [b_owner.get((pos, mb), -1)]
-                t = PlannedTask(
-                    tid=next(ids),
-                    stage=self._owner(pos),
-                    key=(1, rg, rpos, 0, rslot),
-                    duration=bdur + rcdur,
-                    deps=[d for d in deps if d >= 0],
-                    payload=("b_owner", pos, mb),
-                )
-                tasks.append(t)
-                if pos == L:
-                    prev_entry = t.tid
-                if pos > 0:
-                    a = PlannedTask(
-                        tid=next(ids),
-                        stage=self._attn_stage(pos - 1, mb),
-                        key=(1, rg, rpos, 1, rslot),
-                        duration=attn_cost[pos - 1].b,
-                        deps=[t.tid],
-                        payload=("b_attn", pos - 1, mb),
+                    deps = (
+                        [f_last[mb]]
+                        if prev_entry < 0
+                        else [f_last[mb], prev_entry]
                     )
-                    tasks.append(a)
+                else:
+                    deps = [grad]
+                append(
+                    _task(
+                        tid,
+                        owner_tbl[pos],
+                        (1, rg, rpos, 0, rslot),
+                        owner_b[pos],
+                        deps,
+                        ("b_owner", pos, mb),
+                    )
+                )
+                bo = tid
+                tid += 1
+                if pos == L:
+                    prev_entry = bo
+                if pos > 0:
+                    append(
+                        _task(
+                            tid,
+                            attn_tbl[pos - 1][r],
+                            (1, rg, rpos, 1, rslot),
+                            attn_b[pos - 1],
+                            [bo],
+                            ("b_attn", pos - 1, mb),
+                        )
+                    )
                     # The owner backward below pos consumes this gradient.
-                    b_owner[(pos - 1, mb)] = a.tid
+                    grad = tid
+                    tid += 1
         return tasks
 
     # -- list scheduling ---------------------------------------------------------------
@@ -308,174 +443,135 @@ class HelixFiloBuilder:
         else:  # pragma: no cover - exhaustive
             raise ValueError(kind)
 
-    def _compute(
-        self, op: OpType, stage: int, mb: int, seg: Segment
-    ) -> ComputeInstr:
-        c = self.costs.segment_cost(seg)
-        if op is OpType.F:
-            return ComputeInstr(
-                op=op,
-                stage=stage,
-                micro_batch=mb,
-                segment=seg,
-                duration=c.f,
-                stash_delta=c.stash_bytes,
-                workspace=c.workspace_bytes,
-            )
-        if op is OpType.RC:
-            return ComputeInstr(
-                op=op,
-                stage=stage,
-                micro_batch=mb,
-                segment=seg,
-                duration=c.rc,
-                stash_delta=c.rc_extra_stash_bytes,
-                workspace=c.workspace_bytes,
-            )
-        release = c.stash_bytes + (c.rc_extra_stash_bytes if c.rc > 0 else 0.0)
-        return ComputeInstr(
-            op=OpType.B,
-            stage=stage,
-            micro_batch=mb,
-            segment=seg,
-            duration=c.b,
-            stash_delta=-release,
-            workspace=c.workspace_bytes,
-        )
-
     def _emit_f_owner(self, prog: list[Instr], pos: int, mb: int) -> None:
-        stage = self._owner(pos)
+        stage = self._owner_tbl[pos]
+        r = mb % self._attn_mod
         if pos > 0:
-            src = self._attn_stage(pos - 1, mb)
+            src = self._attn_tbl[pos - 1][r]
             if src != stage:
                 prog.append(
-                    RecvInstr(
-                        stage=stage,
-                        peer=src,
-                        tag=self._tag("attn_out", pos - 1, mb),
-                        nbytes=self._attn_to_post,
-                        micro_batch=mb,
-                        payload="attn_out",
+                    _comm(
+                        RecvInstr,
+                        stage,
+                        src,
+                        self._tag_attn[pos - 1] + str(mb),
+                        self._attn_to_post,
+                        mb,
+                        "attn_out",
                     )
                 )
-        if pos == 0 and self.include_embed:
-            prog.append(self._compute(OpType.F, stage, mb, Segment(SegmentKind.EMBED)))
-        for seg in owner_segment(pos, self.L):
-            prog.append(self._compute(OpType.F, stage, mb, seg))
-        if pos == self.L:
-            if self.include_head:
-                prog.append(
-                    self._compute(OpType.F, stage, mb, Segment(SegmentKind.HEAD))
-                )
-        else:
-            dst = self._attn_stage(pos, mb)
+        for proto in self._fo_protos[pos]:
+            prog.append(instr_from_proto(ComputeInstr, proto, mb))
+        if pos < self.L:
+            dst = self._attn_tbl[pos][r]
             if dst != stage:
                 prog.append(
-                    SendInstr(
-                        stage=stage,
-                        peer=dst,
-                        tag=self._tag("pre_out", pos, mb),
-                        nbytes=self._pre_to_attn,
-                        micro_batch=mb,
-                        payload="pre_out",
+                    _comm(
+                        SendInstr,
+                        stage,
+                        dst,
+                        self._tag_pre[pos] + str(mb),
+                        self._pre_to_attn,
+                        mb,
+                        "pre_out",
                     )
                 )
 
     def _emit_f_attn(self, prog: list[Instr], layer: int, mb: int) -> None:
-        stage = self._attn_stage(layer, mb)
-        owner = self._owner(layer)
+        stage = self._attn_tbl[layer][mb % self._attn_mod]
+        owner = self._owner_tbl[layer]
         if owner != stage:
             prog.append(
-                RecvInstr(
-                    stage=stage,
-                    peer=owner,
-                    tag=self._tag("pre_out", layer, mb),
-                    nbytes=self._pre_to_attn,
-                    micro_batch=mb,
-                    payload="pre_out",
+                _comm(
+                    RecvInstr,
+                    stage,
+                    owner,
+                    self._tag_pre[layer] + str(mb),
+                    self._pre_to_attn,
+                    mb,
+                    "pre_out",
                 )
             )
-        prog.append(
-            self._compute(OpType.F, stage, mb, self._attn_seg[layer])
-        )
-        nxt = self._owner(layer + 1)
+        prog.append(_attn_compute(self._fa_protos[layer], stage, mb))
+        nxt = self._owner_tbl[layer + 1]
         if nxt != stage:
             prog.append(
-                SendInstr(
-                    stage=stage,
-                    peer=nxt,
-                    tag=self._tag("attn_out", layer, mb),
-                    nbytes=self._attn_to_post,
-                    micro_batch=mb,
-                    payload="attn_out",
+                _comm(
+                    SendInstr,
+                    stage,
+                    nxt,
+                    self._tag_attn[layer] + str(mb),
+                    self._attn_to_post,
+                    mb,
+                    "attn_out",
                 )
             )
 
     def _emit_b_owner(self, prog: list[Instr], pos: int, mb: int) -> None:
-        stage = self._owner(pos)
+        stage = self._owner_tbl[pos]
+        r = mb % self._attn_mod
         if pos < self.L:
-            src = self._attn_stage(pos, mb)
+            src = self._attn_tbl[pos][r]
             if src != stage:
                 prog.append(
-                    RecvInstr(
-                        stage=stage,
-                        peer=src,
-                        tag=self._tag("d_pre_out", pos, mb),
-                        nbytes=self._pre_to_attn,
-                        micro_batch=mb,
-                        payload="d_pre_out",
+                    _comm(
+                        RecvInstr,
+                        stage,
+                        src,
+                        self._tag_dpre[pos] + str(mb),
+                        self._pre_to_attn,
+                        mb,
+                        "d_pre_out",
                     )
                 )
-        if pos == self.L and self.include_head:
-            prog.append(self._compute(OpType.B, stage, mb, Segment(SegmentKind.HEAD)))
-        for seg in reversed(owner_segment(pos, self.L)):
-            c = self.costs.segment_cost(seg)
-            if c.rc > 0.0:
-                prog.append(self._compute(OpType.RC, stage, mb, seg))
-            prog.append(self._compute(OpType.B, stage, mb, seg))
+        # The proto sequence bakes the head backward (pos == L), the
+        # per-segment RC-before-B pairs, and the embed backward
+        # (pos == 0) in emission order; head-send and embed never
+        # coexist, so the flat loop preserves the original interleaving.
+        for proto in self._bo_protos[pos]:
+            prog.append(instr_from_proto(ComputeInstr, proto, mb))
         if pos > 0:
-            dst = self._attn_stage(pos - 1, mb)
+            dst = self._attn_tbl[pos - 1][r]
             if dst != stage:
                 prog.append(
-                    SendInstr(
-                        stage=stage,
-                        peer=dst,
-                        tag=self._tag("d_attn_out", pos - 1, mb),
-                        nbytes=self._attn_to_post,
-                        micro_batch=mb,
-                        payload="d_attn_out",
+                    _comm(
+                        SendInstr,
+                        stage,
+                        dst,
+                        self._tag_dattn[pos - 1] + str(mb),
+                        self._attn_to_post,
+                        mb,
+                        "d_attn_out",
                     )
                 )
-        if pos == 0 and self.include_embed:
-            prog.append(self._compute(OpType.B, stage, mb, Segment(SegmentKind.EMBED)))
 
     def _emit_b_attn(self, prog: list[Instr], layer: int, mb: int) -> None:
-        stage = self._attn_stage(layer, mb)
-        src = self._owner(layer + 1)
+        stage = self._attn_tbl[layer][mb % self._attn_mod]
+        src = self._owner_tbl[layer + 1]
         if src != stage:
             prog.append(
-                RecvInstr(
-                    stage=stage,
-                    peer=src,
-                    tag=self._tag("d_attn_out", layer, mb),
-                    nbytes=self._attn_to_post,
-                    micro_batch=mb,
-                    payload="d_attn_out",
+                _comm(
+                    RecvInstr,
+                    stage,
+                    src,
+                    self._tag_dattn[layer] + str(mb),
+                    self._attn_to_post,
+                    mb,
+                    "d_attn_out",
                 )
             )
-        prog.append(
-            self._compute(OpType.B, stage, mb, self._attn_seg[layer])
-        )
-        dst = self._owner(layer)
+        prog.append(_attn_compute(self._ba_protos[layer], stage, mb))
+        dst = self._owner_tbl[layer]
         if dst != stage:
             prog.append(
-                SendInstr(
-                    stage=stage,
-                    peer=dst,
-                    tag=self._tag("d_pre_out", layer, mb),
-                    nbytes=self._pre_to_attn,
-                    micro_batch=mb,
-                    payload="d_pre_out",
+                _comm(
+                    SendInstr,
+                    stage,
+                    dst,
+                    self._tag_dpre[layer] + str(mb),
+                    self._pre_to_attn,
+                    mb,
+                    "d_pre_out",
                 )
             )
 

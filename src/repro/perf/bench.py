@@ -5,13 +5,20 @@ touches the candidate-evaluation pipeline re-runs ``python -m repro
 bench`` and compares against the committed baseline, so a regression in
 candidates/sec is a CI failure rather than a surprise three PRs later.
 
-Three wall-clock metrics on the pinned acceptance workload
+Wall-clock metrics on the pinned acceptance workload
 (7B / H20 / p=8 / 64k; ``--smoke`` shrinks it to 1.3B / H20 / p=4 / 8k
 for seconds-fast CI):
 
 ``candidates_per_s``
     Cold-cache serial :func:`repro.tuner.autotune` sweep with admissible
-    pruning on (the default path) -- the headline number.
+    pruning and incremental re-simulation on (the default path) -- the
+    headline number.
+``build_candidates_per_s`` / ``simulate_candidates_per_s``
+    The same sweep decomposed by phase via
+    :class:`~repro.tuner.telemetry.SweepTelemetry`: schedules built per
+    second of build-phase wall, and candidates simulated per second of
+    simulate-phase wall.  Gated separately so a regression confined to
+    one phase cannot hide behind an improvement in the other.
 ``single_sim_s``
     One helix build's event-driven simulation (``verify=False``,
     ``record_trace=False``), best of several runs -- isolates the
@@ -20,10 +27,19 @@ for seconds-fast CI):
     The same sweep served entirely from a warm :class:`CostCache` --
     the incremental-sweep experience ``tune --cache`` gives.
 
-Every run also performs the pruned-vs-exhaustive equivalence check the
-acceptance criterion demands: the best :class:`PlanResult` of the
-pruned sweep must equal (dataclass field equality, hence byte-identical
-metrics) the best of the ``prune=False`` sweep.
+Every run also performs the equivalence checks the acceptance criterion
+demands: the best :class:`PlanResult` of the default sweep must equal
+(dataclass field equality, hence byte-identical metrics) both the best
+of the ``prune=False, incremental=False`` exhaustive sweep and the best
+of the pruned ``incremental=False`` sweep -- pruning and incremental
+re-simulation are pure optimisations, never a different answer.
+
+The full per-phase breakdown of the fastest default sweep lands in the
+payload's ``phases`` section (build/bound/simulate/cache seconds plus
+the build-cache and incremental-resimulation counters).  ``--profile``
+additionally cProfiles one extra sweep (after the timed ones, so the
+metrics stay unprofiled) and embeds the top functions by cumulative
+time.
 
 Timings are best-of-``repeats`` minima: the minimum of repeated runs
 estimates the noise-free cost, which is the stable statistic for
@@ -32,16 +48,19 @@ regression gating (means drift with machine load).
 
 from __future__ import annotations
 
+import cProfile
 import datetime
+import io
 import json
 import platform
+import pstats
 import subprocess
 import time
 from typing import Any, Callable
 
 from repro.schedules.registry import get_schedule, workload_option_defaults
 from repro.sim import simulate
-from repro.tuner import CostCache, autotune
+from repro.tuner import CostCache, SweepTelemetry, autotune
 from repro.workloads import Workload
 
 __all__ = [
@@ -53,10 +72,15 @@ __all__ = [
 ]
 
 #: Metrics gated by :func:`compare_bench` (name, higher_is_better).
-#: Only candidates/sec hard-fails CI per the tracked-baseline policy;
-#: the others are reported for the trajectory but machine noise on a
-#: microsecond-scale single simulation would make them flaky gates.
-GATED_METRICS: tuple[tuple[str, bool], ...] = (("candidates_per_s", True),)
+#: End-to-end candidates/sec plus its two phase decompositions hard-fail
+#: CI per the tracked-baseline policy; the others are reported for the
+#: trajectory but machine noise on a microsecond-scale single
+#: simulation would make them flaky gates.
+GATED_METRICS: tuple[tuple[str, bool], ...] = (
+    ("candidates_per_s", True),
+    ("build_candidates_per_s", True),
+    ("simulate_candidates_per_s", True),
+)
 
 
 def bench_workload(smoke: bool = False) -> Workload:
@@ -121,52 +145,108 @@ def _single_sim_s(wl: Workload, repeats: int) -> float:
     return best
 
 
-def run_bench(smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
+def _profile_sweep(wl: Workload, top: int) -> dict[str, Any]:
+    """cProfile one cold default sweep; top-``top`` by cumulative time.
+
+    Runs after (never instead of) the timed sweeps: profiling overhead
+    would contaminate the gated metrics.
+    """
+    profiler = cProfile.Profile()
+    cache = CostCache()
+    profiler.enable()
+    autotune(wl, cache=cache)
+    profiler.disable()
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream).sort_stats("cumulative")
+    entries: list[dict[str, Any]] = []
+    for func in stats.fcn_list[: max(1, top)]:  # (file, line, name)
+        cc, nc, tt, ct, _ = stats.stats[func]
+        filename, line, name = func
+        entries.append(
+            {
+                "function": name,
+                "file": filename,
+                "line": line,
+                "ncalls": nc,
+                "primitive_calls": cc,
+                "tottime_s": tt,
+                "cumtime_s": ct,
+            }
+        )
+    return {"sort": "cumulative", "top": entries}
+
+
+def run_bench(
+    smoke: bool = False,
+    repeats: int = 3,
+    profile: bool = False,
+    profile_top: int = 25,
+) -> dict[str, Any]:
     """Run the full harness and return the ``BENCH_*.json`` payload."""
     wl = bench_workload(smoke)
 
-    # Cold pruned sweep (the default tuner path) -- fresh cache per run.
-    stats_box: dict[str, Any] = {}
-
-    def cold_pruned():
+    # Cold default sweep (pruning + incremental re-simulation on) --
+    # fresh cost cache and telemetry per run; the per-phase breakdown
+    # kept is the fastest run's (same best-of-minima discipline as the
+    # end-to-end number, so phases and total describe the same run).
+    sweep_s = float("inf")
+    pruned_rows: list[Any] = []
+    tel_best = SweepTelemetry()
+    pruned_stats: Any = None
+    warm_cache = CostCache()
+    for _ in range(max(1, repeats)):
         cache = CostCache()
-        rows = autotune(wl, cache=cache)
-        stats_box["pruned"] = cache.stats
-        stats_box["cache"] = cache
-        return rows
-
-    sweep_s, pruned_rows = _best_of(repeats, cold_pruned)
+        tel = SweepTelemetry()
+        t0 = time.perf_counter()
+        rows = autotune(wl, cache=cache, telemetry=tel)
+        dt = time.perf_counter() - t0
+        if dt < sweep_s:
+            sweep_s = dt
+            pruned_rows = rows
+            tel_best = tel
+            # Snapshot the cold-sweep counters now: the warm sweeps
+            # below reuse this cache, and pruned candidates (never
+            # cached) re-prune there.
+            pruned_stats = cache.stats
+            warm_cache = cache
     n = len(pruned_rows)
-    # Snapshot the cold-sweep counters now: the warm sweeps below reuse
-    # this cache, and pruned candidates (never cached) re-prune there.
-    pruned_stats = stats_box["pruned"]
     simulated_count = pruned_stats.misses
     pruned_count = pruned_stats.pruned
 
-    # Cold exhaustive sweep -- the equivalence reference; one run is
-    # enough for the check, but time it too for the trajectory.
+    # Cold exhaustive non-incremental sweep -- the equivalence
+    # reference (every candidate built and fully simulated from
+    # scratch); one run is enough for the check, but time it too for
+    # the trajectory.
     def cold_exhaustive():
-        cache = CostCache()
-        rows = autotune(wl, cache=cache, prune=False)
-        stats_box["exhaustive"] = cache.stats
-        return rows
+        return autotune(wl, cache=CostCache(), prune=False, incremental=False)
 
     exhaustive_s, exhaustive_rows = _best_of(1, cold_exhaustive)
 
+    # Pruned full-resimulation sweep: isolates the incremental layer
+    # (same pruning, no timeline reuse) for its own equivalence check.
+    noninc_s, noninc_rows = _best_of(
+        1, lambda: autotune(wl, cache=CostCache(), incremental=False)
+    )
+
     # Warm sweep: every candidate served from the populated cache.
-    warm_cache = stats_box["cache"]
     warm_s, _ = _best_of(repeats, lambda: autotune(wl, cache=warm_cache))
 
     single_s = _single_sim_s(wl, max(repeats, 5))
 
     pruned_best = next((r for r in pruned_rows if r.feasible), None)
     exhaustive_best = next((r for r in exhaustive_rows if r.feasible), None)
+    noninc_best = next((r for r in noninc_rows if r.feasible), None)
     # Dataclass equality over every field (candidate, metrics, reason):
     # equal here means the serialised plans are byte-identical.
     best_identical = pruned_best == exhaustive_best
+    inc_identical = pruned_best == noninc_best
+
+    phases = tel_best.as_dict()
+    build_s = phases["build_s"]
+    simulate_s = phases["simulate_s"]
 
     payload: dict[str, Any] = {
-        "schema": 1,
+        "schema": 2,
         "mode": "smoke" if smoke else "full",
         "created": datetime.datetime.now(datetime.timezone.utc).isoformat(),
         "git_rev": git_rev(),
@@ -189,22 +269,36 @@ def run_bench(smoke: bool = False, repeats: int = 3) -> dict[str, Any]:
         "metrics": {
             "candidates_per_s": n / sweep_s if sweep_s > 0 else float("inf"),
             "sweep_s": sweep_s,
+            "build_candidates_per_s": (
+                phases["built"] / build_s if build_s > 0 else float("inf")
+            ),
+            "simulate_candidates_per_s": (
+                phases["simulated"] / simulate_s
+                if simulate_s > 0
+                else float("inf")
+            ),
             "exhaustive_candidates_per_s": (
                 n / exhaustive_s if exhaustive_s > 0 else float("inf")
             ),
             "exhaustive_sweep_s": exhaustive_s,
             "prune_speedup": exhaustive_s / sweep_s if sweep_s > 0 else 0.0,
+            "noninc_sweep_s": noninc_s,
+            "incremental_speedup": noninc_s / sweep_s if sweep_s > 0 else 0.0,
             "warm_sweep_s": warm_s,
             "single_sim_s": single_s,
         },
+        "phases": phases,
         "equivalence": {
             "pruned_best_equals_exhaustive": best_identical,
+            "incremental_best_equals_full": inc_identical,
             "best_label": pruned_best.label if pruned_best else None,
             "best_tokens_per_s": (
                 pruned_best.tokens_per_s if pruned_best else None
             ),
         },
     }
+    if profile:
+        payload["profile"] = _profile_sweep(wl, profile_top)
     return payload
 
 
@@ -215,10 +309,13 @@ def compare_bench(
 ) -> list[str]:
     """Regression report vs a committed baseline; empty means clean.
 
-    Gates only :data:`GATED_METRICS` (candidates/sec must not drop more
-    than ``max_regression`` relative to the baseline) plus the
-    structural invariants: same mode, and the pruned-vs-exhaustive best
-    plan must still be identical.
+    Gates only :data:`GATED_METRICS` (end-to-end plus build-phase and
+    simulate-phase candidates/sec must not drop more than
+    ``max_regression`` relative to the baseline; a phase metric absent
+    from either payload -- e.g. a schema-1 baseline -- is skipped) plus
+    the structural invariants: same mode, and the default sweep's best
+    plan must still be identical to both the exhaustive and the
+    non-incremental sweeps'.
     """
     failures: list[str] = []
     if current.get("mode") != baseline.get("mode"):
@@ -229,6 +326,13 @@ def compare_bench(
     if not current.get("equivalence", {}).get("pruned_best_equals_exhaustive"):
         failures.append(
             "pruned sweep no longer reproduces the exhaustive best plan"
+        )
+    # Default True so schema-1 payloads (no incremental layer) pass.
+    if not current.get("equivalence", {}).get(
+        "incremental_best_equals_full", True
+    ):
+        failures.append(
+            "incremental sweep no longer reproduces the full-resim best plan"
         )
     cur_metrics = current.get("metrics", {})
     base_metrics = baseline.get("metrics", {})

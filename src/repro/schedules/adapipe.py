@@ -91,18 +91,39 @@ def plan_adapipe(
         strat: prov.segment_cost(Segment(SegmentKind.LAYERS, 0, 1))
         for strat, prov in cost_providers.items()
     }
+    strategies = [s for s in _STRATEGIES if s in per_layer]
 
-    def feasible(stage: int, n: int, strat: RecomputeStrategy) -> bool:
+    def max_feasible_layers(stage: int, strat: RecomputeStrategy) -> int:
+        # The 1F1B footprint is affine in the layer count ``n``:
+        # ``static + (p - stage) * stash * n + rc_extra + workspace``,
+        # so the memory constraint has a closed-form largest feasible
+        # ``n`` instead of one check per (stage, n, strategy) DP cell.
+        # The division estimate is corrected against the exact affine
+        # predicate so float rounding cannot flip a boundary case.
         if memory_cap_bytes is None:
-            return True
-        outstanding = p - stage
-        peak = (
-            static_memory_bytes
-            + outstanding * per_layer[strat].stash_bytes * n
-            + per_layer[strat].rc_extra_stash_bytes
-            + per_layer[strat].workspace_bytes
-        )
-        return peak <= memory_cap_bytes
+            return L
+        c = per_layer[strat]
+        osb = (p - stage) * c.stash_bytes
+        base = static_memory_bytes + c.rc_extra_stash_bytes + c.workspace_bytes
+
+        def fits(n: int) -> bool:
+            return (
+                static_memory_bytes
+                + osb * n
+                + c.rc_extra_stash_bytes
+                + c.workspace_bytes
+                <= memory_cap_bytes
+            )
+
+        if osb <= 0.0:
+            return L if fits(1) else 0
+        n = int((memory_cap_bytes - base) / osb)
+        n = min(max(n, 0), L)
+        while n > 0 and not fits(n):
+            n -= 1
+        while n < L and fits(n + 1):
+            n += 1
+        return n
 
     INF = float("inf")
     # dp[l] after processing i stages: (bottleneck, choices tuple)
@@ -110,17 +131,28 @@ def plan_adapipe(
     for stage in range(p):
         nxt: dict[int, tuple[float, tuple]] = {}
         remaining_stages = p - stage - 1
+        # (strategy, per-layer stage time, feasible-layer cap), in the
+        # fixed _STRATEGIES order the exhaustive loop used -- tie-breaks
+        # (strict improvement only) depend on visit order.
+        choices_here = [
+            (
+                strat,
+                _stage_time(per_layer[strat], num_micro_batches),
+                max_feasible_layers(stage, strat),
+            )
+            for strat in strategies
+        ]
         for assigned, (bott, choices) in dp.items():
             max_n = L - assigned - remaining_stages
             for n in range(1, max_n + 1):
-                for strat in _STRATEGIES:
-                    if strat not in per_layer or not feasible(stage, n, strat):
+                key = assigned + n
+                for strat, unit, nmax in choices_here:
+                    if n > nmax:
                         continue
-                    t = _stage_time(per_layer[strat], num_micro_batches) * n
-                    cand = max(bott, t)
-                    key = assigned + n
-                    prev = nxt.get(key, (INF, ()))
-                    if cand < prev[0]:
+                    t = unit * n
+                    cand = bott if bott > t else t
+                    prev = nxt.get(key)
+                    if prev is None or cand < prev[0]:
                         nxt[key] = (cand, choices + ((n, strat),))
         dp = nxt
         if not dp:

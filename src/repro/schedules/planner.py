@@ -14,7 +14,6 @@ schedule into per-rank operation streams.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -63,49 +62,68 @@ def list_schedule(tasks: list[PlannedTask], num_stages: int) -> list[list[Planne
 
     Raises ``RuntimeError`` if the DAG has a cycle (not all tasks become
     ready).
+
+    The builders call this once per candidate schedule, which puts it on
+    the auto-tuner's cold path, so the implementation works on dense
+    arrays: tasks addressed by list index, dependency counts and
+    adjacency in parallel lists, and the per-event stage scan inlined
+    with its guard first (most stages are busy or have nothing ready at
+    any given event, so the common case is two list reads).  Event
+    sequence numbers -- and therefore every tie-break -- are identical
+    to the original dict-based implementation.
     """
-    by_id = {t.tid: t for t in tasks}
-    dependents: dict[int, list[int]] = {t.tid: [] for t in tasks}
-    for t in tasks:
-        t.undone_deps = len(t.deps)
+    n = len(tasks)
+    index = {t.tid: i for i, t in enumerate(tasks)}
+    ndeps = [0] * n
+    dependents: list[list[int]] = [[] for _ in range(n)]
+    for i, t in enumerate(tasks):
+        nd = len(t.deps)
+        t.undone_deps = nd
+        ndeps[i] = nd
         for d in t.deps:
-            dependents[d].append(t.tid)
+            dependents[index[d]].append(i)
+    heappush, heappop = heapq.heappush, heapq.heappop
     ready: list[list[tuple]] = [[] for _ in range(num_stages)]
-    for t in tasks:
-        if t.undone_deps == 0:
-            heapq.heappush(ready[t.stage], (t.key, t.tid))
+    for i, t in enumerate(tasks):
+        if ndeps[i] == 0:
+            heappush(ready[t.stage], (t.key, t.tid, i))
     stage_free = [0.0] * num_stages
     events: list[tuple[float, int, int]] = []
-    seq = itertools.count()
+    seq = 0
     order: list[list[PlannedTask]] = [[] for _ in range(num_stages)]
     scheduled = 0
+    stages = range(num_stages)
 
-    def try_start(stage: int, now: float) -> None:
-        nonlocal scheduled
-        if stage_free[stage] > now or not ready[stage]:
-            return
-        _, tid = heapq.heappop(ready[stage])
-        t = by_id[tid]
-        t.start = now
-        stage_free[stage] = now + t.duration
-        order[stage].append(t)
-        scheduled += 1
-        heapq.heappush(events, (now + t.duration, next(seq), tid))
-
-    for s in range(num_stages):
-        try_start(s, 0.0)
-    while events:
-        now, _, tid = heapq.heappop(events)
-        for dep_tid in dependents[tid]:
-            dt = by_id[dep_tid]
-            dt.undone_deps -= 1
-            if dt.undone_deps == 0:
-                heapq.heappush(ready[dt.stage], (dt.key, dep_tid))
-        for s in range(num_stages):
-            try_start(s, now)
-    if scheduled != len(tasks):
+    now = 0.0
+    while True:
+        # Start the ready task with the smallest key on every free
+        # stage (at most one per stage per event: starting may only be
+        # repeated once the start's own completion event fires).
+        for s in stages:
+            rq = ready[s]
+            if rq and stage_free[s] <= now:
+                i = heappop(rq)[2]
+                t = tasks[i]
+                t.start = now
+                end = now + t.duration
+                stage_free[s] = end
+                order[s].append(t)
+                scheduled += 1
+                heappush(events, (end, seq, i))
+                seq += 1
+        if not events:
+            break
+        now, _, i = heappop(events)
+        for j in dependents[i]:
+            nd = ndeps[j] - 1
+            ndeps[j] = nd
+            tj = tasks[j]
+            tj.undone_deps = nd
+            if nd == 0:
+                heappush(ready[tj.stage], (tj.key, tj.tid, j))
+    if scheduled != n:
         raise RuntimeError(
-            f"list_schedule placed {scheduled}/{len(tasks)} tasks; "
+            f"list_schedule placed {scheduled}/{n} tasks; "
             "dependency cycle in the task graph"
         )
     return order

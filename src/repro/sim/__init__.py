@@ -1,15 +1,31 @@
 """Discrete-event pipeline simulator."""
 
-from repro.sim.engine import DeadlockError, PipelineSimulator, simulate
+from repro.sim.engine import (
+    DeadlockError,
+    PipelineSimulator,
+    compile_programs,
+    simulate,
+)
+from repro.sim.incremental import (
+    ResimStats,
+    SimReference,
+    resimulate,
+    simulate_recording,
+)
 from repro.sim.metrics import SimResult, StageMetrics
 from repro.sim.trace import Interval, Trace
 
 __all__ = [
     "PipelineSimulator",
     "simulate",
+    "compile_programs",
     "DeadlockError",
     "SimResult",
     "StageMetrics",
     "Interval",
     "Trace",
+    "SimReference",
+    "ResimStats",
+    "simulate_recording",
+    "resimulate",
 ]

@@ -55,10 +55,80 @@ from repro.schedules.passes import (
 from repro.sim.metrics import SimResult, StageMetrics
 from repro.sim.trace import Interval, Trace
 
-__all__ = ["PipelineSimulator", "simulate", "DeadlockError"]
+__all__ = ["PipelineSimulator", "simulate", "compile_programs", "DeadlockError"]
 
 # Compiled opcodes (first element of every program tuple).
 _COMPUTE, _SEND, _RECV = 0, 1, 2
+
+
+def compile_programs(
+    schedule: Schedule,
+    cluster: ClusterSpec,
+    tag_ids: dict[str, int] | None = None,
+) -> tuple[list[list[tuple]], list[str]]:
+    """Lower each program of ``schedule`` to primitive opcode tuples.
+
+    Compute: ``(_COMPUTE, duration, stash_delta, workspace+, instr)``.
+    Send:    ``(_SEND, tag_id, src, dst, nbytes, p2p_time, instr)``.
+    Recv:    ``(_RECV, tag_id, instr)``.
+
+    Tags are interned to dense integers (set membership and the
+    blocked-receiver check become int compares) and every transfer
+    duration is priced exactly once, with the same ``cluster.p2p_time``
+    call the event loop used to make per event.
+
+    ``tag_ids`` lets callers share one interning table across several
+    compilations: the incremental re-simulator compiles a sibling
+    schedule against its reference's table so that equal tag strings map
+    to equal integers in both compiled forms, making opcode tuples
+    directly comparable.  New tags extend the table in place.
+    """
+    p2p_time = cluster.p2p_time
+    p2p_cache: dict[float, float] = {}
+    if tag_ids is None:
+        tag_ids = {}
+    intern_tag = tag_ids.setdefault
+    programs: list[list[tuple]] = []
+    for prog in schedule.programs:
+        ops: list[tuple] = []
+        append = ops.append
+        for instr in prog:
+            if type(instr) is ComputeInstr or isinstance(instr, ComputeInstr):
+                ws = instr.workspace
+                append(
+                    (
+                        _COMPUTE,
+                        instr.duration,
+                        instr.stash_delta,
+                        ws if ws > 0.0 else 0.0,
+                        instr,
+                    )
+                )
+            elif type(instr) is SendInstr or isinstance(instr, SendInstr):
+                nbytes = instr.nbytes
+                dur = p2p_cache.get(nbytes)
+                if dur is None:
+                    dur = p2p_cache[nbytes] = p2p_time(nbytes)
+                append(
+                    (
+                        _SEND,
+                        intern_tag(instr.tag, len(tag_ids)),
+                        instr.stage,
+                        instr.peer,
+                        float(nbytes),
+                        dur,
+                        instr,
+                    )
+                )
+            elif type(instr) is RecvInstr or isinstance(instr, RecvInstr):
+                append((_RECV, intern_tag(instr.tag, len(tag_ids)), instr))
+            else:
+                raise TypeError(f"unknown instruction type: {type(instr)!r}")
+        programs.append(ops)
+    tags = [""] * len(tag_ids)
+    for tag, tid in tag_ids.items():
+        tags[tid] = tag
+    return programs, tags
 
 
 class DeadlockError(RuntimeError):
@@ -128,60 +198,11 @@ class PipelineSimulator:
     def _compile(self) -> tuple[list[list[tuple]], list[str]]:
         """Lower each program to primitive opcode tuples.
 
-        Compute: ``(_COMPUTE, duration, stash_delta, workspace+, instr)``.
-        Send:    ``(_SEND, tag_id, src, dst, nbytes, p2p_time, instr)``.
-        Recv:    ``(_RECV, tag_id, instr)``.
-
-        Tags are interned to dense integers (set membership and the
-        blocked-receiver check become int compares) and every transfer
-        duration is priced exactly once, with the same
-        ``cluster.p2p_time`` call the event loop used to make per event.
+        Delegates to the module-level :func:`compile_programs` (shared
+        with the incremental re-simulator, which needs a common tag
+        interning table across sibling compilations).
         """
-        p2p_time = self.cluster.p2p_time
-        p2p_cache: dict[float, float] = {}
-        tag_ids: dict[str, int] = {}
-        intern_tag = tag_ids.setdefault
-        programs: list[list[tuple]] = []
-        for prog in self.schedule.programs:
-            ops: list[tuple] = []
-            append = ops.append
-            for instr in prog:
-                if type(instr) is ComputeInstr or isinstance(instr, ComputeInstr):
-                    ws = instr.workspace
-                    append(
-                        (
-                            _COMPUTE,
-                            instr.duration,
-                            instr.stash_delta,
-                            ws if ws > 0.0 else 0.0,
-                            instr,
-                        )
-                    )
-                elif type(instr) is SendInstr or isinstance(instr, SendInstr):
-                    nbytes = instr.nbytes
-                    dur = p2p_cache.get(nbytes)
-                    if dur is None:
-                        dur = p2p_cache[nbytes] = p2p_time(nbytes)
-                    append(
-                        (
-                            _SEND,
-                            intern_tag(instr.tag, len(tag_ids)),
-                            instr.stage,
-                            instr.peer,
-                            float(nbytes),
-                            dur,
-                            instr,
-                        )
-                    )
-                elif type(instr) is RecvInstr or isinstance(instr, RecvInstr):
-                    append((_RECV, intern_tag(instr.tag, len(tag_ids)), instr))
-                else:
-                    raise TypeError(f"unknown instruction type: {type(instr)!r}")
-            programs.append(ops)
-        tags = [""] * len(tag_ids)
-        for tag, tid in tag_ids.items():
-            tags[tid] = tag
-        return programs, tags
+        return compile_programs(self.schedule, self.cluster)
 
     # -- public API ----------------------------------------------------------
 

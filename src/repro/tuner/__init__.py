@@ -42,6 +42,8 @@ from repro.tuner.cache import (
     costmodel_fingerprint,
 )
 from repro.tuner.grid import GridPlan, tune_grid
+from repro.tuner.ircache import ScheduleIRCache
+from repro.tuner.telemetry import SweepTelemetry
 
 __all__ = [
     "Candidate",
@@ -54,4 +56,6 @@ __all__ = [
     "costmodel_fingerprint",
     "GridPlan",
     "tune_grid",
+    "ScheduleIRCache",
+    "SweepTelemetry",
 ]

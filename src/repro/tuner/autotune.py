@@ -34,8 +34,11 @@ provide a ``cache_key()`` method -- see
 from __future__ import annotations
 
 import functools
+import gc
 import itertools
+import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
@@ -48,13 +51,44 @@ from repro.schedules.registry import (
     workload_cache_key,
     workload_option_defaults,
 )
-from repro.sim import simulate
+from repro.sim import resimulate, simulate, simulate_recording
 from repro.sim.engine import DeadlockError
 from repro.tuner.bounds import throughput_upper_bounds
 from repro.tuner.cache import DEFAULT_CACHE, CostCache
+from repro.tuner.ircache import ScheduleIRCache
+from repro.tuner.telemetry import SweepTelemetry
 from repro.tuner.worker import evaluate_chunk
 
 __all__ = ["Candidate", "PlanResult", "enumerate_candidates", "autotune"]
+
+# Smallest schedule (total instruction count) worth recording a timeline
+# reference for.  Below this, a full simulation costs about as much as
+# the recording overhead plus a resume, so incremental re-simulation
+# cannot pay for itself (it stays *correct* either way -- this is purely
+# a cost cutoff).
+_MIN_RECORD_OPS = 2000
+
+
+@contextmanager
+def _gc_paused():
+    """Pause automatic garbage collection over an allocation burst.
+
+    One candidate evaluation allocates tens of thousands of short-lived
+    tuples and instruction objects; at the default thresholds the gen-0
+    collector fires hundreds of times per sweep, each pass scanning the
+    long-lived cost-model and cache heap for cycles that reference
+    counting already reclaims (the sweep's object graphs are acyclic).
+    Pausing collection for the sweep removes that overhead; the next
+    allocation after re-enabling triggers a normal collection.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
 
 
 @dataclass(frozen=True)
@@ -316,11 +350,38 @@ class _EvalContext:
     sweep -- dominating profiles of the cold path.  One context per
     sweep evaluates each exactly once; cost providers are further shared
     per recompute strategy (builders never mutate them).
+
+    The context also owns the sweep's build/simulate fast paths:
+
+    * ``ir_cache`` memoizes built IR under its structural key, so a
+      configuration revisited by a warm re-sweep, another grid point or
+      a parallel worker is never rebuilt;
+    * ``incremental`` turns on prefix re-simulation for candidate
+      *families* (same schedule/m/options, different recompute): the
+      first sibling simulated records a timeline reference, later
+      siblings resume it (:mod:`repro.sim.incremental`), with metrics
+      bit-identical to a full simulation either way;
+    * ``telemetry`` accumulates per-phase wall time and counters.
     """
 
-    def __init__(self, workload: Any, memory_cap_bytes: float) -> None:
+    def __init__(
+        self,
+        workload: Any,
+        memory_cap_bytes: float,
+        *,
+        wkey: tuple | None = None,
+        ir_cache: ScheduleIRCache | None = None,
+        incremental: bool = True,
+        telemetry: SweepTelemetry | None = None,
+        family_counts: Mapping[tuple, int] | None = None,
+    ) -> None:
         self.workload = workload
-        self.memory_cap_bytes = memory_cap_bytes
+        self.memory_cap_bytes = float(memory_cap_bytes)
+        self.wkey = wkey
+        self.ir_cache = ir_cache
+        self.incremental = incremental
+        self.telemetry = telemetry
+        self.family_counts = family_counts if family_counts is not None else {}
         self._costs: dict[RecomputeStrategy, Any] = {}
         self._static: float | None = None
         self._defaults: dict[str, dict[str, Any]] = {}
@@ -344,6 +405,111 @@ class _EvalContext:
             )
         return defaults
 
+    def _workload_key(self) -> tuple:
+        if self.wkey is None:
+            self.wkey = _workload_key(self.workload)
+        return self.wkey
+
+    def family_key(self, cand: Candidate) -> tuple:
+        """Identity of a candidate's sibling family (recompute excluded)."""
+        return (
+            self._workload_key(),
+            self.memory_cap_bytes,
+            cand.schedule,
+            cand.num_micro_batches,
+            cand.options,
+        )
+
+    def build_schedule(self, spec: ScheduleSpec, cand: Candidate, opts: dict):
+        """Build (or fetch) the candidate's IR; cached structurally."""
+        tel = self.telemetry
+        cache = self.ir_cache
+        key = None
+        if cache is not None:
+            key = (
+                self._workload_key(),
+                self.memory_cap_bytes,
+                cand.schedule,
+                cand.recompute.value,
+                cand.num_micro_batches,
+                cand.options,
+            )
+            sched = cache.get(key)
+            if sched is not None:
+                if tel is not None:
+                    tel.build_cache_hits += 1
+                return sched
+        t0 = time.perf_counter()
+        sched = spec.build(
+            (self.workload.p, cand.num_micro_batches),
+            self.costs(cand.recompute),
+            verify=False,
+            **opts,
+        )
+        if tel is not None:
+            tel.build_s += time.perf_counter() - t0
+            tel.built += 1
+        if cache is not None:
+            cache.put(key, sched)
+        return sched
+
+    def simulate_candidate(self, cand: Candidate, sched):
+        """Simulate the candidate, incrementally when a sibling already ran.
+
+        The first simulated member of a multi-candidate family records a
+        :class:`~repro.sim.incremental.SimReference`; later members
+        resume its timeline prefix (falling back to a full simulation
+        whenever the divergence detector cannot prove reuse safe).
+        Singleton families take the plain path -- recording would only
+        add overhead nothing reuses.
+        """
+        tel = self.telemetry
+        t0 = time.perf_counter()
+        try:
+            cache = self.ir_cache
+            if self.incremental and cache is not None:
+                fam = self.family_key(cand)
+                ref = cache.get_reference(fam)
+                if ref is not None:
+                    result, stats = resimulate(
+                        ref,
+                        sched,
+                        self.workload.cluster,
+                        static_memory_bytes=self.static_memory(),
+                        verify=False,
+                    )
+                    if tel is not None:
+                        if stats.mode == "incremental":
+                            tel.incremental_hits += 1
+                        else:
+                            tel.incremental_fallbacks += 1
+                    return result
+                if self.family_counts.get(fam, 0) > 1 and (
+                    sum(len(prog) for prog in sched.programs)
+                    >= _MIN_RECORD_OPS
+                ):
+                    ref = simulate_recording(
+                        sched,
+                        self.workload.cluster,
+                        static_memory_bytes=self.static_memory(),
+                        verify=False,
+                    )
+                    cache.put_reference(fam, ref)
+                    if tel is not None:
+                        tel.references_recorded += 1
+                    return ref.result
+            return simulate(
+                sched,
+                self.workload.cluster,
+                static_memory_bytes=self.static_memory(),
+                verify=False,
+                record_trace=False,
+            )
+        finally:
+            if tel is not None:
+                tel.simulate_s += time.perf_counter() - t0
+                tel.simulated += 1
+
 
 def _cold_evaluate(
     workload: Any,
@@ -364,19 +530,8 @@ def _cold_evaluate(
         # skips the per-candidate re-verification; a genuinely
         # unexecutable schedule still surfaces as a runtime
         # DeadlockError below.
-        sched = spec.build(
-            (workload.p, cand.num_micro_batches),
-            ctx.costs(cand.recompute),
-            verify=False,
-            **opts,
-        )
-        result = simulate(
-            sched,
-            workload.cluster,
-            static_memory_bytes=ctx.static_memory(),
-            verify=False,
-            record_trace=False,
-        )
+        sched = ctx.build_schedule(spec, cand, opts)
+        result = ctx.simulate_candidate(cand, sched)
     except (ScheduleBuildError, DeadlockError, ValueError) as err:
         return {"error": str(err)}
     return {
@@ -443,6 +598,9 @@ def autotune(
     include_infeasible: bool = True,
     workers: int | None = None,
     prune: bool = True,
+    ir_cache: ScheduleIRCache | None = None,
+    incremental: bool = True,
+    telemetry: SweepTelemetry | None = None,
 ) -> list[PlanResult]:
     """Search the schedule space for the fastest feasible plan.
 
@@ -499,6 +657,26 @@ def autotune(
         the exhaustive escape hatch; workloads the closed-form model
         cannot price (duck types without model/GPU attributes) disable
         pruning automatically.
+    ir_cache:
+        :class:`ScheduleIRCache` memoizing built IR under its structural
+        key (workload, cap, schedule, recompute, m, options), so each
+        distinct IR builds exactly once per cache lifetime.  ``None``
+        (default) uses a fresh private cache for this sweep; pass a
+        shared instance to reuse builds across sweeps
+        (:func:`repro.tuner.grid.tune_grid` does).
+    incremental:
+        Re-simulate candidate *families* (same schedule/m/options,
+        different recompute strategy) incrementally: the first sibling
+        records its event timeline, later siblings resume from the last
+        checkpoint before their first timing divergence
+        (:mod:`repro.sim.incremental`).  Metrics -- and therefore
+        winners, rankings and cached records -- are bit-identical to
+        full simulation; ``incremental=False`` is the escape hatch that
+        forces every candidate through the from-scratch simulator.
+    telemetry:
+        :class:`~repro.tuner.telemetry.SweepTelemetry` accumulating
+        per-phase wall time (build/bound/simulate/cache) and counters
+        for this sweep; reuse one instance across sweeps to aggregate.
 
     Returns
     -------
@@ -508,6 +686,8 @@ def autotune(
         candidates in sweep order.
     """
     cache = DEFAULT_CACHE if cache is None else cache
+    if ir_cache is None:
+        ir_cache = ScheduleIRCache()
     if memory_cap_bytes is None:
         memory_cap_bytes = float(workload.cluster.node.gpu.hbm_bytes)
 
@@ -541,17 +721,39 @@ def autotune(
         )
         rows.append(None)
 
+    # Sibling-family multiplicity decides whether the first simulated
+    # member records a resumable timeline reference: recording costs a
+    # few percent, so singleton families skip it.
+    family_counts: dict[tuple, int] = {}
+    cap = float(memory_cap_bytes)
+    for _, cand, _key in pending:
+        fam = (wkey, cap, cand.schedule, cand.num_micro_batches, cand.options)
+        family_counts[fam] = family_counts.get(fam, 0) + 1
+    ctx = _EvalContext(
+        workload,
+        memory_cap_bytes,
+        wkey=wkey,
+        ir_cache=ir_cache,
+        incremental=incremental,
+        telemetry=telemetry,
+        family_counts=family_counts,
+    )
+    if telemetry is not None:
+        telemetry.candidates += len(pending)
+
     # Admissible pruning: price every pending candidate's closed-form
     # throughput upper bound in one vectorised shot, then walk the
     # candidates best-bound-first.  Any candidate whose bound is below
     # the best simulated feasible throughput so far provably cannot win
     # (bound >= simulated throughput), so its simulation is skipped.
-    ctx = _EvalContext(workload, memory_cap_bytes)
+    t_bound = time.perf_counter()
     ubs = (
         throughput_upper_bounds(workload, [c for _, c, _ in pending])
         if prune and pending
         else None
     )
+    if telemetry is not None:
+        telemetry.bound_s += time.perf_counter() - t_bound
     if ubs is None:
         order = range(len(pending))
     else:
@@ -595,39 +797,49 @@ def autotune(
             # Strided chunks spread expensive neighbours (large m, MILP
             # schedules) across workers instead of stacking one worker.
             chunks = [missing[i::n_workers] for i in range(n_workers)]
-            run = functools.partial(evaluate_chunk, workload, memory_cap_bytes)
+            run = functools.partial(
+                evaluate_chunk, workload, memory_cap_bytes,
+                incremental=incremental,
+            )
             with ProcessPoolExecutor(max_workers=n_workers) as pool:
                 for worker_cache in pool.map(run, chunks):
                     remote.update(worker_cache.entries())
 
     best_tps = 0.0
-    for i in order:
-        idx, cand, key = pending[i]
-        if key not in cache and ubs is not None and ubs[i] < best_tps:
-            # Simulating this candidate cannot change the winner; report
-            # it as pruned.  It never enters the cache, so a warm
-            # re-sweep walks the identical records and replays the
-            # identical decision (cached records are never pruned).
-            # Remote workers may have speculatively evaluated it under
-            # their weaker pre-dispatch floor; that record is discarded.
-            cache.stats.pruned += 1
-            rows[idx] = _infeasible(
-                cand,
-                f"pruned: throughput upper bound {ubs[i]:.0f} tokens/s "
-                f"below best simulated plan {best_tps:.0f} tokens/s",
-            )
-            continue
-        if key in remote:
-            record = cache.get_or_eval(key, lambda k=key: remote[k])
-        else:
-            record = cache.get_or_eval(
-                key,
-                lambda c=cand: _cold_evaluate(workload, c, memory_cap_bytes, ctx),
-            )
-        row = _to_plan_result(workload, cand, record, memory_cap_bytes)
-        rows[idx] = row
-        if row.feasible and row.tokens_per_s > best_tps:
-            best_tps = row.tokens_per_s
+    t_eval = time.perf_counter()
+    with _gc_paused():
+        for i in order:
+            idx, cand, key = pending[i]
+            if key not in cache and ubs is not None and ubs[i] < best_tps:
+                # Simulating this candidate cannot change the winner;
+                # report it as pruned.  It never enters the cache, so a
+                # warm re-sweep walks the identical records and replays
+                # the identical decision (cached records are never
+                # pruned).  Remote workers may have speculatively
+                # evaluated it under their weaker pre-dispatch floor;
+                # that record is discarded.
+                cache.stats.pruned += 1
+                rows[idx] = _infeasible(
+                    cand,
+                    f"pruned: throughput upper bound {ubs[i]:.0f} tokens/s "
+                    f"below best simulated plan {best_tps:.0f} tokens/s",
+                )
+                continue
+            if key in remote:
+                record = cache.get_or_eval(key, lambda k=key: remote[k])
+            else:
+                record = cache.get_or_eval(
+                    key,
+                    lambda c=cand: _cold_evaluate(
+                        workload, c, memory_cap_bytes, ctx
+                    ),
+                )
+            row = _to_plan_result(workload, cand, record, memory_cap_bytes)
+            rows[idx] = row
+            if row.feasible and row.tokens_per_s > best_tps:
+                best_tps = row.tokens_per_s
+    if telemetry is not None:
+        telemetry.eval_s += time.perf_counter() - t_eval
 
     results: list[PlanResult] = rows  # type: ignore[assignment]
     feasible = [r for r in results if r.feasible]
