@@ -1,0 +1,181 @@
+#!/usr/bin/env python
+"""Synthetic load generator for the planner service.
+
+Replays a burst of plan requests against a running ``repro serve``
+instance from N concurrent client threads, sampling workloads from a
+small neighbourhood (several sequence lengths and pipeline sizes) with
+deliberate repetition so the run exercises the service's three serving
+paths: cold evaluations, warm cache hits and request coalescing.
+
+Usage::
+
+    python -m repro serve --cache plans.sqlite --port 8642 &
+    python scripts/replay_traffic.py --url http://127.0.0.1:8642 \
+        --requests 64 --clients 8 --seed 7
+
+Exits non-zero when any request fails or when the service's stats
+counters do not add up (plans == cold + warm + coalesced), so CI can
+use a short burst as a health gate.  Stdlib only, like the service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+
+def _request(url: str, path: str, payload: dict | None = None, timeout: float = 300.0):
+    """One JSON round trip; returns (status, body-dict)."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    req = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+def _workload_pool(args: argparse.Namespace) -> list[dict]:
+    """The request bodies the burst samples from (with repetition)."""
+    pool = []
+    for seq_len in args.seq_lens.split(","):
+        for p in args.pipeline_sizes.split(","):
+            body = {
+                "model": args.model,
+                "gpu": args.gpu,
+                "p": int(p),
+                "seq_len": seq_len.strip(),
+                "options": False,
+            }
+            if args.schedules:
+                body["schedules"] = [
+                    s.strip() for s in args.schedules.split(",") if s.strip()
+                ]
+            pool.append(body)
+    return pool
+
+
+def replay(args: argparse.Namespace) -> int:
+    status, health = _request(args.url, "/v1/healthz")
+    print(
+        f"service up: {health['status']}, "
+        f"{health['cache_entries']} cached entries"
+    )
+
+    pool = _workload_pool(args)
+    rng = random.Random(args.seed)
+    # Pre-draw the schedule of requests so every run with one seed is
+    # reproducible regardless of thread interleaving.
+    bodies = [rng.choice(pool) for _ in range(args.requests)]
+    results: list[dict | None] = [None] * args.requests
+    failures: list[str] = []
+    next_index = iter(range(args.requests))
+    index_lock = threading.Lock()
+
+    def client() -> None:
+        while True:
+            with index_lock:
+                i = next(next_index, None)
+            if i is None:
+                return
+            try:
+                _, body = _request(args.url, "/v1/plan", bodies[i])
+                results[i] = body
+            except (urllib.error.URLError, OSError, ValueError) as err:
+                failures.append(f"request {i}: {err}")
+
+    t0 = time.perf_counter()
+    threads = [
+        threading.Thread(target=client, name=f"client-{c}")
+        for c in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    answered = [r for r in results if r is not None]
+    outcomes = {"cold": 0, "warm": 0, "coalesced": 0}
+    for r in answered:
+        outcomes[r["outcome"]] += 1
+    print(
+        f"replayed {len(answered)}/{args.requests} requests from "
+        f"{args.clients} clients in {elapsed:.2f} s "
+        f"({len(answered) / elapsed:.1f} req/s)"
+    )
+    print(
+        f"outcomes: {outcomes['cold']} cold, {outcomes['warm']} warm, "
+        f"{outcomes['coalesced']} coalesced"
+    )
+
+    _, stats = _request(args.url, "/v1/stats")
+    tel = stats["telemetry"]
+    print(
+        f"service totals: {tel['plans']} plans "
+        f"({tel['plans_cold']} cold, {tel['plans_warm']} warm, "
+        f"{tel['plans_coalesced']} coalesced), {tel['errors']} errors; "
+        f"cache {stats['cache']['entries']} entries, "
+        f"hit rate {stats['cache']['hit_rate']:.0%}"
+    )
+
+    ok = not failures and len(answered) == args.requests
+    if tel["plans_cold"] + tel["plans_warm"] + tel["plans_coalesced"] != tel["plans"]:
+        print("FAIL plan outcome counters do not add up", file=sys.stderr)
+        ok = False
+    if args.expect_max_cold is not None and tel["plans_cold"] > args.expect_max_cold:
+        print(
+            f"FAIL {tel['plans_cold']} cold evaluations exceed the "
+            f"--expect-max-cold {args.expect_max_cold} bound "
+            "(dedup or the warm cache is not working)",
+            file=sys.stderr,
+        )
+        ok = False
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="planner service base URL (default: %(default)s)",
+    )
+    parser.add_argument("--requests", type=int, default=32, metavar="N",
+                        help="total plan requests to send (default: %(default)s)")
+    parser.add_argument("--clients", type=int, default=4, metavar="N",
+                        help="concurrent client threads (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="workload sampling seed (default: %(default)s)")
+    parser.add_argument("--model", default="7B")
+    parser.add_argument("--gpu", default="H20")
+    parser.add_argument("--seq-lens", default="8k,16k", metavar="S,S",
+                        help="sequence lengths to sample (default: %(default)s)")
+    parser.add_argument("--pipeline-sizes", default="2,4", metavar="P,P",
+                        help="pipeline sizes to sample (default: %(default)s)")
+    parser.add_argument("--schedules", default="1f1b,helix", metavar="A,B",
+                        help="schedules to sweep per request "
+                        "(default: %(default)s; empty = all tunable)")
+    parser.add_argument(
+        "--expect-max-cold",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail when the service reports more than N cold plan "
+        "requests (CI gate: the workload pool has only so many "
+        "distinct points)",
+    )
+    return replay(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

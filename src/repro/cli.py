@@ -62,6 +62,31 @@ Commands
 
     ``--smoke`` shrinks the grid to a seconds-fast sanity sweep for CI.
 
+    ``--cache`` selects its store backend by suffix: ``.json`` is the
+    eager atomic-rewrite store, ``.sqlite``/``.sqlite3``/``.db`` the
+    lazy indexed store that supports concurrent writers; ``--backend``
+    overrides the suffix.
+
+``serve``
+    Run the planner as a long-lived HTTP/JSON service over a shared
+    cost cache (:mod:`repro.service`): ``POST /v1/plan`` resolves a
+    workload through the tuner (identical in-flight requests coalesce
+    onto one evaluation), ``POST /v1/sweep`` pre-fills a workload
+    neighbourhood in the background, ``GET /v1/stats`` reports request
+    telemetry and the cache hit/miss split::
+
+        python -m repro serve --cache plans.sqlite --port 8642
+        curl -s localhost:8642/v1/plan -d '{"model":"7B","p":8,"seq_len":"64k"}'
+
+``cache info|migrate``
+    Store utilities: ``info`` prints a store's backend, entry count and
+    cost-model fingerprint freshness; ``migrate`` copies a store across
+    backends (e.g. a JSON sweep cache into the sqlite store the service
+    reads)::
+
+        python -m repro cache info sweep.json
+        python -m repro cache migrate sweep.json plans.sqlite
+
 ``bench``
     Measure the tuner hot path -- candidates/sec (pruned and
     exhaustive) with a per-phase build/simulate/bound/cache breakdown,
@@ -136,6 +161,7 @@ from repro.schedules.registry import (
     get_schedule,
 )
 from repro.tuner import CostCache, autotune, tune_grid
+from repro.tuner.store import BACKENDS
 from repro.workloads import (
     GPU_CLUSTERS,
     Workload,
@@ -390,21 +416,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_cache(path: str | None) -> CostCache | None:
-    """A CostCache pre-loaded from ``path``; None when the dir is missing."""
-    cache = CostCache()
-    if path:
-        # Fail before the sweep, not at save time after minutes of work.
-        cache_dir = os.path.dirname(os.path.abspath(path))
-        if not os.path.isdir(cache_dir):
-            print(
-                f"error: cache directory {cache_dir!r} does not exist",
-                file=sys.stderr,
-            )
-            return None
-        if os.path.exists(path):
-            loaded = cache.load(path)
-            print(f"cache: loaded {loaded} entries from {path}")
+def _load_cache(path: str | None, backend: str | None = None) -> CostCache:
+    """A CostCache bound to ``path`` (either backend), fresh when missing.
+
+    Backend selection follows the path suffix unless ``--backend`` says
+    otherwise (:func:`repro.tuner.store.detect_backend`).  A sqlite path
+    attaches the store for lazy lookup + write-through; a JSON path is
+    loaded eagerly when it exists.  Missing files (and missing parent
+    directories) are fine -- save creates both.
+    """
+    if not path:
+        return CostCache()
+    cache = CostCache.open(path, backend=backend)
+    if cache.store is not None:
+        print(
+            f"cache: attached sqlite store {path} "
+            f"({len(cache.store)} entries)"
+        )
+    elif os.path.exists(path):
+        print(f"cache: loaded {len(cache)} entries from {path}")
     return cache
 
 
@@ -520,9 +550,7 @@ def _cmd_tune(args: argparse.Namespace) -> int:
     elif args.smoke:
         schedules = ["1f1b", "helix"]
 
-    cache = _load_cache(args.cache)
-    if cache is None:
-        return 1
+    cache = _load_cache(args.cache, args.backend)
 
     kwargs: dict[str, Any] = {"prune": not args.no_prune}
     if args.no_options or args.smoke:
@@ -609,9 +637,105 @@ def _cmd_tune(args: argparse.Namespace) -> int:
         )
 
     if args.cache:
-        saved = cache.save(args.cache)
+        saved = cache.save(args.cache, backend=args.backend)
         print(f"cache: saved {saved} entries to {args.cache}")
     return 0 if found else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import PlannerService, create_server
+
+    cache = _load_cache(args.cache, args.backend)
+    service = PlannerService(
+        cache,
+        workers=args.workers,
+        save_path=args.cache,
+        save_backend=args.backend,
+    )
+    server = create_server(args.host, args.port, service)
+    host, port = server.server_address[:2]
+    print(f"planner service listening on http://{host}:{port}")
+    print(
+        "endpoints: GET /v1/healthz /v1/stats /v1/sweeps, "
+        "POST /v1/plan /v1/sweep"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        saved = service.save_cache()
+        if saved is not None:
+            print(f"cache: saved {saved} entries to {args.cache}")
+    return 0
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    import json as _json
+    import sqlite3
+
+    from repro.tuner import costmodel_fingerprint
+    from repro.tuner.store import detect_backend
+
+    backend = detect_backend(args.path, args.backend)
+    current = costmodel_fingerprint()
+    if backend == "sqlite":
+        # Inspect the file directly: opening a SqliteCostStore would
+        # clear-and-restamp a stale store, and info must be read-only.
+        if not os.path.exists(args.path):
+            raise FileNotFoundError(
+                f"sqlite cost cache store {args.path!r} does not exist"
+            )
+        conn = sqlite3.connect(args.path)
+        try:
+            meta = dict(conn.execute("SELECT key, value FROM meta"))
+            entries = conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0]
+        except sqlite3.DatabaseError as err:
+            raise ValueError(
+                f"{args.path!r} is not a sqlite cost cache store ({err})"
+            ) from None
+        finally:
+            conn.close()
+        stamped = meta.get("costmodel")
+    else:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            payload = _json.load(fh)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            print(
+                f"error: {args.path!r} is not a cost cache store",
+                file=sys.stderr,
+            )
+            return 1
+        entries, stamped = len(payload["entries"]), payload.get("costmodel")
+    print(f"path:        {args.path}")
+    print(f"backend:     {backend}")
+    print(f"entries:     {entries}")
+    print(f"costmodel:   {stamped}")
+    fresh = stamped == current
+    print(f"fingerprint: {'current' if fresh else f'STALE (running {current})'}")
+    return 0 if fresh else 1
+
+
+def _cmd_cache_migrate(args: argparse.Namespace) -> int:
+    from repro.tuner.store import detect_backend
+
+    src_backend = detect_backend(args.src, args.src_backend)
+    dst_backend = detect_backend(args.dst, args.dst_backend)
+    cache = CostCache()
+    cache.load(args.src, backend=src_backend)
+    if cache.store is not None:
+        # A sqlite source is attached lazily; materialise it so the
+        # destination gets every entry (and detach, so an sqlite->sqlite
+        # copy writes the destination file rather than the source).
+        for key, value in cache.store.items():
+            cache.adopt(key, value)
+        cache.store = None
+    count = sum(1 for _ in cache.entries())
+    print(f"cache: loaded {count} entries from {args.src} ({src_backend})")
+    saved = cache.save(args.dst, backend=dst_backend)
+    print(f"cache: wrote {saved} entries to {args.dst} ({dst_backend})")
+    return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -1018,7 +1142,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache",
         default=None,
         metavar="PATH",
-        help="persistent cost cache: loaded before the sweep, saved after",
+        help="persistent cost cache: loaded before the sweep, saved after; "
+        "a .sqlite/.db suffix selects the lazy sqlite store",
+    )
+    p_tune.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="cost cache store backend (default: by --cache suffix)",
     )
     p_tune.add_argument(
         "--memory-cap-gib",
@@ -1057,6 +1188,84 @@ def _build_parser() -> argparse.ArgumentParser:
         "no option axis",
     )
     p_tune.set_defaults(fn=_cmd_tune)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the HTTP planner service over a shared cost cache",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8642,
+        metavar="N",
+        help="bind port; 0 picks a free one (default: %(default)s)",
+    )
+    p_serve.add_argument(
+        "--cache",
+        default=None,
+        metavar="PATH",
+        help="shared cost cache store; a .sqlite/.db suffix selects the "
+        "lazy concurrent sqlite backend (recommended for serving)",
+    )
+    p_serve.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="cost cache store backend (default: by --cache suffix)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evaluate cold candidates in a process pool of N workers",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
+
+    p_cache = sub.add_parser(
+        "cache", help="cost cache store utilities (info, migrate)"
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    pc_info = cache_sub.add_parser(
+        "info",
+        help="show a store's backend, entry count and fingerprint "
+        "freshness (exit 1 when stale)",
+    )
+    pc_info.add_argument("path", help="cost cache store path")
+    pc_info.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default=None,
+        help="store backend (default: by suffix)",
+    )
+    pc_info.set_defaults(fn=_cmd_cache_info)
+
+    pc_migrate = cache_sub.add_parser(
+        "migrate",
+        help="copy a cost cache store between backends "
+        "(e.g. sweep.json -> plans.sqlite)",
+    )
+    pc_migrate.add_argument("src", help="source store path")
+    pc_migrate.add_argument("dst", help="destination store path")
+    pc_migrate.add_argument(
+        "--src-backend",
+        choices=BACKENDS,
+        default=None,
+        help="source backend (default: by suffix)",
+    )
+    pc_migrate.add_argument(
+        "--dst-backend",
+        choices=BACKENDS,
+        default=None,
+        help="destination backend (default: by suffix)",
+    )
+    pc_migrate.set_defaults(fn=_cmd_cache_migrate)
 
     p_bench = sub.add_parser(
         "bench",

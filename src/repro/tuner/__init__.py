@@ -43,6 +43,7 @@ from repro.tuner.cache import (
 )
 from repro.tuner.grid import GridPlan, tune_grid
 from repro.tuner.ircache import ScheduleIRCache
+from repro.tuner.store import SqliteCostStore, detect_backend
 from repro.tuner.telemetry import SweepTelemetry
 
 __all__ = [
@@ -57,5 +58,7 @@ __all__ = [
     "GridPlan",
     "tune_grid",
     "ScheduleIRCache",
+    "SqliteCostStore",
     "SweepTelemetry",
+    "detect_backend",
 ]

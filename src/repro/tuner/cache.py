@@ -13,12 +13,16 @@ hit reproduces the cold result exactly.  Two extensions make it a
 subsystem rather than a dict:
 
 - **Persistence** (:meth:`CostCache.save` / :meth:`CostCache.load` /
-  :meth:`CostCache.from_file`): the cache serialises to a JSON file so
-  sweeps survive process restarts.  Candidate keys are stable nested
-  tuples of primitives (see
+  :meth:`CostCache.open` / :meth:`CostCache.from_file`): the cache
+  persists to one of two backends, selected by path suffix or an
+  explicit ``backend=`` (:func:`repro.tuner.store.detect_backend`) --
+  an eagerly-loaded JSON file, or a lazily-queried sqlite store
+  (:class:`repro.tuner.store.SqliteCostStore`: indexed lookup, WAL-mode
+  concurrent writers, 100k+ entries) that serves the planner service.
+  Candidate keys are stable nested tuples of primitives (see
   :func:`repro.schedules.registry.workload_cache_key`), which round-trip
-  through JSON lists losslessly.  Stores are stamped with a
-  cost-model source fingerprint (:func:`costmodel_fingerprint`);
+  through JSON lists losslessly on either backend.  Stores are stamped
+  with a cost-model source fingerprint (:func:`costmodel_fingerprint`);
   loading a store written by a different cost model warns and discards
   it instead of serving stale records.
 - **Merging** (:meth:`CostCache.merge`): adopt another cache's entries,
@@ -36,10 +40,13 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
+import secrets
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Callable, Hashable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterator
+
+if TYPE_CHECKING:  # repro.tuner.store imports this module; avoid the cycle
+    from repro.tuner.store import SqliteCostStore
 
 __all__ = ["CacheStats", "CostCache", "DEFAULT_CACHE", "costmodel_fingerprint"]
 
@@ -158,20 +165,48 @@ def _freeze(value: Any) -> Any:
 
 @dataclass
 class CostCache:
-    """Dict-backed memoization of candidate evaluations."""
+    """Dict-backed memoization of candidate evaluations.
+
+    With a :class:`~repro.tuner.store.SqliteCostStore` attached
+    (:meth:`open` / :meth:`attach_store`), the dict becomes a hot layer
+    over the lazy on-disk store: lookups fall through to one indexed
+    sqlite query, fetched entries count as disk hits, and cold
+    evaluations write through so concurrent processes sharing the store
+    see them immediately.
+    """
 
     _data: dict[Hashable, Any] = field(default_factory=dict)
     stats: CacheStats = field(default_factory=CacheStats)
     #: Keys whose entries came off a persisted store (for stats only).
     _disk_keys: set[Hashable] = field(default_factory=set)
+    #: Lazy on-disk backend; None for a purely in-memory (or JSON) cache.
+    store: "SqliteCostStore | None" = None
+
+    def _fetch_from_store(self, key: Hashable) -> Any | None:
+        if self.store is None:
+            return None
+        value = self.store.get(key)
+        if value is not None:
+            self._data[key] = value
+            self._disk_keys.add(key)
+        return value
 
     def get_or_eval(self, key: Hashable, evaluate: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, evaluating on first use."""
         try:
             value = self._data[key]
         except KeyError:
+            value = self._fetch_from_store(key)
+            if value is not None:
+                self.stats.disk_hits += 1
+                return value
             self.stats.misses += 1
             value = self._data[key] = evaluate()
+            if self.store is not None:
+                # Write-through: a concurrent process sharing the store
+                # (another sweep, the planner service) can reuse this
+                # evaluation without waiting for an explicit save().
+                self.store.put(key, value)
             return value
         if key in self._disk_keys:
             self.stats.disk_hits += 1
@@ -181,7 +216,13 @@ class CostCache:
 
     def peek(self, key: Hashable) -> Any:
         """Return the cached value without touching the hit counters."""
-        return self._data[key]
+        try:
+            return self._data[key]
+        except KeyError:
+            value = self._fetch_from_store(key)
+            if value is None:
+                raise
+            return value
 
     def adopt(self, key: Hashable, value: Any) -> None:
         """Insert an externally-evaluated entry (no stats recorded)."""
@@ -192,12 +233,18 @@ class CostCache:
 
         Existing entries win (both caches evaluated the same
         deterministic function, so the records agree; keeping ours
-        preserves this cache's disk-origin bookkeeping).
+        preserves this cache's disk-origin bookkeeping).  Disk-origin
+        bookkeeping *carries over* for adopted entries: an entry that
+        came off a persisted store in ``other`` (e.g. a per-worker cache
+        that pre-loaded a shard) keeps counting as a disk hit here, so
+        the memory/disk stats split stays honest across merges.
         """
         added = 0
         for key, value in other.entries():
             if key not in self._data:
                 self._data[key] = value
+                if key in other._disk_keys:
+                    self._disk_keys.add(key)
                 added += 1
         return added
 
@@ -207,47 +254,87 @@ class CostCache:
 
     # -- persistence ---------------------------------------------------------
 
-    def save(self, path: str | os.PathLike) -> int:
-        """Write every entry to ``path`` as JSON; returns the entry count.
+    def save(self, path: str | os.PathLike, backend: str | None = None) -> int:
+        """Persist every in-memory entry to ``path``; returns a count.
 
-        Keys are stored as (nested) lists and restored to tuples on
-        :meth:`load`.  The write goes through a uniquely-named temp file
-        + rename, so a crash mid-save never truncates an existing store
+        The backend follows the path suffix unless ``backend`` says
+        otherwise (:func:`repro.tuner.store.detect_backend`).  On the
+        sqlite backend the entries are upserted into the store (created
+        if missing) in one transaction and the return value is the
+        store's total entry count; on the JSON backend the whole store
+        is rewritten and the return value is this cache's entry count.
+        Missing parent directories are created either way, so saving to
+        ``new/dir/store.json`` works instead of dying inside
+        ``mkstemp`` with a raw :class:`FileNotFoundError`.
+
+        The JSON write goes through a uniquely-named temp file +
+        rename, so a crash mid-save never truncates an existing store
         and concurrent writers to the same path cannot interleave -- the
-        last complete save wins atomically.
+        last complete save wins atomically.  The temp file is created
+        with mode ``0o666`` and the kernel applies the process umask to
+        it like any ordinary file; no ``os.umask`` probe, which would
+        mutate process-global state and race under threads (exactly the
+        threaded planner-service case).
         """
+        path = os.fspath(path)
+        from repro.tuner.store import SqliteCostStore, detect_backend
+
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        if detect_backend(path, backend) == "sqlite":
+            if self.store is not None and os.path.abspath(
+                self.store.path
+            ) == os.path.abspath(path):
+                store = self.store
+            else:
+                store = SqliteCostStore(path)
+            store.put_many(iter(self._data.items()))
+            return len(store)
         payload = {
             "format": _FORMAT,
             "version": _VERSION,
             "costmodel": costmodel_fingerprint(),
             "entries": [[key, value] for key, value in self._data.items()],
         }
-        path = os.fspath(path)
-        fd, tmp = tempfile.mkstemp(
-            prefix=os.path.basename(path) + ".", dir=os.path.dirname(path) or "."
-        )
+        base = os.path.basename(path)
+        for _ in range(64):
+            tmp = os.path.join(
+                parent or ".", f"{base}.{secrets.token_hex(8)}.tmp"
+            )
+            try:
+                fd = os.open(
+                    tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o666
+                )
+            except FileExistsError:  # pragma: no cover - 64-bit collision
+                continue
+            break
+        else:  # pragma: no cover - practically unreachable
+            raise RuntimeError(f"could not create a temp file next to {path!r}")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
                 json.dump(payload, fh, separators=(",", ":"))
-            # mkstemp creates 0600; a shared store should follow the
-            # umask like any ordinary file the process writes.
-            umask = os.umask(0)
-            os.umask(umask)
-            os.chmod(tmp, 0o666 & ~umask)
             os.replace(tmp, path)
         except BaseException:
             os.unlink(tmp)
             raise
         return len(self._data)
 
-    def load(self, path: str | os.PathLike) -> int:
-        """Merge the entries persisted at ``path``; returns the count added.
+    def load(self, path: str | os.PathLike, backend: str | None = None) -> int:
+        """Make the entries persisted at ``path`` available; returns a count.
+
+        On the sqlite backend (path suffix or explicit ``backend``) the
+        store is *attached*, not read: lookups fall through to indexed
+        queries lazily, and the return value is the store's entry count.
+        On the JSON backend every entry is merged into memory and the
+        count of newly-added entries is returned.
 
         Entries already present in memory are kept (and stay counted as
-        memory hits); newly-loaded ones count as disk hits when looked
-        up.  Raises :class:`ValueError` on a file that is not a cost
-        cache store, so a typo'd path fails loudly instead of silently
-        starting cold.
+        memory hits); loaded/attached ones count as disk hits when
+        looked up.  Raises :class:`ValueError` on a file that is not a
+        cost cache store, so a typo'd path fails loudly instead of
+        silently starting cold, and :class:`FileNotFoundError` when
+        there is no file at all.
 
         A store whose cost-model fingerprint (see
         :func:`costmodel_fingerprint`) does not match the running code
@@ -257,6 +344,20 @@ class CostCache:
         discards it (returns 0); the next :meth:`save` re-stamps the
         path with freshly-evaluated entries.
         """
+        from repro.tuner.store import (
+            SqliteCostStore,
+            detect_backend,
+            is_sqlite_file,
+        )
+
+        if detect_backend(path, backend) == "sqlite":
+            self.store = SqliteCostStore(path, create=False)
+            return len(self.store)
+        if is_sqlite_file(path):
+            raise ValueError(
+                f"{os.fspath(path)!r} is a sqlite cost cache store; load "
+                "it with backend='sqlite' (or give it a .sqlite suffix)"
+            )
         with open(path, "r", encoding="utf-8") as fh:
             payload = json.load(fh)
         if (
@@ -290,22 +391,62 @@ class CostCache:
         return added
 
     @classmethod
-    def from_file(cls, path: str | os.PathLike) -> "CostCache":
+    def from_file(cls, path: str | os.PathLike, backend: str | None = None) -> "CostCache":
         """A fresh cache pre-populated from a persisted store."""
         cache = cls()
-        cache.load(path)
+        cache.load(path, backend=backend)
         return cache
 
+    @classmethod
+    def open(cls, path: str | os.PathLike, backend: str | None = None) -> "CostCache":
+        """A cache bound to the store at ``path``, created when missing.
+
+        The create-if-missing front door the CLI and the planner service
+        use: a sqlite path attaches a (possibly fresh)
+        :class:`~repro.tuner.store.SqliteCostStore` for lazy lookup and
+        write-through; a JSON path loads the file when it exists and
+        otherwise starts empty, to be written by the next :meth:`save`.
+        """
+        from repro.tuner.store import SqliteCostStore, detect_backend
+
+        cache = cls()
+        if detect_backend(path, backend) == "sqlite":
+            cache.store = SqliteCostStore(path, create=True)
+        elif os.path.exists(path):
+            cache.load(path, backend="json")
+        return cache
+
+    def attach_store(self, store: "SqliteCostStore") -> None:
+        """Serve lookup misses from ``store`` and write evaluations through."""
+        self.store = store
+
     def clear(self) -> None:
+        """Drop the in-memory layer (an attached store is left untouched)."""
         self._data.clear()
         self._disk_keys.clear()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._data)
+        """Distinct entries reachable through this cache (memory + store)."""
+        if self.store is None:
+            return len(self._data)
+        store = self.store
+        # Write-through puts evaluated entries in the store and fetched
+        # entries are disk keys by construction, so only adopted/merged
+        # entries can be memory-only; count those without double counting.
+        # list() snapshots the keys: the threaded planner service calls
+        # len() while other request threads insert entries.
+        extra = sum(
+            1
+            for key in list(self._data)
+            if key not in self._disk_keys and key not in store
+        )
+        return len(store) + extra
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        if key in self._data:
+            return True
+        return self.store is not None and key in self.store
 
 
 #: Shared process-wide cache used when callers do not supply their own.

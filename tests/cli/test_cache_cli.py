@@ -1,0 +1,139 @@
+"""``repro cache info|migrate``, ``tune --backend`` and ``repro serve``."""
+
+import sqlite3
+
+from repro.cli import main
+from repro.tuner import CostCache, SqliteCostStore
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def _seed_json(path, n=3):
+    cache = CostCache()
+    for i in range(n):
+        key = (("model", "7B"), 1.0, "helix", "none", i, ())
+        cache.adopt(key, {"error": None, "makespan": float(i),
+                          "peak_memory_bytes": 2.0 * i, "bubble_fraction": 0.1})
+    cache.save(path)
+    return cache
+
+
+class TestCacheInfo:
+    def test_json_store(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        _seed_json(path)
+        code, out, _ = run(capsys, "cache", "info", str(path))
+        assert code == 0
+        assert "backend:     json" in out
+        assert "entries:     3" in out
+        assert "fingerprint: current" in out
+
+    def test_sqlite_store(self, capsys, tmp_path):
+        path = tmp_path / "plans.sqlite"
+        cache = _seed_json(tmp_path / "seed.json")
+        cache.save(path)
+        code, out, _ = run(capsys, "cache", "info", str(path))
+        assert code == 0
+        assert "backend:     sqlite" in out and "entries:     3" in out
+
+    def test_stale_store_exits_nonzero(self, capsys, tmp_path):
+        path = tmp_path / "plans.sqlite"
+        _seed_json(tmp_path / "seed.json").save(path)
+        conn = sqlite3.connect(path)
+        conn.execute(
+            "UPDATE meta SET value='0123456789abcdef' WHERE key='costmodel'"
+        )
+        conn.commit()
+        conn.close()
+        # Info is read-only: it reports staleness without the
+        # clear-and-restamp that opening the store would perform.
+        code, out, _ = run(capsys, "cache", "info", str(path))
+        assert code == 1
+        assert "STALE" in out
+        conn = sqlite3.connect(path)
+        assert conn.execute("SELECT COUNT(*) FROM entries").fetchone()[0] == 3
+        conn.close()
+
+    def test_missing_store_is_a_clean_error(self, capsys, tmp_path):
+        code, _, err = run(capsys, "cache", "info", str(tmp_path / "no.sqlite"))
+        assert code == 1
+        assert "error:" in err
+
+
+class TestCacheMigrate:
+    def test_json_to_sqlite_preserves_every_entry(self, capsys, tmp_path):
+        src = tmp_path / "sweep.json"
+        seeded = _seed_json(src, n=5)
+        dst = tmp_path / "plans.sqlite"
+        code, out, _ = run(capsys, "cache", "migrate", str(src), str(dst))
+        assert code == 0
+        assert "loaded 5 entries" in out and "wrote 5 entries" in out
+
+        migrated = SqliteCostStore(dst, create=False)
+        assert dict(migrated.items()) == dict(seeded.entries())
+
+    def test_sqlite_to_json_round_trips(self, capsys, tmp_path):
+        src = tmp_path / "plans.sqlite"
+        seeded = _seed_json(tmp_path / "seed.json", n=4)
+        seeded.save(src)
+        dst = tmp_path / "back.json"
+        code, out, _ = run(capsys, "cache", "migrate", str(src), str(dst))
+        assert code == 0 and "wrote 4 entries" in out
+        assert dict(CostCache.from_file(dst).entries()) == dict(seeded.entries())
+
+    def test_explicit_backend_overrides_suffix(self, capsys, tmp_path):
+        src = tmp_path / "sweep.json"
+        _seed_json(src, n=2)
+        dst = tmp_path / "plans.data"  # no sqlite suffix
+        code, _, _ = run(
+            capsys, "cache", "migrate", str(src), str(dst),
+            "--dst-backend", "sqlite",
+        )
+        assert code == 0
+        assert len(SqliteCostStore(dst, create=False)) == 2
+
+
+class TestTuneBackend:
+    def test_sqlite_cache_round_trip_serves_warm(self, capsys, tmp_path):
+        path = str(tmp_path / "sweep.sqlite")
+        code, out, _ = run(capsys, "tune", "--smoke", "--cache", path)
+        assert code == 0
+        assert f"cache: attached sqlite store {path} (0 entries)" in out
+
+        code, out, _ = run(capsys, "tune", "--smoke", "--cache", path)
+        assert code == 0
+        # The warm sweep re-evaluates nothing: all disk hits, no misses.
+        assert "/ 0 misses" in out
+        assert "from disk" in out
+
+    def test_backend_flag_overrides_suffix(self, capsys, tmp_path):
+        path = str(tmp_path / "sweep.cache")
+        code, out, _ = run(
+            capsys, "tune", "--smoke", "--cache", path, "--backend", "sqlite"
+        )
+        assert code == 0
+        assert "attached sqlite store" in out
+
+
+class TestServeParser:
+    def test_serve_is_registered_with_defaults(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(["serve"])
+        assert args.fn.__name__ == "_cmd_serve"
+        assert (args.host, args.port) == ("127.0.0.1", 8642)
+        assert args.cache is None and args.workers is None
+
+    def test_serve_flags_parse(self):
+        from repro.cli import _build_parser
+
+        args = _build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "0",
+             "--cache", "plans.sqlite", "--backend", "sqlite",
+             "--workers", "4"]
+        )
+        assert args.port == 0 and args.backend == "sqlite"

@@ -135,13 +135,14 @@ class TestTune:
         assert "loaded" in out
         assert "0 misses" in out, "second sweep must be fully warm"
 
-    def test_missing_cache_directory_fails_before_sweep(self, capsys, tmp_path):
-        code, _, err = run(
-            capsys, "tune", "--smoke",
-            "--cache", str(tmp_path / "no-such-dir" / "sweep.json"),
-        )
-        assert code == 1
-        assert "does not exist" in err
+    def test_cache_in_missing_directory_is_created(self, capsys, tmp_path):
+        # Save used to die with a raw mkstemp FileNotFoundError here;
+        # now the parent directories are created on the way out.
+        path = tmp_path / "new-dir" / "sweep.json"
+        code, out, _ = run(capsys, "tune", "--smoke", "--cache", str(path))
+        assert code == 0
+        assert f"cache: saved 1 entries to {path}" in out
+        assert path.exists()
 
     def test_workers_flag(self, capsys):
         code, out, _ = run(capsys, "tune", "--smoke", "--workers", "2")

@@ -1,6 +1,8 @@
 """CostCache persistence, merging and disk-vs-memory hit accounting."""
 
 import json
+import os
+import threading
 
 import pytest
 
@@ -88,6 +90,62 @@ class TestPersistence:
         cache.save(path)
         assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
 
+    def test_save_creates_missing_parent_directories(self, tmp_path):
+        # Regression: this used to die inside mkstemp with a raw
+        # FileNotFoundError for the temp file's directory.
+        path = tmp_path / "new" / "deep" / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        assert cache.save(path) == 1
+        assert CostCache.from_file(path).peek(_key(0)) == _record(0)
+
+    def test_save_honors_umask_without_mutating_it(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = CostCache()
+        cache.adopt(_key(0), _record(0))
+        old = os.umask(0o027)
+        try:
+            cache.save(path)
+            # The saved file carries 0o666 minus the umask, and the
+            # process umask itself was never flipped by the save (the
+            # old implementation's os.umask(0) probe raced under
+            # threads and leaked on mid-save exceptions).
+            assert os.stat(path).st_mode & 0o777 == 0o640
+            assert os.umask(0o027) == 0o027
+        finally:
+            os.umask(old)
+
+    def test_concurrent_threaded_saves_do_not_corrupt(self, tmp_path):
+        path = tmp_path / "cache.json"
+        caches = []
+        for t in range(8):
+            cache = CostCache()
+            for i in range(10):
+                cache.adopt(_key(1000 * t + i), _record(i))
+            caches.append(cache)
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def save(cache):
+            try:
+                barrier.wait()
+                for _ in range(5):
+                    cache.save(path)
+            except BaseException as err:  # pragma: no cover
+                errors.append(err)
+
+        threads = [threading.Thread(target=save, args=(c,)) for c in caches]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # The last complete save won atomically: the file is one
+        # writer's intact store, and no temp files were left behind.
+        loaded = CostCache.from_file(path)
+        assert len(loaded) == 10
+        assert [p.name for p in tmp_path.iterdir()] == ["cache.json"]
+
 
 class TestCostModelFingerprint:
     def test_deterministic_within_process(self):
@@ -154,6 +212,38 @@ class TestMerge:
         b.get_or_eval(_key(0), lambda: _record(0))
         a.merge(b)
         assert a.stats.lookups == 0
+
+    def test_merge_carries_disk_origin_bookkeeping(self, tmp_path):
+        # Regression: merge used to drop other's _disk_keys, so entries
+        # that came off a persisted store were re-counted as memory hits
+        # after a merge, skewing the disk/memory stats split.
+        path = tmp_path / "cache.json"
+        disk = CostCache()
+        disk.adopt(_key(0), _record(0))
+        disk.save(path)
+
+        worker = CostCache.from_file(path)  # disk-origin entry
+        worker.get_or_eval(_key(1), lambda: _record(1))  # memory entry
+
+        main = CostCache()
+        assert main.merge(worker) == 2
+        main.get_or_eval(_key(0), lambda: pytest.fail("cached"))
+        main.get_or_eval(_key(1), lambda: pytest.fail("cached"))
+        assert main.stats.disk_hits == 1
+        assert main.stats.hits == 1
+
+    def test_merge_conflict_keeps_own_disk_bookkeeping(self, tmp_path):
+        path = tmp_path / "cache.json"
+        disk = CostCache()
+        disk.adopt(_key(0), _record(0))
+        disk.save(path)
+
+        mine = CostCache.from_file(path)  # key 0 is disk-origin here
+        other = CostCache()
+        other.get_or_eval(_key(0), lambda: _record(0))  # memory-origin there
+        mine.merge(other)
+        mine.get_or_eval(_key(0), lambda: pytest.fail("cached"))
+        assert mine.stats.disk_hits == 1 and mine.stats.hits == 0
 
 
 class TestStats:

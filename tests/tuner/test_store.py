@@ -1,0 +1,238 @@
+"""SqliteCostStore: backend selection, lazy lookup, concurrent writers."""
+
+import json
+import multiprocessing
+import sqlite3
+
+import pytest
+
+from repro.tuner import CostCache, SqliteCostStore, costmodel_fingerprint, detect_backend
+from repro.tuner.store import is_sqlite_file
+
+
+def _key(i):
+    return (("model", "7B"), 1.0, "helix", "none", i, (("fold", 2),))
+
+
+def _record(i):
+    return {"error": None, "makespan": float(i), "peak_memory_bytes": 2.0 * i,
+            "bubble_fraction": 0.1}
+
+
+class TestDetectBackend:
+    @pytest.mark.parametrize("path,expected", [
+        ("sweep.json", "json"),
+        ("sweep", "json"),
+        ("sweep.sqlite", "sqlite"),
+        ("sweep.SQLITE3", "sqlite"),
+        ("plans.db", "sqlite"),
+        ("dir.sqlite/sweep.json", "json"),
+    ])
+    def test_suffix_selects_backend(self, path, expected):
+        assert detect_backend(path) == expected
+
+    def test_explicit_backend_overrides_suffix(self):
+        assert detect_backend("sweep.json", "sqlite") == "sqlite"
+        assert detect_backend("sweep.sqlite", "json") == "json"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown cost cache backend"):
+            detect_backend("sweep.json", "tape")
+
+
+class TestStore:
+    def test_round_trip_preserves_keys_and_records(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = SqliteCostStore(path)
+        for i in range(5):
+            store.put(_key(i), _record(i))
+        assert len(store) == 5
+
+        reopened = SqliteCostStore(path, create=False)
+        for i in range(5):
+            # Keys must round trip as nested tuples, not JSON lists.
+            assert _key(i) in reopened
+            assert reopened.get(_key(i)) == _record(i)
+        assert _key(99) not in reopened
+        assert reopened.get(_key(99)) is None
+
+    def test_put_many_and_items(self, tmp_path):
+        store = SqliteCostStore(tmp_path / "store.sqlite")
+        assert store.put_many(iter((_key(i), _record(i)) for i in range(10))) == 10
+        entries = dict(store.items())
+        assert entries == {_key(i): _record(i) for i in range(10)}
+
+    def test_put_replaces(self, tmp_path):
+        store = SqliteCostStore(tmp_path / "store.sqlite")
+        store.put(_key(0), _record(0))
+        store.put(_key(0), _record(7))
+        assert len(store) == 1
+        assert store.get(_key(0)) == _record(7)
+
+    def test_create_false_requires_existing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SqliteCostStore(tmp_path / "nope.sqlite", create=False)
+
+    def test_create_makes_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "store.sqlite"
+        SqliteCostStore(path).put(_key(0), _record(0))
+        assert is_sqlite_file(path)
+
+    def test_non_sqlite_file_rejected_with_pointed_error(self, tmp_path):
+        path = tmp_path / "actually.json"
+        path.write_text(json.dumps({"format": "repro-costcache"}))
+        with pytest.raises(ValueError, match="not a sqlite cost cache store"):
+            SqliteCostStore(path)
+
+    def test_foreign_sqlite_database_rejected(self, tmp_path):
+        path = tmp_path / "other.sqlite"
+        conn = sqlite3.connect(path)
+        conn.execute("CREATE TABLE unrelated (x)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="not a cost cache store"):
+            SqliteCostStore(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        SqliteCostStore(path)
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value='99' WHERE key='version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="unsupported sqlite cost cache"):
+            SqliteCostStore(path)
+
+    def test_fingerprint_mismatch_clears_and_restamps(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        store = SqliteCostStore(path)
+        store.put(_key(0), _record(0))
+        store.close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value='0123456789abcdef' WHERE key='costmodel'")
+        conn.commit()
+        conn.close()
+
+        with pytest.warns(UserWarning, match="fingerprint"):
+            reopened = SqliteCostStore(path)
+        assert len(reopened) == 0  # stale records are not served
+        assert reopened.fingerprint == costmodel_fingerprint()
+
+
+class TestCacheIntegration:
+    def test_attached_store_serves_lazy_disk_hits(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        SqliteCostStore(path).put(_key(0), _record(0))
+
+        cache = CostCache.open(path)
+        assert cache.stats.lookups == 0
+        value = cache.get_or_eval(_key(0), lambda: pytest.fail("on disk"))
+        assert value == _record(0)
+        assert cache.stats.disk_hits == 1 and cache.stats.misses == 0
+        # Second lookup is served from the hot layer, still a disk hit.
+        cache.get_or_eval(_key(0), lambda: pytest.fail("cached"))
+        assert cache.stats.disk_hits == 2
+
+    def test_cold_evaluations_write_through(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        cache = CostCache.open(path)
+        cache.get_or_eval(_key(0), lambda: _record(0))
+        assert cache.stats.misses == 1
+        # A second cache over the same store sees the entry without any
+        # explicit save() -- that is what makes the store shareable.
+        other = CostCache.open(path)
+        other.get_or_eval(_key(0), lambda: pytest.fail("written through"))
+        assert other.stats.disk_hits == 1
+
+    def test_contains_and_peek_fall_through_to_store(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        SqliteCostStore(path).put(_key(0), _record(0))
+        cache = CostCache.open(path)
+        assert _key(0) in cache  # the parallel sweep path uses `in`
+        assert cache.peek(_key(0)) == _record(0)
+        assert cache.stats.lookups == 0  # neither call counts stats
+        with pytest.raises(KeyError):
+            cache.peek(_key(99))
+
+    def test_save_flushes_adopted_entries(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        cache = CostCache.open(path)
+        cache.adopt(_key(0), _record(0))  # adopt() does not write through
+        assert cache.save(path) == 1
+        assert SqliteCostStore(path, create=False).get(_key(0)) == _record(0)
+
+    def test_save_json_cache_to_sqlite_path(self, tmp_path):
+        cache = CostCache()
+        for i in range(3):
+            cache.adopt(_key(i), _record(i))
+        path = tmp_path / "out.sqlite"
+        assert cache.save(path) == 3
+        assert dict(SqliteCostStore(path, create=False).items()) == {
+            _key(i): _record(i) for i in range(3)
+        }
+
+    def test_len_counts_memory_and_store_without_double_counting(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        SqliteCostStore(path).put(_key(0), _record(0))
+        cache = CostCache.open(path)
+        cache.get_or_eval(_key(0), lambda: pytest.fail("on disk"))  # fetched
+        cache.get_or_eval(_key(1), lambda: _record(1))  # written through
+        cache.adopt(_key(2), _record(2))  # memory only
+        assert len(cache) == 3
+
+    def test_load_sqlite_file_with_json_suffix_is_pointed_at(self, tmp_path):
+        path = tmp_path / "mislabeled.json"
+        # Write a real sqlite store under a .json name.
+        store = SqliteCostStore(tmp_path / "real.sqlite")
+        store.put(_key(0), _record(0))
+        store.close()
+        (tmp_path / "real.sqlite").rename(path)
+        with pytest.raises(ValueError, match="backend='sqlite'"):
+            CostCache().load(path)
+        # The explicit backend override loads it fine.
+        cache = CostCache.from_file(path, backend="sqlite")
+        assert cache.peek(_key(0)) == _record(0)
+
+    def test_json_and_sqlite_backends_round_trip_identically(self, tmp_path):
+        cache = CostCache()
+        for i in range(20):
+            cache.get_or_eval(_key(i), lambda i=i: _record(i))
+        cache.save(tmp_path / "store.json")
+        cache.save(tmp_path / "store.sqlite")
+
+        via_json = CostCache.from_file(tmp_path / "store.json")
+        via_sqlite = CostCache.from_file(tmp_path / "store.sqlite")
+        json_entries = dict(via_json.entries())
+        sqlite_entries = {k: via_sqlite.peek(k) for k in json_entries}
+        assert sqlite_entries == json_entries
+
+
+def _writer(path, start, count):
+    """One writer process: upsert ``count`` entries starting at ``start``."""
+    store = SqliteCostStore(path)
+    for i in range(start, start + count):
+        store.put(_key(i), _record(i))
+    store.close()
+
+
+class TestConcurrentWriters:
+    def test_multi_process_writers_lose_no_entries(self, tmp_path):
+        """Several processes writing one store: every entry survives."""
+        path = str(tmp_path / "shared.sqlite")
+        SqliteCostStore(path)  # stamp once, before the writers race
+        per_writer = 40
+        ctx = multiprocessing.get_context("spawn")
+        writers = [
+            ctx.Process(target=_writer, args=(path, w * per_writer, per_writer))
+            for w in range(4)
+        ]
+        for p in writers:
+            p.start()
+        for p in writers:
+            p.join(timeout=120)
+        assert all(p.exitcode == 0 for p in writers)
+
+        store = SqliteCostStore(path, create=False)
+        assert len(store) == 4 * per_writer
+        for i in range(4 * per_writer):
+            assert store.get(_key(i)) == _record(i)
