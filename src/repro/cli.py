@@ -41,6 +41,18 @@ Commands
         python -m repro lint
         python -m repro lint --schedules helix,zb1p -p 2,4 --json
 
+``lint-code``
+    The same idea pointed at the repo's own sources: the concurrency
+    lint (:mod:`repro.devtools.concurrency`) sweeps the threaded
+    packages (default ``src/repro/service`` + ``src/repro/tuner``) and
+    runs the lock-discipline passes -- guarded-by fields, lock-order
+    cycles, blocking calls under locks, thread lifecycle hygiene.
+    Exits non-zero on ERROR findings; ``--strict`` fails on warnings
+    too::
+
+        python -m repro lint-code
+        python -m repro lint-code --strict --json --paths src/repro
+
 ``tune``
     Run :func:`repro.tuner.autotune` over the full candidate grid and
     print the ranked plan table.  ``--workers N`` evaluates cold
@@ -529,6 +541,56 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_lint_code(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.devtools.concurrency import (
+        available_code_passes,
+        get_code_pass,
+        lint_code,
+        report_passes_gate,
+    )
+
+    if args.list_passes:
+        rows = []
+        for name in available_code_passes():
+            cp = get_code_pass(name)
+            rows.append(
+                {
+                    "pass": name,
+                    "category": cp.category,
+                    "requires": ", ".join(cp.requires) or "-",
+                    "description": cp.description,
+                }
+            )
+        print(format_table(rows))
+        return 0
+
+    passes = None
+    if args.passes:
+        passes = [s.strip() for s in args.passes.split(",") if s.strip()]
+    paths = args.paths or None
+
+    report, _model = lint_code(paths, passes=passes)
+    ok = report_passes_gate(report, strict=args.strict)
+    if args.json:
+        payload = report.to_json_dict()
+        payload["strict"] = args.strict
+        payload["ok"] = ok
+        text = _json.dumps(payload, indent=2)
+    else:
+        text = report.format()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"code lint report written to {args.out}")
+        if not args.json:
+            print(text)
+    else:
+        print(text)
+    return 0 if ok else 1
+
+
 def _cmd_tune(args: argparse.Namespace) -> int:
     pp_sizes = (
         args.pipeline_size
@@ -643,6 +705,8 @@ def _cmd_tune(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.service import PlannerService, create_server
 
     cache = _load_cache(args.cache, args.backend)
@@ -659,13 +723,25 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         "endpoints: GET /v1/healthz /v1/stats /v1/sweeps, "
         "POST /v1/plan /v1/sweep"
     )
+
+    # SIGTERM (systemd stop, docker stop, CI teardown) must go through
+    # the same graceful path as Ctrl-C: raising SystemExit unwinds
+    # serve_forever via the try/finally below instead of killing the
+    # process with daemon sweep threads mid-write.
+    def _terminate(signum, frame):
+        raise SystemExit(128 + signum)
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, SystemExit):
         print("\nshutting down")
     finally:
+        signal.signal(signal.SIGTERM, previous)
         server.server_close()
-        saved = service.save_cache()
+        # Drains background sweeps, persists the cache and closes the
+        # store's sqlite connections.
+        saved = service.close()
         if saved is not None:
             print(f"cache: saved {saved} entries to {args.cache}")
     return 0
@@ -1119,6 +1195,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the report to PATH (CI uploads it on failure)",
     )
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_lint_code = sub.add_parser(
+        "lint-code",
+        help="concurrency lint over the repo's own threaded sources",
+    )
+    p_lint_code.add_argument(
+        "--paths",
+        nargs="+",
+        default=None,
+        metavar="PATH",
+        help="files/directories to sweep (default: src/repro/service "
+        "and src/repro/tuner)",
+    )
+    p_lint_code.add_argument(
+        "--passes",
+        default=None,
+        metavar="A,B,...",
+        help="run only these code passes (default: all registered)",
+    )
+    p_lint_code.add_argument(
+        "--list-passes",
+        action="store_true",
+        help="list the registered code passes and exit",
+    )
+    p_lint_code.add_argument(
+        "--strict",
+        action="store_true",
+        help="promote warnings to failures (exit 1 on any finding)",
+    )
+    p_lint_code.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of the table",
+    )
+    p_lint_code.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="also write the report to PATH (CI uploads it on failure)",
+    )
+    p_lint_code.set_defaults(fn=_cmd_lint_code)
 
     p_tune = sub.add_parser(
         "tune",

@@ -1,0 +1,9 @@
+"""Developer tooling that analyzes *this repository's own code*.
+
+Everything under :mod:`repro.devtools` operates on the repo's Python
+sources rather than on schedule IR or workloads: the first citizen is
+:mod:`repro.devtools.concurrency`, the lock-discipline static analyzer
+behind ``repro lint-code``.  Nothing here is imported by the production
+planning/serving paths -- the packages it *analyzes* must never import
+it back.
+"""

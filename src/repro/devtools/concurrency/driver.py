@@ -1,0 +1,61 @@
+"""Entry point tying model extraction and the pass pipeline together.
+
+:func:`lint_code` is what ``repro lint-code`` and CI call: build the
+project model over the requested paths (defaulting to the threaded
+packages, ``src/repro/service`` and ``src/repro/tuner``), run every
+registered pass (or a chosen subset), and return the report.  ``ok``
+semantics mirror ``repro lint``: ERRORs always fail, ``strict=True``
+additionally fails on WARNINGs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.devtools.concurrency.framework import (
+    CodeAnalysisReport,
+    run_code_analysis,
+)
+from repro.devtools.concurrency.model import ProjectModel, build_model
+
+__all__ = ["DEFAULT_LINT_PATHS", "lint_code", "report_passes_gate"]
+
+#: Packages swept by default: everything that runs under the threaded
+#: HTTP service.  Extend with ``--paths`` as more of ``src/`` goes
+#: multi-threaded.
+DEFAULT_LINT_PATHS = (
+    os.path.join("src", "repro", "service"),
+    os.path.join("src", "repro", "tuner"),
+)
+
+
+def lint_code(
+    paths: Sequence[str | os.PathLike] | None = None,
+    passes: Sequence[str] | None = None,
+    *,
+    root: str | os.PathLike | None = None,
+) -> tuple[CodeAnalysisReport, ProjectModel]:
+    """Sweep ``paths`` with the concurrency passes.
+
+    ``paths`` defaults to :data:`DEFAULT_LINT_PATHS` resolved against
+    ``root`` (default: the current working directory).  Returns both the
+    report and the extracted model so callers (the runtime cross-check,
+    tests) can reuse the static lock graph without re-parsing.
+    """
+    if paths is None:
+        base = os.fspath(root) if root is not None else os.getcwd()
+        paths = [os.path.join(base, p) for p in DEFAULT_LINT_PATHS]
+    model = build_model(paths)
+    report = run_code_analysis(model, passes=passes)
+    return report, model
+
+
+def report_passes_gate(report: CodeAnalysisReport, *, strict: bool = False) -> bool:
+    """Gate semantics shared with ``repro lint``: errors always fail,
+    ``strict`` promotes warnings to failures."""
+    if not report.ok:
+        return False
+    if strict and report.warnings:
+        return False
+    return True

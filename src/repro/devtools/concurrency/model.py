@@ -1,0 +1,1197 @@
+"""AST extraction: a concurrency-oriented model of the repo's modules.
+
+:func:`build_model` parses a set of Python sources into a
+:class:`ProjectModel` -- classes with their lock attributes and
+guarded-field declarations, functions with every lock acquisition,
+guarded-field access, call site, potentially-blocking operation and
+thread spawn, each carrying the set of locks *lexically held* at that
+point.  The analysis passes (:mod:`~repro.devtools.concurrency.guarded`
+and friends) are thin reporters over this model.
+
+Annotation conventions the extractor understands
+------------------------------------------------
+
+``# guarded-by: _lock``
+    On a field assignment (``self._inflight = {}`` in ``__init__``, or a
+    dataclass field declaration), declares that every read/write of the
+    field inside the class must happen under ``with self._lock``.
+``GUARDED_FIELDS = {"Class": {"field": "_lock"}}``
+    A module-level registry declaring the same thing in bulk; the
+    analyzer additionally seeds declarations for the core threaded
+    classes (:data:`SEED_GUARDED_FIELDS`).
+``# lint-code: allow(pass-name[, pass-name...]) -- reason``
+    Suppresses findings of the named pass(es) anchored to that line --
+    or, for ``blocking-under-lock``, findings whose guarding lock was
+    acquired on that line.  ``allow(*)`` suppresses every pass.
+
+The extractor is deliberately *lexical and typed-by-convention*: it
+resolves calls through parameter annotations, ``self`` and constructor
+assignments only, and treats a lock as held exactly inside the ``with``
+block that acquires it.  That trades completeness for zero-configuration
+precision -- the same trade the schedule analyzer makes.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = [
+    "SEED_GUARDED_FIELDS",
+    "HeldLock",
+    "Acquisition",
+    "FieldAccess",
+    "CallSite",
+    "BlockingOp",
+    "ThreadSpawn",
+    "GlobalMutation",
+    "FunctionModel",
+    "ClassModel",
+    "ModuleModel",
+    "ProjectModel",
+    "build_model",
+    "parse_module",
+]
+
+#: Analyzer-seeded guarded-field declarations for the core threaded
+#: classes, unioned with in-source ``# guarded-by:`` comments and
+#: module-level ``GUARDED_FIELDS`` registries.  Keeping the seed here
+#: means the discipline is enforced even if a refactor drops a comment.
+SEED_GUARDED_FIELDS: dict[str, dict[str, str]] = {
+    "PlannerService": {
+        "_inflight": "_inflight_lock",
+        "_sweeps": "_inflight_lock",
+        "_sweep_seq": "_inflight_lock",
+        "_threads": "_inflight_lock",
+        "_closed": "_inflight_lock",
+    },
+    "ServiceTelemetry": {
+        "requests": "_lock",
+        "errors": "_lock",
+        "plans": "_lock",
+        "plans_cold": "_lock",
+        "plans_warm": "_lock",
+        "plans_coalesced": "_lock",
+        "plan_s": "_lock",
+        "sweeps_started": "_lock",
+        "sweeps_completed": "_lock",
+        "sweeps_failed": "_lock",
+        "by_endpoint": "_lock",
+    },
+    "CostCache": {
+        "_data": "_lock",
+        "_disk_keys": "_lock",
+    },
+    "SqliteCostStore": {
+        "_all_conns": "_conns_lock",
+        "_gen": "_conns_lock",
+    },
+}
+
+#: Methods where unguarded access to guarded fields is allowed: the
+#: object is not published to other threads during construction or
+#: final teardown.
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__", "__del__"})
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*([A-Za-z_]\w*)")
+_ALLOW_RE = re.compile(r"#\s*lint-code:\s*allow\(([^)]*)\)")
+
+#: ``os`` functions that hit the filesystem.
+_OS_FILE_IO = frozenset(
+    {
+        "replace", "rename", "unlink", "remove", "makedirs", "mkdir",
+        "open", "fdopen", "fsync", "walk", "listdir", "stat",
+    }
+)
+#: sqlite cursor/connection entry points.
+_SQLITE_CALLS = frozenset({"execute", "executemany", "executescript", "commit"})
+
+_THREADISH_RE = re.compile(r"thread", re.IGNORECASE)
+_EVENTISH_RE = re.compile(r"event|done|ready|barrier|flag|cond", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class HeldLock:
+    """One lock lexically held: its label and the acquiring line."""
+
+    label: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One ``with <lock>`` acquisition and the locks held around it."""
+
+    label: str
+    file: str
+    line: int
+    function: str
+    held: tuple[HeldLock, ...]
+
+
+@dataclass(frozen=True)
+class FieldAccess:
+    """One ``self.<field>`` read or write inside a method."""
+
+    cls: str
+    field: str
+    file: str
+    line: int
+    function: str
+    write: bool
+    held: tuple[HeldLock, ...]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call, with enough shape to resolve it within the project.
+
+    ``receiver`` is ``"self"``, a local/attribute root name, or ``None``
+    for a bare call; ``receiver_type`` the resolved class name when the
+    extractor could type the receiver.
+    """
+
+    name: str
+    receiver: str | None
+    receiver_type: str | None
+    file: str
+    line: int
+    function: str
+    held: tuple[HeldLock, ...]
+
+
+@dataclass(frozen=True)
+class BlockingOp:
+    """One potentially-blocking operation (I/O, subprocess, join, wait)."""
+
+    kind: str  # subprocess | sqlite | file-io | join | wait | sleep
+    detail: str
+    file: str
+    line: int
+    function: str
+    held: tuple[HeldLock, ...]
+
+
+@dataclass(frozen=True)
+class ThreadSpawn:
+    """One ``threading.Thread(...)`` construction."""
+
+    file: str
+    line: int
+    function: str
+    daemon: bool
+    tracked: bool
+    target: str | None
+
+
+@dataclass(frozen=True)
+class GlobalMutation:
+    """One mutation of a module-level name inside a function."""
+
+    name: str
+    file: str
+    line: int
+    function: str
+    held: tuple[HeldLock, ...] = ()
+
+
+@dataclass
+class FunctionModel:
+    """Everything the passes need to know about one function/method."""
+
+    qualname: str
+    name: str
+    cls: str | None
+    module: str
+    file: str
+    line: int
+    is_property: bool = False
+    acquisitions: list[Acquisition] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    blocking: list[BlockingOp] = field(default_factory=list)
+    accesses: list[FieldAccess] = field(default_factory=list)
+    spawns: list[ThreadSpawn] = field(default_factory=list)
+    global_mutations: list[GlobalMutation] = field(default_factory=list)
+
+
+@dataclass
+class ClassModel:
+    """One class: its locks, guarded fields, methods and inferred types."""
+
+    name: str
+    module: str
+    file: str
+    line: int
+    locks: dict[str, str] = field(default_factory=dict)  # attr -> Lock|RLock
+    guarded: dict[str, str] = field(default_factory=dict)  # field -> lock attr
+    methods: dict[str, FunctionModel] = field(default_factory=dict)
+    properties: set[str] = field(default_factory=set)
+    thread_local_attrs: list[str] = field(default_factory=list)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    event_attrs: set[str] = field(default_factory=set)
+
+    @property
+    def has_close(self) -> bool:
+        return "close" in self.methods
+
+    def lock_label(self, attr: str) -> str:
+        return f"{self.name}.{attr}"
+
+
+@dataclass
+class ModuleModel:
+    """One parsed module and its line-level annotations."""
+
+    name: str
+    path: str
+    classes: dict[str, ClassModel] = field(default_factory=dict)
+    functions: dict[str, FunctionModel] = field(default_factory=dict)
+    module_locks: dict[str, str] = field(default_factory=dict)
+    module_mutables: set[str] = field(default_factory=set)
+    allow: dict[int, set[str]] = field(default_factory=dict)
+    thread_targets: set[str] = field(default_factory=set)
+
+    def allowed(self, line: int | None, pass_name: str) -> bool:
+        if line is None:
+            return False
+        allowed = self.allow.get(line, ())
+        return pass_name in allowed or "*" in allowed
+
+
+# -- comment annotations -----------------------------------------------------
+
+
+def _scan_comments(source: str) -> tuple[dict[int, str], dict[int, set[str]]]:
+    """Per-line ``guarded-by`` lock names and ``allow`` pass-name sets."""
+    guarded: dict[int, str] = {}
+    allow: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "#" not in text:
+            continue
+        m = _GUARDED_RE.search(text)
+        if m:
+            guarded[lineno] = m.group(1)
+        m = _ALLOW_RE.search(text)
+        if m:
+            names = {s.strip() for s in m.group(1).split(",") if s.strip()}
+            allow.setdefault(lineno, set()).update(names)
+    return guarded, allow
+
+
+# -- small AST helpers -------------------------------------------------------
+
+
+def _dotted(node: ast.expr) -> str | None:
+    """``a.b.c`` as text for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _value_text(node: ast.expr | None) -> str:
+    if node is None:
+        return ""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on valid ASTs
+        return ""
+
+
+def _lock_kind(text: str) -> str | None:
+    """``Lock``/``RLock`` if the expression constructs or declares a
+    threading lock (covers both ``threading.Lock()`` calls and
+    ``field(default_factory=threading.RLock)`` references)."""
+    if re.search(r"\bRLock\b", text):
+        return "RLock"
+    if re.search(r"\bLock\b", text):
+        return "Lock"
+    return None
+
+
+def _known_class_in(text: str, class_names: set[str]) -> str | None:
+    """First known class name appearing as a word in ``text``."""
+    for token in re.findall(r"[A-Za-z_]\w*", text):
+        if token in class_names:
+            return token
+    return None
+
+
+# -- phase A: class/module skeletons ----------------------------------------
+
+
+def _collect_class_names(trees: list[tuple[str, ast.Module]]) -> set[str]:
+    names: set[str] = set()
+    for _, tree in trees:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                names.add(node.name)
+    return names
+
+
+def _scan_class(
+    node: ast.ClassDef,
+    module: ModuleModel,
+    path: str,
+    guarded_comments: dict[int, str],
+    class_names: set[str],
+) -> ClassModel:
+    cls = ClassModel(name=node.name, module=module.name, file=path, line=node.lineno)
+    for stmt in node.body:
+        # Dataclass-style declarations: ``x: T = field(...)`` / ``x = ...``.
+        target_name: str | None = None
+        value_text = ""
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            target_name = stmt.target.id
+            value_text = _value_text(stmt.value) + " " + _value_text(stmt.annotation)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            target_name = stmt.targets[0].id
+            value_text = _value_text(stmt.value)
+        if target_name is not None:
+            kind = _lock_kind(value_text)
+            if "threading" in value_text and kind:
+                cls.locks[target_name] = kind
+            elif "threading.local(" in value_text:
+                cls.thread_local_attrs.append(target_name)
+            elif "Event" in value_text:
+                cls.event_attrs.add(target_name)
+            else:
+                typed = _known_class_in(value_text, class_names)
+                if typed:
+                    cls.attr_types[target_name] = typed
+            lock_name = guarded_comments.get(stmt.lineno)
+            if lock_name:
+                cls.guarded[target_name] = lock_name
+        # Methods: find ``self.X = ...`` attribute bindings.
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for deco in stmt.decorator_list:
+                if _value_text(deco).endswith("property"):
+                    cls.properties.add(stmt.name)
+            param_types: dict[str, str] = {}
+            for arg in (
+                list(stmt.args.posonlyargs)
+                + list(stmt.args.args)
+                + list(stmt.args.kwonlyargs)
+            ):
+                if arg.annotation is not None:
+                    typed = _known_class_in(
+                        _value_text(arg.annotation), class_names
+                    )
+                    if typed:
+                        param_types[arg.arg] = typed
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, (ast.Assign, ast.AnnAssign)):
+                    continue
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for tgt in targets:
+                    if not (
+                        isinstance(tgt, ast.Attribute)
+                        and isinstance(tgt.value, ast.Name)
+                        and tgt.value.id == "self"
+                    ):
+                        continue
+                    attr = tgt.attr
+                    value_text = _value_text(sub.value)
+                    kind = _lock_kind(value_text)
+                    if "threading" in value_text and kind:
+                        cls.locks[attr] = kind
+                    elif "threading.local(" in value_text:
+                        cls.thread_local_attrs.append(attr)
+                    elif "threading.Event(" in value_text:
+                        cls.event_attrs.add(attr)
+                    else:
+                        typed = _known_class_in(value_text, class_names)
+                        if typed is None and isinstance(sub.value, ast.Name):
+                            typed = param_types.get(sub.value.id)
+                        if typed and attr not in cls.attr_types:
+                            cls.attr_types[attr] = typed
+                    lock_name = guarded_comments.get(sub.lineno)
+                    if lock_name:
+                        cls.guarded[attr] = lock_name
+    # Analyzer seed + any module-level GUARDED_FIELDS merged later.
+    for fld, lock in SEED_GUARDED_FIELDS.get(cls.name, {}).items():
+        cls.guarded.setdefault(fld, lock)
+    return cls
+
+
+def _scan_module_level(
+    tree: ast.Module, module: ModuleModel, class_names: set[str]
+) -> None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and isinstance(
+            node.targets[0], ast.Name
+        ):
+            name = node.targets[0].id
+            value_text = _value_text(node.value)
+            kind = _lock_kind(value_text)
+            if "threading" in value_text and kind:
+                module.module_locks[name] = kind
+            elif isinstance(node.value, (ast.List, ast.Dict, ast.Set)) or (
+                isinstance(node.value, ast.Call)
+                and _dotted(node.value.func) in ("list", "dict", "set")
+            ):
+                module.module_mutables.add(name)
+            if name == "GUARDED_FIELDS":
+                try:
+                    declared = ast.literal_eval(node.value)
+                except (ValueError, SyntaxError):
+                    declared = None
+                if isinstance(declared, dict):
+                    for cls_name, fields in declared.items():
+                        cls = module.classes.get(cls_name)
+                        if cls is not None and isinstance(fields, dict):
+                            cls.guarded.update(fields)
+
+
+# -- phase B: function extraction --------------------------------------------
+
+
+class _FunctionExtractor:
+    """Walks one function body tracking lexically-held locks."""
+
+    def __init__(
+        self,
+        fn: FunctionModel,
+        cls: ClassModel | None,
+        module: ModuleModel,
+        class_names: set[str],
+        classes_by_name: dict[str, ClassModel],
+    ) -> None:
+        self.fn = fn
+        self.cls = cls
+        self.module = module
+        self.class_names = class_names
+        self.classes_by_name = classes_by_name
+        self.local_types: dict[str, str] = {}
+        self.thread_vars: set[str] = set()
+        self.event_vars: set[str] = set()
+        self.pending_spawns: list[tuple[str | None, ast.Call]] = []
+        self.global_names: set[str] = set()
+
+    # -- typing helpers ---------------------------------------------------
+
+    def seed_params(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        if self.cls is not None:
+            self.local_types["self"] = self.cls.name
+        args = list(node.args.posonlyargs) + list(node.args.args) + list(
+            node.args.kwonlyargs
+        )
+        for arg in args:
+            if arg.annotation is not None:
+                typed = _known_class_in(
+                    _value_text(arg.annotation), self.class_names
+                )
+                if typed:
+                    self.local_types[arg.arg] = typed
+
+    def _receiver_type(self, recv: ast.expr) -> str | None:
+        if isinstance(recv, ast.Name):
+            return self.local_types.get(recv.id)
+        if (
+            isinstance(recv, ast.Attribute)
+            and isinstance(recv.value, ast.Name)
+            and recv.value.id == "self"
+            and self.cls is not None
+        ):
+            return self.cls.attr_types.get(recv.attr)
+        return None
+
+    def _lock_label(self, expr: ast.expr) -> str | None:
+        """The lock label acquired by ``with <expr>``, if it is a lock."""
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+        ):
+            root = expr.value.id
+            if root == "self" and self.cls is not None:
+                if expr.attr in self.cls.locks:
+                    return self.cls.lock_label(expr.attr)
+            else:
+                typed = self.local_types.get(root)
+                cls = self.classes_by_name.get(typed) if typed else None
+                if cls is not None and expr.attr in cls.locks:
+                    return cls.lock_label(expr.attr)
+        elif isinstance(expr, ast.Name):
+            if expr.id in self.module.module_locks:
+                return f"{self.module.name}.{expr.id}"
+            typed = self.local_types.get(expr.id)
+            if typed in ("Lock", "RLock"):
+                return f"{self.fn.qualname}.<local {expr.id}>"
+        return None
+
+    # -- statement walk ---------------------------------------------------
+
+    def walk_body(self, stmts: Iterable[ast.stmt], held: tuple[HeldLock, ...]) -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt, held)
+
+    def walk_stmt(self, stmt: ast.stmt, held: tuple[HeldLock, ...]) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: runs later, under whatever locks *it*
+            # takes -- never under the lexically-enclosing ones.
+            _extract_function(
+                stmt,
+                self.cls,
+                self.module,
+                self.class_names,
+                self.classes_by_name,
+                qual_prefix=self.fn.qualname,
+            )
+            return
+        if isinstance(stmt, ast.With):
+            new_held = held
+            for item in stmt.items:
+                self.visit_expr(item.context_expr, new_held)
+                label = self._lock_label(item.context_expr)
+                if label is not None:
+                    self.fn.acquisitions.append(
+                        Acquisition(
+                            label=label,
+                            file=self.fn.file,
+                            line=item.context_expr.lineno,
+                            function=self.fn.qualname,
+                            held=new_held,
+                        )
+                    )
+                    new_held = new_held + (
+                        HeldLock(label, item.context_expr.lineno),
+                    )
+            self.walk_body(stmt.body, new_held)
+            return
+        if isinstance(stmt, ast.Global):
+            self.global_names.update(stmt.names)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self.visit_assign(stmt, held)
+            # Fall through: child statements handled below (none).
+        # Visit this statement's own expressions, then recurse into
+        # child statement blocks with the same held set.
+        for expr in self._stmt_exprs(stmt):
+            self.visit_expr(expr, held)
+        for block in self._stmt_blocks(stmt):
+            self.walk_body(block, held)
+
+    @staticmethod
+    def _stmt_blocks(stmt: ast.stmt) -> list[list[ast.stmt]]:
+        blocks = []
+        for name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, name, None)
+            if block and isinstance(block[0], ast.stmt):
+                blocks.append(block)
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(handler.body)
+        return blocks
+
+    @staticmethod
+    def _stmt_exprs(stmt: ast.stmt) -> list[ast.expr]:
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            return []  # handled by visit_assign
+        if isinstance(stmt, ast.With):
+            return []  # handled by walk_stmt
+        exprs: list[ast.expr] = []
+        for name in ("value", "test", "iter", "exc", "cause", "msg"):
+            node = getattr(stmt, name, None)
+            if isinstance(node, ast.expr):
+                exprs.append(node)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            pass  # already collected via "value"
+        return exprs
+
+    def visit_assign(
+        self,
+        stmt: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        held: tuple[HeldLock, ...],
+    ) -> None:
+        targets: list[ast.expr]
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+        else:
+            targets = [stmt.target]
+        if stmt.value is not None:
+            self.visit_expr(stmt.value, held)
+        for tgt in targets:
+            self._visit_target(tgt, held)
+        # Local type/thread/event inference for simple name bindings.
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.value is not None
+        ):
+            name = stmt.targets[0].id
+            value_text = _value_text(stmt.value)
+            if re.search(r"\bthreading\.Thread\(", value_text):
+                self.thread_vars.add(name)
+            elif re.search(r"\bthreading\.Event\(", value_text):
+                self.event_vars.add(name)
+            else:
+                typed = None
+                if isinstance(stmt.value, ast.Call):
+                    callee = _dotted(stmt.value.func)
+                    if callee in self.class_names:
+                        typed = callee
+                    else:
+                        # Constructor-ish classmethods: CostCache.open(...)
+                        root = (callee or "").split(".")[0]
+                        if root in self.class_names:
+                            typed = root
+                elif isinstance(stmt.value, ast.Name):
+                    typed = self.local_types.get(stmt.value.id)
+                elif isinstance(stmt.value, ast.Attribute):
+                    typed = self._receiver_type(stmt.value)
+                elif isinstance(stmt.value, ast.IfExp):
+                    for arm in (stmt.value.body, stmt.value.orelse):
+                        t = _known_class_in(_value_text(arm), self.class_names)
+                        if t:
+                            typed = t
+                            break
+                if typed:
+                    self.local_types[name] = typed
+            # Module-global mutation: plain rebinding of a declared global.
+            if name in self.global_names:
+                self.fn.global_mutations.append(
+                    GlobalMutation(
+                        name=name,
+                        file=self.fn.file,
+                        line=stmt.lineno,
+                        function=self.fn.qualname,
+                        held=held,
+                    )
+                )
+        # Subscript/attribute mutation of module-level mutables.
+        for tgt in targets:
+            root = tgt
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if (
+                isinstance(root, ast.Name)
+                and root is not tgt
+                and root.id in self.module.module_mutables
+            ):
+                self.fn.global_mutations.append(
+                    GlobalMutation(
+                        name=root.id,
+                        file=self.fn.file,
+                        line=stmt.lineno,
+                        function=self.fn.qualname,
+                        held=held,
+                    )
+                )
+
+    def _visit_target(self, tgt: ast.expr, held: tuple[HeldLock, ...]) -> None:
+        """Record an assignment target: ``self.f = v``, ``self.f[k] = v``
+        and ``self.f.attr = v`` all count as *writes* to field ``f``."""
+        if isinstance(tgt, (ast.Tuple, ast.List)):
+            for elt in tgt.elts:
+                self._visit_target(elt, held)
+            return
+        node = tgt
+        while isinstance(node, (ast.Subscript, ast.Attribute)):
+            if isinstance(node, ast.Subscript):
+                self.visit_expr(node.slice, held)
+            if isinstance(node.value, ast.Name):
+                break
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.cls is not None
+        ):
+            self.fn.accesses.append(
+                FieldAccess(
+                    cls=self.cls.name,
+                    field=node.attr,
+                    file=self.fn.file,
+                    line=node.lineno,
+                    function=self.fn.qualname,
+                    write=True,
+                    held=held,
+                )
+            )
+            return
+        if not isinstance(node, ast.Name):
+            self.visit_expr(node, held)
+
+    # -- expression walk --------------------------------------------------
+
+    def visit_expr(self, expr: ast.expr, held: tuple[HeldLock, ...]) -> None:
+        for node in self._walk_no_lambda(expr):
+            if isinstance(node, ast.Attribute):
+                self._visit_attribute(node, held)
+            elif isinstance(node, ast.Call):
+                self._visit_call(node, held)
+
+    def _walk_no_lambda(self, expr: ast.expr) -> Iterator[ast.AST]:
+        """ast.walk that does not descend into lambda bodies (deferred
+        execution -- a lambda body does not run under the current locks);
+        the body is extracted separately with an empty held set."""
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                self._extract_lambda(node)
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _extract_lambda(self, node: ast.Lambda) -> None:
+        for sub in ast.walk(node.body):
+            if isinstance(sub, ast.Attribute):
+                self._visit_attribute(sub, ())
+            elif isinstance(sub, ast.Call):
+                self._visit_call(sub, ())
+
+    def _visit_attribute(self, node: ast.Attribute, held: tuple[HeldLock, ...]) -> None:
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            return
+        if self.cls is None:
+            return
+        attr = node.attr
+        # Property reads count as calls (the property body runs here).
+        if attr in self.cls.properties and isinstance(node.ctx, ast.Load):
+            self.fn.calls.append(
+                CallSite(
+                    name=attr,
+                    receiver="self",
+                    receiver_type=self.cls.name,
+                    file=self.fn.file,
+                    line=node.lineno,
+                    function=self.fn.qualname,
+                    held=held,
+                )
+            )
+        self.fn.accesses.append(
+            FieldAccess(
+                cls=self.cls.name,
+                field=attr,
+                file=self.fn.file,
+                line=node.lineno,
+                function=self.fn.qualname,
+                write=isinstance(node.ctx, (ast.Store, ast.Del)),
+                held=held,
+            )
+        )
+
+    def _blocking(self, kind: str, detail: str, line: int, held) -> None:
+        self.fn.blocking.append(
+            BlockingOp(
+                kind=kind,
+                detail=detail,
+                file=self.fn.file,
+                line=line,
+                function=self.fn.qualname,
+                held=held,
+            )
+        )
+
+    def _visit_call(self, node: ast.Call, held: tuple[HeldLock, ...]) -> None:
+        func = node.func
+        line = node.lineno
+        # Thread spawn?
+        callee = _dotted(func)
+        if callee is not None and (
+            callee == "threading.Thread" or callee.endswith(".Thread")
+            or callee == "Thread"
+        ):
+            self._record_spawn(node, line)
+            return
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "open":
+                self._blocking("file-io", "open(...)", line, held)
+            self.fn.calls.append(
+                CallSite(
+                    name=name,
+                    receiver=None,
+                    receiver_type=None,
+                    file=self.fn.file,
+                    line=line,
+                    function=self.fn.qualname,
+                    held=held,
+                )
+            )
+            return
+        if not isinstance(func, ast.Attribute):
+            return
+        method = func.attr
+        recv = func.value
+        recv_text = _value_text(recv)
+        recv_root = recv_text.split(".")[0].split("(")[0] if recv_text else None
+        if recv_root == "subprocess" or recv_text.startswith("subprocess."):
+            self._blocking("subprocess", f"subprocess.{method}", line, held)
+        elif method in _SQLITE_CALLS:
+            self._blocking("sqlite", f"{recv_text}.{method}(...)", line, held)
+        elif recv_root == "os" and method in _OS_FILE_IO:
+            self._blocking("file-io", f"os.{method}(...)", line, held)
+        elif recv_root == "sqlite3" and method == "connect":
+            self._blocking("sqlite", "sqlite3.connect(...)", line, held)
+        elif recv_root == "time" and method == "sleep":
+            self._blocking("sleep", "time.sleep(...)", line, held)
+        elif method == "join" and self._is_threadish(recv):
+            self._blocking("join", f"{recv_text}.join(...)", line, held)
+        elif method == "wait" and self._is_eventish(recv):
+            self._blocking("wait", f"{recv_text}.wait(...)", line, held)
+        self.fn.calls.append(
+            CallSite(
+                # Full receiver text: ``self.cache.save`` must not be
+                # confused with a ``self.save`` method call.
+                name=method,
+                receiver=recv_text or recv_root,
+                receiver_type=self._receiver_type(recv),
+                file=self.fn.file,
+                line=line,
+                function=self.fn.qualname,
+                held=held,
+            )
+        )
+
+    def _is_threadish(self, recv: ast.expr) -> bool:
+        if isinstance(recv, ast.Name) and recv.id in self.thread_vars:
+            return True
+        text = _value_text(recv)
+        return bool(_THREADISH_RE.search(text))
+
+    def _is_eventish(self, recv: ast.expr) -> bool:
+        if isinstance(recv, ast.Name) and recv.id in self.event_vars:
+            return True
+        if isinstance(recv, ast.Attribute):
+            # Attribute typed Event anywhere in the project (e.g. the
+            # ``done`` field of an in-flight record dataclass).
+            for cls in self.classes_by_name.values():
+                if recv.attr in cls.event_attrs:
+                    return True
+        text = _value_text(recv)
+        return bool(_EVENTISH_RE.search(text))
+
+    def _record_spawn(self, node: ast.Call, line: int) -> None:
+        daemon = False
+        target: str | None = None
+        for kw in node.keywords:
+            if kw.arg == "daemon":
+                daemon = bool(
+                    isinstance(kw.value, ast.Constant) and kw.value.value
+                )
+            elif kw.arg == "target":
+                target = _dotted(kw.value)
+                if target is not None:
+                    short = target.split(".")[-1]
+                    self.module.thread_targets.add(short)
+        self.pending_spawns.append((target, node))
+        # tracked-ness is resolved in finish() once the whole body is seen
+
+    def finish(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        """Resolve thread-spawn tracking after the full body was walked."""
+        for target, call in self.pending_spawns:
+            daemon = any(
+                kw.arg == "daemon"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value
+                for kw in call.keywords
+            )
+            self.fn.spawns.append(
+                ThreadSpawn(
+                    file=self.fn.file,
+                    line=call.lineno,
+                    function=self.fn.qualname,
+                    daemon=daemon,
+                    tracked=_spawn_is_tracked(node, call),
+                    target=target,
+                )
+            )
+
+
+def _spawn_is_tracked(
+    fn_node: ast.FunctionDef | ast.AsyncFunctionDef, spawn: ast.Call
+) -> bool:
+    """Whether the spawned thread object escapes into tracked state.
+
+    Tracked means: the variable the Thread is bound to is passed as an
+    argument to some call (``self._threads.append(t)``, ``track(t)``),
+    stored into an attribute/subscript/list, or returned.  A thread that
+    is only ``.start()``-ed (or never bound at all) is untracked.
+    """
+    # Find the binding: ``name = threading.Thread(...)``.
+    bound: str | None = None
+    for sub in ast.walk(fn_node):
+        if (
+            isinstance(sub, ast.Assign)
+            and sub.value is spawn
+            and len(sub.targets) == 1
+            and isinstance(sub.targets[0], ast.Name)
+        ):
+            bound = sub.targets[0].id
+            break
+    if bound is None:
+        return False
+    for sub in ast.walk(fn_node):
+        if isinstance(sub, ast.Call):
+            for arg in list(sub.args) + [kw.value for kw in sub.keywords]:
+                if isinstance(arg, ast.Name) and arg.id == bound:
+                    return True
+        elif isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Name):
+            if sub.value.id == bound and any(
+                isinstance(t, (ast.Attribute, ast.Subscript))
+                for t in sub.targets
+            ):
+                return True
+        elif isinstance(sub, ast.Return) and isinstance(sub.value, ast.Name):
+            if sub.value.id == bound:
+                return True
+    return False
+
+
+def _extract_function(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    cls: ClassModel | None,
+    module: ModuleModel,
+    class_names: set[str],
+    classes_by_name: dict[str, ClassModel],
+    qual_prefix: str | None = None,
+) -> FunctionModel:
+    if qual_prefix is not None:
+        qualname = f"{qual_prefix}.<locals>.{node.name}"
+    elif cls is not None:
+        qualname = f"{module.name}.{cls.name}.{node.name}"
+    else:
+        qualname = f"{module.name}.{node.name}"
+    fn = FunctionModel(
+        qualname=qualname,
+        name=node.name,
+        cls=cls.name if cls is not None else None,
+        module=module.name,
+        file=module.path,
+        line=node.lineno,
+        is_property=any(
+            _value_text(d).endswith("property") for d in node.decorator_list
+        ),
+    )
+    extractor = _FunctionExtractor(fn, cls, module, class_names, classes_by_name)
+    extractor.seed_params(node)
+    extractor.walk_body(node.body, ())
+    extractor.finish(node)
+    if cls is not None and qual_prefix is None:
+        cls.methods[node.name] = fn
+    elif qual_prefix is None:
+        module.functions[node.name] = fn
+    else:
+        # Nested functions live beside their parent under a locals name.
+        module.functions[f"{qualname}"] = fn
+    return fn
+
+
+# -- project model -----------------------------------------------------------
+
+
+class ProjectModel:
+    """Every analyzed module plus cross-module resolution helpers."""
+
+    def __init__(self, modules: list[ModuleModel]) -> None:
+        self.modules = modules
+        self.classes: dict[str, ClassModel] = {}
+        self._module_by_name: dict[str, ModuleModel] = {}
+        for mod in modules:
+            self._module_by_name[mod.name] = mod
+            for cls in mod.classes.values():
+                self.classes.setdefault(cls.name, cls)
+        self._functions_by_name: dict[str, list[FunctionModel]] = {}
+        for mod in modules:
+            for fn in mod.functions.values():
+                self._functions_by_name.setdefault(fn.name, []).append(fn)
+        self._may_acquire: dict[str, dict[str, str]] | None = None
+        self._may_block: dict[str, dict[str, str]] | None = None
+
+    # -- iteration / lookup ----------------------------------------------
+
+    def all_functions(self) -> Iterator[FunctionModel]:
+        for mod in self.modules:
+            yield from mod.functions.values()
+            for cls in mod.classes.values():
+                yield from cls.methods.values()
+
+    def module_of(self, fn: FunctionModel) -> ModuleModel:
+        return self._module_by_name[fn.module]
+
+    def class_of(self, fn: FunctionModel) -> ClassModel | None:
+        return self.classes.get(fn.cls) if fn.cls else None
+
+    def allowed(self, fn: FunctionModel, line: int | None, pass_name: str) -> bool:
+        return self.module_of(fn).allowed(line, pass_name)
+
+    def lock_kind(self, label: str) -> str | None:
+        """``Lock``/``RLock`` for a ``Class.attr`` or module lock label."""
+        head, _, attr = label.rpartition(".")
+        cls = self.classes.get(head.rpartition(".")[2] or head)
+        if cls is not None and attr in cls.locks:
+            return cls.locks[attr]
+        mod = self._module_by_name.get(head)
+        if mod is not None and attr in mod.module_locks:
+            return mod.module_locks[attr]
+        return None
+
+    # -- call resolution ---------------------------------------------------
+
+    def resolve_call(self, call: CallSite, fn: FunctionModel) -> list[FunctionModel]:
+        """The function(s) a call site may invoke, by local typing.
+
+        ``self.m()`` resolves within the caller's class, a typed
+        receiver within its class, and a bare name against module-level
+        functions of that name anywhere in the analyzed set.  Unresolved
+        calls return ``[]`` -- the analyzer prefers silence to guessing.
+        """
+        if call.receiver == "self" and fn.cls is not None:
+            cls = self.classes.get(fn.cls)
+            if cls is not None:
+                m = cls.methods.get(call.name)
+                return [m] if m is not None else []
+            return []
+        if call.receiver_type is not None:
+            cls = self.classes.get(call.receiver_type)
+            if cls is not None:
+                m = cls.methods.get(call.name)
+                return [m] if m is not None else []
+            return []
+        if call.receiver is None:
+            return [
+                f
+                for f in self._functions_by_name.get(call.name, [])
+                if f.cls is None and "<locals>" not in f.qualname
+            ]
+        return []
+
+    # -- fixpoints ---------------------------------------------------------
+
+    def may_acquire(self) -> dict[str, dict[str, str]]:
+        """func qualname -> {lock label: witness call chain}.
+
+        Computed as a fixpoint over the typed call graph: a function may
+        acquire every lock it takes directly plus everything its
+        resolvable callees may acquire.
+        """
+        if self._may_acquire is None:
+            self._may_acquire = self._fixpoint(
+                lambda fn: {a.label: fn.qualname for a in fn.acquisitions}
+            )
+        return self._may_acquire
+
+    def may_block(self) -> dict[str, dict[str, str]]:
+        """func qualname -> {blocking kind: witness call chain}."""
+        if self._may_block is None:
+            self._may_block = self._fixpoint(
+                lambda fn: {
+                    b.kind: f"{fn.qualname} ({b.detail})" for b in fn.blocking
+                }
+            )
+        return self._may_block
+
+    def _fixpoint(self, seed) -> dict[str, dict[str, str]]:
+        facts: dict[str, dict[str, str]] = {
+            fn.qualname: dict(seed(fn)) for fn in self.all_functions()
+        }
+        functions = list(self.all_functions())
+        changed = True
+        while changed:
+            changed = False
+            for fn in functions:
+                mine = facts[fn.qualname]
+                for call in fn.calls:
+                    for callee in self.resolve_call(call, fn):
+                        for key, witness in facts.get(
+                            callee.qualname, {}
+                        ).items():
+                            if key not in mine:
+                                mine[key] = f"{fn.qualname} -> {witness}"
+                                changed = True
+        return facts
+
+
+# -- entry points ------------------------------------------------------------
+
+
+def parse_module(source: str, path: str, class_names: set[str] | None = None) -> ModuleModel:
+    """Parse one module's source into a :class:`ModuleModel`.
+
+    ``class_names`` extends the set of class names considered "known"
+    for receiver typing (normally supplied by :func:`build_model` from
+    the whole file set); the module's own classes are always known.
+    """
+    tree = ast.parse(source, filename=path)
+    name = os.path.splitext(os.path.basename(path))[0]
+    guarded_comments, allow = _scan_comments(source)
+    module = ModuleModel(name=name, path=path, allow=allow)
+    known = set(class_names or ())
+    known.update(
+        n.name for n in tree.body if isinstance(n, ast.ClassDef)
+    )
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            module.classes[node.name] = _scan_class(
+                node, module, path, guarded_comments, known
+            )
+    _scan_module_level(tree, module, known)
+    classes_by_name = dict(module.classes)
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef):
+            cls = module.classes[node.name]
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    _extract_function(
+                        stmt, cls, module, known, classes_by_name
+                    )
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            _extract_function(node, None, module, known, classes_by_name)
+    return module
+
+
+def build_model(paths: Iterable[str | os.PathLike]) -> ProjectModel:
+    """Parse every ``.py`` file under ``paths`` into one project model.
+
+    ``paths`` may mix files and directories; directories are swept
+    recursively in sorted order, skipping ``__pycache__``.  All modules
+    are parsed twice conceptually: a first sweep collects every class
+    name so receiver typing works across modules, then each module is
+    extracted in full.
+    """
+    files: list[str] = []
+    for p in paths:
+        p = os.fspath(p)
+        if os.path.isdir(p):
+            for root, dirs, names in os.walk(p):
+                dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+                for n in sorted(names):
+                    if n.endswith(".py"):
+                        files.append(os.path.join(root, n))
+        elif p.endswith(".py"):
+            files.append(p)
+    sources = []
+    class_names: set[str] = set()
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        sources.append((path, source))
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError:
+            continue
+        class_names.update(
+            n.name for n in tree.body if isinstance(n, ast.ClassDef)
+        )
+    modules = []
+    for path, source in sources:
+        rel = os.path.relpath(path)
+        modules.append(parse_module(source, rel, class_names))
+    # Cross-module resolution needs one model over everything; the
+    # per-module class maps were built with the global name set already.
+    project = ProjectModel(modules)
+    return project

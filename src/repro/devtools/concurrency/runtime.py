@@ -1,0 +1,236 @@
+"""Runtime lock-order verification: record what threads actually do.
+
+The static lock-order pass models acquisitions by reading the AST; this
+module checks that model against reality.  :func:`instrument` wraps the
+lock attributes of live objects in :class:`RecordingLock` proxies that
+log, per thread, every ``held -> acquired`` pair into a shared
+:class:`LockOrderRecorder`.  Running a real workload (the service or
+tuner test suites) then yields the *observed* lock-order edge set, and
+:func:`verify_lock_order` cross-checks it against the static graph:
+
+* no observed edge may *invert* a static edge (``B -> A`` at runtime
+  when the static graph says ``A -> B`` somewhere) -- that is exactly
+  the two-thread deadlock pattern;
+* the union of observed and static edges must stay acyclic.
+
+Observed edges *not* predicted statically are reported as ``extra`` but
+are not failures on their own -- the static analysis is deliberately
+conservative about unresolvable calls -- as long as they keep the
+combined graph acyclic.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.devtools.concurrency.lockorder import static_lock_graph
+from repro.devtools.concurrency.model import ProjectModel
+
+__all__ = [
+    "LockOrderRecorder",
+    "RecordingLock",
+    "instrument",
+    "LockOrderVerdict",
+    "verify_lock_order",
+]
+
+
+class LockOrderRecorder:
+    """Thread-safe collector of observed lock-acquisition order edges.
+
+    Each thread keeps its own stack of currently-held lock labels; on
+    every acquisition the recorder adds one ``(held, acquired)`` edge
+    per lock on the stack.  Reentrant re-acquisition of the same label
+    does not add a self-edge (RLocks re-enter legitimately).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._edges: dict[tuple[str, str], int] = {}
+        self._acquired: dict[str, int] = {}
+        self._held = threading.local()
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    def on_acquire(self, label: str) -> None:
+        stack = self._stack()
+        with self._lock:
+            self._acquired[label] = self._acquired.get(label, 0) + 1
+            for held in stack:
+                if held != label:
+                    key = (held, label)
+                    self._edges[key] = self._edges.get(key, 0) + 1
+        stack.append(label)
+
+    def on_release(self, label: str) -> None:
+        stack = self._stack()
+        # Release in LIFO discipline is the common case; out-of-order
+        # release just removes the most recent matching entry.
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == label:
+                del stack[i]
+                break
+
+    def edges(self) -> dict[tuple[str, str], int]:
+        """Observed ``(held, acquired)`` pairs with occurrence counts."""
+        with self._lock:
+            return dict(self._edges)
+
+    def acquisitions(self) -> dict[str, int]:
+        """Per-label acquisition counts (coverage signal for tests)."""
+        with self._lock:
+            return dict(self._acquired)
+
+
+class RecordingLock:
+    """Context-manager proxy around a real lock that logs to a recorder.
+
+    Supports the subset of the lock API the repo uses: ``with``,
+    ``acquire``/``release``, ``locked``.  The proxy is intentionally
+    *not* a Lock subclass -- it wraps whatever it is given, including
+    RLocks.
+    """
+
+    def __init__(self, inner, label: str, recorder: LockOrderRecorder) -> None:
+        self._inner = inner
+        self._label = label
+        self._recorder = recorder
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            self._recorder.on_acquire(self._label)
+        return got
+
+    def release(self) -> None:
+        self._inner.release()
+        self._recorder.on_release(self._label)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> "RecordingLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def instrument(
+    obj: object,
+    recorder: LockOrderRecorder,
+    *,
+    attrs: list[str] | None = None,
+    label_prefix: str | None = None,
+) -> list[str]:
+    """Wrap ``obj``'s lock attributes in recording proxies, in place.
+
+    ``attrs`` defaults to every attribute whose value is a
+    ``threading.Lock``/``RLock`` (detected structurally: has acquire,
+    release and __enter__).  Labels are ``ClassName.attr`` to match the
+    static graph's labels.  Returns the labels instrumented.  Objects
+    already instrumented are skipped (idempotent).
+    """
+    cls_name = label_prefix or type(obj).__name__
+    labels: list[str] = []
+    candidates = attrs
+    if candidates is None:
+        candidates = [
+            name
+            for name in vars(obj)
+            if _is_lock(getattr(obj, name, None))
+        ]
+    for name in candidates:
+        value = getattr(obj, name, None)
+        if value is None or isinstance(value, RecordingLock):
+            continue
+        if not _is_lock(value):
+            continue
+        label = f"{cls_name}.{name}"
+        setattr(obj, name, RecordingLock(value, label, recorder))
+        labels.append(label)
+    return labels
+
+
+def _is_lock(value: object) -> bool:
+    return (
+        value is not None
+        and callable(getattr(value, "acquire", None))
+        and callable(getattr(value, "release", None))
+        and hasattr(value, "__enter__")
+        and not isinstance(value, RecordingLock)
+    )
+
+
+@dataclass
+class LockOrderVerdict:
+    """Outcome of cross-checking observed edges against the static graph."""
+
+    consistent: bool
+    inversions: list[tuple[str, str]] = field(default_factory=list)
+    combined_cycles: list[list[str]] = field(default_factory=list)
+    extra_edges: list[tuple[str, str]] = field(default_factory=list)
+    observed: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def format(self) -> str:
+        if self.consistent:
+            extra = (
+                f"; {len(self.extra_edges)} edge(s) observed beyond the "
+                "static graph (still acyclic)"
+                if self.extra_edges
+                else ""
+            )
+            return (
+                f"runtime lock order consistent with static graph "
+                f"({len(self.observed)} observed edge(s){extra})"
+            )
+        lines = ["runtime lock order INCONSISTENT with static graph"]
+        for a, b in self.inversions:
+            lines.append(
+                f"  inversion: observed {a} -> {b} but static graph "
+                f"orders {b} -> {a}"
+            )
+        for cycle in self.combined_cycles:
+            lines.append(
+                "  combined cycle: " + " -> ".join(cycle + [cycle[0]])
+            )
+        return "\n".join(lines)
+
+
+def verify_lock_order(
+    model: ProjectModel, recorder: LockOrderRecorder
+) -> LockOrderVerdict:
+    """Cross-check observed acquisition orders against the static graph."""
+    from repro.devtools.concurrency.lockorder import _find_cycles
+
+    static_edges = {
+        (a, b) for (a, b) in static_lock_graph(model) if a != b
+    }
+    observed = recorder.edges()
+    observed_edges = set(observed)
+    inversions = sorted(
+        (a, b)
+        for (a, b) in observed_edges
+        if (b, a) in static_edges and (a, b) not in static_edges
+    )
+    combined = static_edges | observed_edges
+    cycles = _find_cycles(combined)
+    extra = sorted(observed_edges - static_edges)
+    return LockOrderVerdict(
+        consistent=not inversions and not cycles,
+        inversions=inversions,
+        combined_cycles=cycles,
+        extra_edges=extra,
+        observed=observed,
+    )

@@ -311,16 +311,19 @@ class PlannerService:
         self._ir_cache = ScheduleIRCache()
         self._eval_lock = threading.Lock()
         self._inflight_lock = threading.Lock()
-        self._inflight: dict[tuple, _Inflight] = {}
-        self._sweeps: dict[str, dict[str, Any]] = {}
-        self._sweep_seq = 0
+        self._inflight: dict[tuple, _Inflight] = {}  # guarded-by: _inflight_lock
+        self._sweeps: dict[str, dict[str, Any]] = {}  # guarded-by: _inflight_lock
+        self._sweep_seq = 0  # guarded-by: _inflight_lock
+        self._threads: list[threading.Thread] = []  # guarded-by: _inflight_lock
+        self._closed = False  # guarded-by: _inflight_lock
         self._save_lock = threading.Lock()
 
     # -- planning ---------------------------------------------------------
 
     def _evaluate(self, query: PlanQuery, workload: Workload) -> tuple[list[PlanResult], bool]:
         """Run the sweep for ``query``; returns (plans, ran_cold_evals)."""
-        with self._eval_lock:
+        # _eval_lock exists to serialize evaluation; see the class docstring.
+        with self._eval_lock:  # lint-code: allow(blocking-under-lock) -- deliberate serialization
             misses_before = self.cache.stats.misses
             plans = autotune(
                 workload,
@@ -443,6 +446,8 @@ class PlannerService:
             raise ValueError(f"'options' must be a boolean, got {options!r}")
 
         with self._inflight_lock:
+            if self._closed:
+                raise ValueError("service is shutting down")
             self._sweep_seq += 1
             sweep_id = f"sweep-{self._sweep_seq}"
         record: dict[str, Any] = {
@@ -455,14 +460,19 @@ class PlannerService:
             "started_s": round(time.time() - self.started_at, 3),
             "elapsed_s": None,
         }
-        self._sweeps[sweep_id] = record
-        self.telemetry.record_sweep("started")
         thread = threading.Thread(
             target=self._run_sweep,
             args=(record, grid, schedules, options),
             name=sweep_id,
             daemon=True,
         )
+        with self._inflight_lock:
+            self._sweeps[sweep_id] = record
+            # Drop finished sweep threads so the list stays bounded; the
+            # records themselves are kept for /v1/sweeps history.
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(thread)
+        self.telemetry.record_sweep("started")
         thread.start()
         return {"sweep": sweep_id, "state": "running", "points": len(grid)}
 
@@ -475,7 +485,7 @@ class PlannerService:
     ) -> None:
         t0 = time.perf_counter()
         try:
-            with self._eval_lock:
+            with self._eval_lock:  # lint-code: allow(blocking-under-lock) -- deliberate serialization
                 plans = tune_grid(
                     grid,
                     schedules=list(schedules) if schedules else None,
@@ -498,7 +508,31 @@ class PlannerService:
 
     def sweeps(self) -> list[dict[str, Any]]:
         """Every sweep launched by this process, oldest first."""
-        return [dict(r) for r in self._sweeps.values()]
+        with self._inflight_lock:
+            return [dict(r) for r in self._sweeps.values()]
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self, timeout: float | None = 30.0) -> int | None:
+        """Drain background work and release resources, deterministically.
+
+        Rejects new sweeps, joins every live sweep thread (bounded by
+        ``timeout`` seconds each -- sweeps are daemon threads, so a
+        stuck one is abandoned rather than hanging shutdown forever),
+        persists the cache a final time and closes the store's sqlite
+        connections.  Idempotent; the HTTP layer calls it from signal
+        handling so a SIGTERM'd service never dies mid-write.  Returns
+        the final save's entry count (None without a ``save_path``).
+        """
+        with self._inflight_lock:
+            self._closed = True
+            threads = list(self._threads)
+            self._threads = []
+        for thread in threads:
+            thread.join(timeout)
+        saved = self.save_cache()
+        self.cache.close()
+        return saved
 
     # -- introspection ----------------------------------------------------
 
@@ -538,5 +572,5 @@ class PlannerService:
         """
         if not self.save_path:
             return None
-        with self._save_lock:
+        with self._save_lock:  # lint-code: allow(blocking-under-lock) -- serializes whole-store rewrites
             return self.cache.save(self.save_path, backend=self.save_backend)

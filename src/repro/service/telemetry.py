@@ -24,22 +24,22 @@ __all__ = ["ServiceTelemetry"]
 class ServiceTelemetry:
     """Thread-safe request counters for one planner service process."""
 
-    requests: int = 0
-    errors: int = 0
+    requests: int = 0  # guarded-by: _lock
+    errors: int = 0  # guarded-by: _lock
     #: Plan requests, split by how they were served: a *cold* request
     #: ran at least one candidate evaluation; a *warm* one was answered
     #: entirely from the cost cache; a *coalesced* one piggybacked on an
     #: identical in-flight evaluation (plans == cold + warm + coalesced).
-    plans: int = 0
-    plans_cold: int = 0
-    plans_warm: int = 0
-    plans_coalesced: int = 0
+    plans: int = 0  # guarded-by: _lock
+    plans_cold: int = 0  # guarded-by: _lock
+    plans_warm: int = 0  # guarded-by: _lock
+    plans_coalesced: int = 0  # guarded-by: _lock
     #: Total wall-clock seconds spent answering plan requests.
-    plan_s: float = 0.0
-    sweeps_started: int = 0
-    sweeps_completed: int = 0
-    sweeps_failed: int = 0
-    by_endpoint: dict = field(default_factory=dict)
+    plan_s: float = 0.0  # guarded-by: _lock
+    sweeps_started: int = 0  # guarded-by: _lock
+    sweeps_completed: int = 0  # guarded-by: _lock
+    sweeps_failed: int = 0  # guarded-by: _lock
+    by_endpoint: dict = field(default_factory=dict)  # guarded-by: _lock
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )

@@ -41,9 +41,10 @@ import hashlib
 import json
 import os
 import secrets
+import threading
 import warnings
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Hashable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 if TYPE_CHECKING:  # repro.tuner.store imports this module; avoid the cycle
     from repro.tuner.store import SqliteCostStore
@@ -173,60 +174,93 @@ class CostCache:
     sqlite query, fetched entries count as disk hits, and cold
     evaluations write through so concurrent processes sharing the store
     see them immediately.
+
+    The cache is thread-safe: the threaded planner service shares one
+    instance between request handlers and background sweeps.  ``_lock``
+    guards the in-memory layer only and is never held across store I/O
+    or candidate evaluation -- a lookup snapshots what it needs, does
+    the slow work unlocked, and re-acquires to publish.  Two threads
+    racing the same cold key may therefore both evaluate it; the
+    evaluation is deterministic in the key, so both arrive at the same
+    record and last-write-wins is harmless (the service's ``_eval_lock``
+    serializes sweeps anyway).
     """
 
-    _data: dict[Hashable, Any] = field(default_factory=dict)
+    _data: dict[Hashable, Any] = field(default_factory=dict)  # guarded-by: _lock
     stats: CacheStats = field(default_factory=CacheStats)
     #: Keys whose entries came off a persisted store (for stats only).
-    _disk_keys: set[Hashable] = field(default_factory=set)
+    _disk_keys: set[Hashable] = field(default_factory=set)  # guarded-by: _lock
     #: Lazy on-disk backend; None for a purely in-memory (or JSON) cache.
     store: "SqliteCostStore | None" = None
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def _fetch_from_store(self, key: Hashable) -> Any | None:
-        if self.store is None:
-            return None
-        value = self.store.get(key)
-        if value is not None:
-            self._data[key] = value
-            self._disk_keys.add(key)
-        return value
+    def __getstate__(self) -> dict[str, Any]:
+        # Worker processes return their local cache across the pool;
+        # locks do not pickle, so the receiving side gets a fresh one.
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     def get_or_eval(self, key: Hashable, evaluate: Callable[[], Any]) -> Any:
         """Return the cached value for ``key``, evaluating on first use."""
-        try:
-            value = self._data[key]
-        except KeyError:
-            value = self._fetch_from_store(key)
-            if value is not None:
-                self.stats.disk_hits += 1
+        with self._lock:
+            if key in self._data:
+                value = self._data[key]
+                if key in self._disk_keys:
+                    self.stats.disk_hits += 1
+                else:
+                    self.stats.hits += 1
                 return value
+            store = self.store
+        if store is not None:
+            value = store.get(key)
+            if value is not None:
+                with self._lock:
+                    self._data[key] = value
+                    self._disk_keys.add(key)
+                    self.stats.disk_hits += 1
+                return value
+        value = evaluate()
+        with self._lock:
             self.stats.misses += 1
-            value = self._data[key] = evaluate()
-            if self.store is not None:
-                # Write-through: a concurrent process sharing the store
-                # (another sweep, the planner service) can reuse this
-                # evaluation without waiting for an explicit save().
-                self.store.put(key, value)
-            return value
-        if key in self._disk_keys:
-            self.stats.disk_hits += 1
-        else:
-            self.stats.hits += 1
+            self._data[key] = value
+        if store is not None:
+            # Write-through: a concurrent process sharing the store
+            # (another sweep, the planner service) can reuse this
+            # evaluation without waiting for an explicit save().
+            store.put(key, value)
         return value
 
     def peek(self, key: Hashable) -> Any:
         """Return the cached value without touching the hit counters."""
-        try:
-            return self._data[key]
-        except KeyError:
-            value = self._fetch_from_store(key)
-            if value is None:
-                raise
-            return value
+        with self._lock:
+            if key in self._data:
+                return self._data[key]
+            store = self.store
+        if store is not None:
+            value = store.get(key)
+            if value is not None:
+                with self._lock:
+                    self._data[key] = value
+                    self._disk_keys.add(key)
+                return value
+        raise KeyError(key)
 
     def adopt(self, key: Hashable, value: Any) -> None:
         """Insert an externally-evaluated entry (no stats recorded)."""
-        self._data[key] = value
+        with self._lock:
+            self._data[key] = value
+
+    def _snapshot(self) -> tuple[dict[Hashable, Any], set[Hashable]]:
+        """Consistent copy of the in-memory layer and its disk-key set."""
+        with self._lock:
+            return dict(self._data), set(self._disk_keys)
 
     def merge(self, other: "CostCache") -> int:
         """Adopt ``other``'s entries this cache lacks; returns the count.
@@ -239,18 +273,21 @@ class CostCache:
         that pre-loaded a shard) keeps counting as a disk hit here, so
         the memory/disk stats split stays honest across merges.
         """
+        data, disk_keys = other._snapshot()
         added = 0
-        for key, value in other.entries():
-            if key not in self._data:
-                self._data[key] = value
-                if key in other._disk_keys:
-                    self._disk_keys.add(key)
-                added += 1
+        with self._lock:
+            for key, value in data.items():
+                if key not in self._data:
+                    self._data[key] = value
+                    if key in disk_keys:
+                        self._disk_keys.add(key)
+                    added += 1
         return added
 
-    def entries(self) -> Iterator[tuple[Hashable, Any]]:
-        """Iterate ``(key, record)`` pairs (no stats recorded)."""
-        return iter(self._data.items())
+    def entries(self) -> list[tuple[Hashable, Any]]:
+        """``(key, record)`` pairs as a point-in-time snapshot list."""
+        with self._lock:
+            return list(self._data.items())
 
     # -- persistence ---------------------------------------------------------
 
@@ -279,6 +316,7 @@ class CostCache:
         path = os.fspath(path)
         from repro.tuner.store import SqliteCostStore, detect_backend
 
+        items = self.entries()  # snapshot; the file/sqlite I/O below runs unlocked
         parent = os.path.dirname(path)
         if parent:
             os.makedirs(parent, exist_ok=True)
@@ -289,13 +327,13 @@ class CostCache:
                 store = self.store
             else:
                 store = SqliteCostStore(path)
-            store.put_many(iter(self._data.items()))
+            store.put_many(iter(items))
             return len(store)
         payload = {
             "format": _FORMAT,
             "version": _VERSION,
             "costmodel": costmodel_fingerprint(),
-            "entries": [[key, value] for key, value in self._data.items()],
+            "entries": [[key, value] for key, value in items],
         }
         base = os.path.basename(path)
         for _ in range(64):
@@ -318,7 +356,7 @@ class CostCache:
         except BaseException:
             os.unlink(tmp)
             raise
-        return len(self._data)
+        return len(items)
 
     def load(self, path: str | os.PathLike, backend: str | None = None) -> int:
         """Make the entries persisted at ``path`` available; returns a count.
@@ -382,12 +420,13 @@ class CostCache:
             )
             return 0
         added = 0
-        for raw_key, value in payload["entries"]:
-            key = _freeze(raw_key)
-            if key not in self._data:
-                self._data[key] = value
-                self._disk_keys.add(key)
-                added += 1
+        with self._lock:
+            for raw_key, value in payload["entries"]:
+                key = _freeze(raw_key)
+                if key not in self._data:
+                    self._data[key] = value
+                    self._disk_keys.add(key)
+                    added += 1
         return added
 
     @classmethod
@@ -420,33 +459,46 @@ class CostCache:
         """Serve lookup misses from ``store`` and write evaluations through."""
         self.store = store
 
+    def close(self) -> None:
+        """Close an attached store's connections (no-op without one).
+
+        The in-memory layer stays usable; the store reconnects lazily if
+        the cache is used again, so close() is safe to call from service
+        shutdown even with stray in-flight requests.
+        """
+        store = self.store
+        if store is not None:
+            store.close()
+
     def clear(self) -> None:
         """Drop the in-memory layer (an attached store is left untouched)."""
-        self._data.clear()
-        self._disk_keys.clear()
-        self.stats = CacheStats()
+        with self._lock:
+            self._data.clear()
+            self._disk_keys.clear()
+            self.stats = CacheStats()
 
     def __len__(self) -> int:
         """Distinct entries reachable through this cache (memory + store)."""
-        if self.store is None:
-            return len(self._data)
-        store = self.store
         # Write-through puts evaluated entries in the store and fetched
         # entries are disk keys by construction, so only adopted/merged
         # entries can be memory-only; count those without double counting.
-        # list() snapshots the keys: the threaded planner service calls
-        # len() while other request threads insert entries.
-        extra = sum(
-            1
-            for key in list(self._data)
-            if key not in self._disk_keys and key not in store
-        )
+        # The snapshot keeps the store queries (sqlite I/O) outside _lock.
+        with self._lock:
+            store = self.store
+            if store is None:
+                return len(self._data)
+            memory_only = [
+                key for key in self._data if key not in self._disk_keys
+            ]
+        extra = sum(1 for key in memory_only if key not in store)
         return len(store) + extra
 
     def __contains__(self, key: Hashable) -> bool:
-        if key in self._data:
-            return True
-        return self.store is not None and key in self.store
+        with self._lock:
+            if key in self._data:
+                return True
+            store = self.store
+        return store is not None and key in store
 
 
 #: Shared process-wide cache used when callers do not supply their own.

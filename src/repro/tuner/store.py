@@ -41,6 +41,7 @@ import os
 import sqlite3
 import threading
 import warnings
+import weakref
 from typing import Any, Hashable, Iterator
 
 from repro.tuner.cache import _freeze, costmodel_fingerprint
@@ -106,12 +107,24 @@ def _decode_key(text: str) -> Hashable:
 class SqliteCostStore:
     """One cost-cache store backed by a sqlite database file.
 
-    Connections are per-thread (sqlite3 objects must not cross threads),
-    created lazily and configured for WAL + a 30 s busy timeout, so the
-    store object itself can be shared by the threaded planner service.
-    Every write commits immediately -- a crash never loses more than the
-    in-flight record, and concurrent processes see each other's entries
-    as soon as they land.
+    Connections are per-thread (sharing one sqlite3 connection between
+    threads would serialize and interleave cursors), created lazily and
+    configured for WAL + a 30 s busy timeout, so the store object itself
+    can be shared by the threaded planner service.  Every write commits
+    immediately -- a crash never loses more than the in-flight record,
+    and concurrent processes see each other's entries as soon as they
+    land.
+
+    Every connection is also registered in ``_all_conns`` (tagged with
+    a weak reference to its owning thread) so :meth:`close` can close
+    *all* of them from whatever thread shutdown runs on -- per-thread
+    connections that only died with their thread's GC leaked one fd per
+    retired HTTP handler thread under long-running ``repro serve``.
+    Connections whose owner thread has exited are pruned (and closed)
+    whenever a new connection registers, bounding the registry to the
+    live-thread count.  A generation counter makes close-then-reuse
+    safe: threads whose cached connection predates the last close()
+    reconnect lazily instead of using a closed handle.
     """
 
     def __init__(self, path: str | os.PathLike, create: bool = True) -> None:
@@ -125,29 +138,65 @@ class SqliteCostStore:
             os.makedirs(parent, exist_ok=True)
         self.path = path
         self._local = threading.local()
+        self._conns_lock = threading.Lock()
+        #: (owner-thread weakref, connection) pairs, one per live thread.
+        self._all_conns: list = []  # guarded-by: _conns_lock
+        self._gen = 0  # guarded-by: _conns_lock
         self._init_schema()
 
     # -- connections -----------------------------------------------------
 
-    def _connect(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(self.path, timeout=30.0)
-        conn.execute("PRAGMA journal_mode=WAL")
-        conn.execute("PRAGMA synchronous=NORMAL")
-        return conn
-
     @property
     def _conn(self) -> sqlite3.Connection:
+        with self._conns_lock:
+            gen = self._gen
         conn = getattr(self._local, "conn", None)
-        if conn is None:
-            conn = self._local.conn = self._connect()
+        if conn is not None and getattr(self._local, "gen", None) == gen:
+            return conn
+        # check_same_thread=False lets close() (and the dead-owner prune
+        # below) close this connection from another thread; this thread
+        # still never *uses* another thread's connection.  The pragmas
+        # run before registration so no lock is held across sqlite I/O.
+        conn = sqlite3.connect(self.path, timeout=30.0, check_same_thread=False)
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        owner = weakref.ref(threading.current_thread())
+        with self._conns_lock:
+            gen = self._gen
+            live, dead = [], []
+            for ref, registered in self._all_conns:
+                thread = ref()
+                if thread is None or not thread.is_alive():
+                    dead.append(registered)
+                else:
+                    live.append((ref, registered))
+            live.append((owner, conn))
+            self._all_conns = live
+        self._local.conn = conn
+        self._local.gen = gen
+        for stale in dead:  # close outside the lock; owners are gone
+            try:
+                stale.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
         return conn
 
     def close(self) -> None:
-        """Close the calling thread's connection (others close with GC)."""
-        conn = getattr(self._local, "conn", None)
-        if conn is not None:
-            conn.close()
-            self._local.conn = None
+        """Close every connection the store has open, from any thread.
+
+        Threads still using the store reconnect lazily (their cached
+        connection's generation is stale), so a racing in-flight request
+        degrades to a reconnect instead of an error on a closed handle.
+        """
+        with self._conns_lock:
+            conns = [conn for _, conn in self._all_conns]
+            self._all_conns = []
+            self._gen += 1
+        for conn in conns:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - close is best-effort
+                pass
 
     # -- schema / stamping ------------------------------------------------
 

@@ -507,3 +507,65 @@ class TestExperimentVerify:
         )
         assert code == 0
         assert "1/1 experiment(s) clean" in out
+
+
+class TestLintCode:
+    _REPO = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+    def test_default_sweep_is_clean_and_exits_zero(self, capsys, monkeypatch):
+        monkeypatch.chdir(self._REPO)
+        code, out, _ = run(capsys, "lint-code", "--strict")
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_list_passes(self, capsys):
+        code, out, _ = run(capsys, "lint-code", "--list-passes")
+        assert code == 0
+        for name in (
+            "guarded-by", "lock-order", "blocking-under-lock", "thread-hygiene",
+        ):
+            assert name in out
+
+    def test_violation_fails_with_json_report(self, capsys, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import threading\n"
+            "\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = {}  # guarded-by: _lock\n"
+            "\n"
+            "    def add(self, k, v):\n"
+            "        self._items[k] = v\n"
+        )
+        code, out, _ = run(
+            capsys, "lint-code", "--paths", str(bad), "--json"
+        )
+        assert code == 1
+        import json
+
+        payload = json.loads(out)
+        assert payload["ok"] is False
+        assert payload["issues"][0]["pass"] == "guarded-by"
+
+    def test_out_writes_report_file(self, capsys, tmp_path):
+        target = tmp_path / "code-lint.json"
+        code, _, _ = run(
+            capsys, "lint-code",
+            "--paths", os.path.join(self._REPO, "src", "repro", "service"),
+            "--json", "--out", str(target),
+        )
+        assert code == 0
+        import json
+
+        assert json.loads(target.read_text())["ok"] is True
+
+    def test_pass_subset_selection(self, capsys):
+        code, out, _ = run(
+            capsys, "lint-code",
+            "--paths", os.path.join(self._REPO, "src", "repro", "tuner"),
+            "--passes", "lock-order",
+        )
+        assert code == 0
+        assert "lock-order" in out or "0 error(s)" in out

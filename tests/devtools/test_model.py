@@ -1,0 +1,391 @@
+"""AST extraction model: locks, guarded fields, held-sets, resolution."""
+
+import ast
+import textwrap
+
+from repro.devtools.concurrency.model import (
+    ProjectModel,
+    build_model,
+    parse_module,
+)
+
+
+def project(*sources: str) -> ProjectModel:
+    """Build a ProjectModel over synthetic module sources."""
+    names = set()
+    cleaned = [textwrap.dedent(src) for src in sources]
+    for src in cleaned:
+        tree = ast.parse(src)
+        names.update(
+            n.name for n in tree.body if isinstance(n, ast.ClassDef)
+        )
+    modules = [
+        parse_module(src, f"mod{i}.py", names)
+        for i, src in enumerate(cleaned)
+    ]
+    return ProjectModel(modules)
+
+
+class TestLockDiscovery:
+    def test_init_assigned_locks(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._rlock = threading.RLock()
+            """
+        )
+        cls = model.classes["S"]
+        assert cls.locks == {"_lock": "Lock", "_rlock": "RLock"}
+        assert model.lock_kind("S._lock") == "Lock"
+        assert model.lock_kind("S._rlock") == "RLock"
+
+    def test_dataclass_field_lock(self):
+        model = project(
+            """
+            import threading
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class T:
+                count: int = 0  # guarded-by: _lock
+                _lock: threading.Lock = field(
+                    default_factory=threading.Lock, repr=False
+                )
+            """
+        )
+        cls = model.classes["T"]
+        assert "_lock" in cls.locks
+        assert cls.guarded["count"] == "_lock"
+
+    def test_module_level_lock(self):
+        model = project(
+            """
+            import threading
+
+            _REGISTRY_LOCK = threading.Lock()
+
+            def register(x):
+                with _REGISTRY_LOCK:
+                    return x
+            """
+        )
+        mod = model.modules[0]
+        assert mod.module_locks == {"_REGISTRY_LOCK": "Lock"}
+        fn = mod.functions["register"]
+        assert [a.label for a in fn.acquisitions] == ["mod0._REGISTRY_LOCK"]
+
+
+class TestGuardedDeclarations:
+    def test_comment_on_init_assignment(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+            """
+        )
+        assert model.classes["S"].guarded == {"_items": "_lock"}
+
+    def test_module_registry(self):
+        model = project(
+            """
+            import threading
+
+            GUARDED_FIELDS = {"S": {"_items": "_lock"}}
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+            """
+        )
+        assert model.classes["S"].guarded == {"_items": "_lock"}
+
+    def test_seed_registry_applies_to_known_classes(self):
+        model = project(
+            """
+            import threading
+
+            class PlannerService:
+                def __init__(self):
+                    self._inflight_lock = threading.Lock()
+                    self._inflight = {}
+            """
+        )
+        cls = model.classes["PlannerService"]
+        assert cls.guarded["_inflight"] == "_inflight_lock"
+
+
+class TestHeldTracking:
+    def test_access_inside_and_outside_with(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+
+                def locked(self, k):
+                    with self._lock:
+                        return self._items[k]
+
+                def unlocked(self, k):
+                    return self._items[k]
+            """
+        )
+        cls = model.classes["S"]
+        locked = [
+            a for a in cls.methods["locked"].accesses if a.field == "_items"
+        ]
+        assert locked and all(
+            any(h.label == "S._lock" for h in a.held) for a in locked
+        )
+        unlocked = [
+            a for a in cls.methods["unlocked"].accesses if a.field == "_items"
+        ]
+        assert unlocked and all(not a.held for a in unlocked)
+
+    def test_nested_function_does_not_inherit_held(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+
+                def outer(self):
+                    with self._lock:
+                        def later():
+                            return self._items
+                        return later
+            """
+        )
+        mod = model.modules[0]
+        nested = next(
+            fn for name, fn in mod.functions.items() if "later" in name
+        )
+        accesses = [a for a in nested.accesses if a.field == "_items"]
+        assert accesses and all(not a.held for a in accesses)
+
+    def test_nested_with_builds_held_chain(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def both(self):
+                    with self._a:
+                        with self._b:
+                            pass
+            """
+        )
+        fn = model.classes["S"].methods["both"]
+        inner = next(a for a in fn.acquisitions if a.label == "S._b")
+        assert [h.label for h in inner.held] == ["S._a"]
+
+
+class TestCallResolution:
+    def test_self_method_resolves(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def outer(self):
+                    self.inner()
+
+                def inner(self):
+                    with self._lock:
+                        pass
+            """
+        )
+        fn = model.classes["S"].methods["outer"]
+        call = next(c for c in fn.calls if c.name == "inner")
+        resolved = model.resolve_call(call, fn)
+        assert [r.name for r in resolved] == ["inner"]
+
+    def test_attribute_method_is_not_a_self_call(self):
+        """``self._data.clear()`` must not resolve to ``self.clear()``."""
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._data = {}
+
+                def clear(self):
+                    with self._lock:
+                        self._data.clear()
+            """
+        )
+        fn = model.classes["S"].methods["clear"]
+        call = next(c for c in fn.calls if c.name == "clear")
+        assert model.resolve_call(call, fn) == []
+
+    def test_typed_attribute_resolves_cross_class(self):
+        model = project(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def put(self, k):
+                    with self._lock:
+                        pass
+
+            class Service:
+                def __init__(self, store: Store):
+                    self._store = store
+
+                def write(self, k):
+                    self._store.put(k)
+            """
+        )
+        fn = model.classes["Service"].methods["write"]
+        call = next(c for c in fn.calls if c.name == "put")
+        assert [r.qualname for r in model.resolve_call(call, fn)] == [
+            "mod0.Store.put"
+        ]
+
+    def test_may_acquire_fixpoint_crosses_calls(self):
+        model = project(
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def put(self, k):
+                    with self._lock:
+                        pass
+
+            class Service:
+                def __init__(self, store: Store):
+                    self._store = store
+
+                def write(self, k):
+                    self._store.put(k)
+            """
+        )
+        acq = model.may_acquire()
+        assert "Store._lock" in acq["mod0.Service.write"]
+
+
+class TestBlockingAndSpawns:
+    def test_blocking_kinds_detected(self):
+        model = project(
+            """
+            import subprocess, time, os
+
+            class S:
+                def run(self):
+                    subprocess.run(["true"])
+                    time.sleep(1)
+                    os.replace("a", "b")
+                    with open("f") as fh:
+                        fh.read()
+            """
+        )
+        kinds = {b.kind for b in model.classes["S"].methods["run"].blocking}
+        assert {"subprocess", "sleep", "file-io"} <= kinds
+
+    def test_tracked_vs_untracked_spawn(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._threads = []
+
+                def tracked(self):
+                    t = threading.Thread(target=self.work, daemon=True)
+                    self._threads.append(t)
+                    t.start()
+
+                def untracked(self):
+                    t = threading.Thread(target=self.work, daemon=True)
+                    t.start()
+
+                def work(self):
+                    pass
+            """
+        )
+        cls = model.classes["S"]
+        assert cls.methods["tracked"].spawns[0].tracked
+        spawn = cls.methods["untracked"].spawns[0]
+        assert not spawn.tracked and spawn.daemon
+
+
+class TestAllowlist:
+    def test_allow_comment_parsed(self):
+        model = project(
+            """
+            import threading
+
+            class S:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}  # guarded-by: _lock
+
+                def peek(self):
+                    return self._items  # lint-code: allow(guarded-by) -- snapshot read
+            """
+        )
+        mod = model.modules[0]
+        fn = model.classes["S"].methods["peek"]
+        access = fn.accesses[0]
+        assert mod.allowed(access.line, "guarded-by")
+        assert not mod.allowed(access.line, "lock-order")
+
+    def test_allow_star(self):
+        model = project(
+            """
+            class S:
+                def f(self):
+                    return 1  # lint-code: allow(*) -- anything goes here
+            """
+        )
+        mod = model.modules[0]
+        line = model.classes["S"].methods["f"].line + 1
+        assert mod.allowed(line, "guarded-by")
+        assert mod.allowed(line, "thread-hygiene")
+
+
+class TestBuildModel:
+    def test_sweeps_real_source_tree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "a.py").write_text(
+            "import threading\n"
+            "class A:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+        )
+        (pkg / "b.py").write_text("x = 1\n")
+        model = build_model([pkg])
+        assert {m.name for m in model.modules} == {"a", "b"}
+        assert "A" in model.classes

@@ -236,3 +236,60 @@ class TestConcurrentWriters:
         assert len(store) == 4 * per_writer
         for i in range(4 * per_writer):
             assert store.get(_key(i)) == _record(i)
+
+
+class TestConnectionLifecycle:
+    """close() semantics: every fd released, reuse-safe, leak-bounded."""
+
+    def test_close_empties_the_registry(self, tmp_path):
+        store = SqliteCostStore(tmp_path / "c.sqlite")
+        store.put(_key(1), _record(1))
+        assert store._all_conns
+        store.close()
+        assert store._all_conns == []
+
+    def test_close_from_another_thread_closes_this_threads_conn(self, tmp_path):
+        import threading
+
+        store = SqliteCostStore(tmp_path / "c.sqlite")
+        conn = store._conn  # main thread's cached connection
+        t = threading.Thread(target=store.close)
+        t.start()
+        t.join()
+        with pytest.raises(sqlite3.ProgrammingError):
+            conn.execute("SELECT 1")
+
+    def test_reuse_after_close_reconnects(self, tmp_path):
+        store = SqliteCostStore(tmp_path / "c.sqlite")
+        store.put(_key(1), _record(1))
+        store.close()
+        # The cached per-thread handle is stale (generation bumped):
+        # the next use reconnects instead of failing on a closed conn.
+        assert store.get(_key(1)) == _record(1)
+        store.put(_key(2), _record(2))
+        assert len(store) == 2
+
+    def test_dead_owner_connections_are_pruned(self, tmp_path):
+        import threading
+
+        store = SqliteCostStore(tmp_path / "c.sqlite")
+
+        def use():
+            store.put(_key(3), _record(3))
+
+        for _ in range(5):
+            t = threading.Thread(target=use)
+            t.start()
+            t.join()
+        # Registering a fresh connection prunes every dead owner's entry,
+        # so the registry is bounded by live threads -- not thread churn.
+        store.close()
+        assert store.get(_key(3)) == _record(3)  # reconnect registers anew
+        assert len(store._all_conns) == 1
+
+    def test_cache_close_closes_the_store(self, tmp_path):
+        cache = CostCache.open(tmp_path / "c.sqlite")
+        cache.get_or_eval(_key(4), lambda: _record(4))
+        assert cache.store._all_conns
+        cache.close()
+        assert cache.store._all_conns == []
